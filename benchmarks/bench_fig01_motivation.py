@@ -1,0 +1,86 @@
+"""Paper Figure 1 — the motivating observation: no consistent winner.
+
+(a) GraphSAGE on the Papers analog, 8 GPUs, varying the *input feature
+    dimension* {64, 128, 256} at hidden dim 32.  The paper shows GDP
+    optimal at input dim 64 but >30% slower than DNP at 256.
+(b) GraphSAGE on the Friendster analog, varying the *hidden dimension*
+    {8, 32, 128, 512}.  The paper shows SNP fastest at 8/32, DNP at 128,
+    GDP at 512.
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.utils.random import rng_from
+
+
+def run_fig1a():
+    records, lines = [], []
+    base = common.dataset("ps")
+    # The paper's 4 GB cache is a *fixed* budget: growing the input
+    # dimension shrinks the fraction of features it can hold.
+    fixed_cluster = common.cluster_for(base)
+    for input_dim in (64, 128, 256):
+        rng = rng_from(99, input_dim)
+        centers = rng.normal(size=(base.num_classes, input_dim))
+        feats = centers[base.labels] + rng.normal(size=(base.num_nodes, input_dim))
+        ds = base.with_features(feats)
+        cluster = fixed_cluster
+        model = common.make_model("sage", ds, hidden=32)
+        rec = common.compare_case(
+            ds, model, cluster, parts=common.partition("ps", cluster.num_devices)
+        )
+        rec["input_dim"] = input_dim
+        records.append(rec)
+        lines.append(
+            common.format_row(
+                f"ps input_dim={input_dim}", rec["times"], rec["best"], rec["apt_choice"]
+            )
+        )
+    return records, lines
+
+
+def run_fig1b():
+    records, lines = [], []
+    ds = common.dataset("fs")
+    cluster = common.cluster_for(ds)
+    for hidden in (8, 32, 128, 512):
+        model = common.make_model("sage", ds, hidden=hidden)
+        rec = common.compare_case(
+            ds, model, cluster, parts=common.partition("fs", cluster.num_devices)
+        )
+        rec["hidden"] = hidden
+        records.append(rec)
+        lines.append(
+            common.format_row(
+                f"fs hidden={hidden}", rec["times"], rec["best"], rec["apt_choice"]
+            )
+        )
+    return records, lines
+
+
+def test_fig01_motivation(benchmark):
+    recs_a, lines_a = run_fig1a()
+    recs_b, lines_b = benchmark.pedantic(run_fig1b, rounds=1, iterations=1)
+
+    lines = ["(a) PS, varying input dimension:"] + lines_a
+    lines += ["(b) FS, varying hidden dimension:"] + lines_b
+    common.emit(
+        "fig01_motivation",
+        {"fig1a": recs_a, "fig1b": recs_b},
+        lines,
+    )
+
+    # Headline claims of Figure 1:
+    # (b) the winner changes across hidden dimensions ...
+    winners_b = {rec["best"] for rec in recs_b}
+    assert len(winners_b) >= 2, "Figure 1 needs a strategy crossover"
+    # ... shuffling strategies win small hidden dims, GDP wins at 512.
+    assert recs_b[0]["best"] in ("snp", "dnp")
+    assert recs_b[-1]["best"] in ("gdp", "dnp")
+    # (a) growing the input dimension erodes GDP's lead on PS.
+    gdp_gap = [
+        rec["times"]["gdp"] / min(rec["times"].values()) for rec in recs_a
+    ]
+    assert gdp_gap[-1] >= gdp_gap[0] - 1e-9

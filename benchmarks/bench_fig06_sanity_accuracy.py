@@ -1,0 +1,72 @@
+"""Paper Figure 6 — sanity check: identical accuracy-vs-epoch curves.
+
+The four strategies are semantically equivalent: trained for the same
+number of epochs they produce the identical model, so their test-accuracy
+curves coincide — with each other and with the single-GPU baseline (DGL in
+the paper; here a 1-device GDP run, which executes the same global batches
+through the same kernels).
+
+This benchmark runs with full numerics (real training).
+"""
+
+import numpy as np
+import pytest
+
+import common
+from repro.cluster import single_machine_cluster
+from repro.core import APT
+from repro.engine.context import ExecutionContext
+from repro.engine.trainer import evaluate_accuracy
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+
+EPOCHS = 8
+
+
+def accuracy_curve(ds, cluster, strategy, eval_seeds):
+    model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=5)
+    apt = APT(ds, model, cluster, fanouts=[5, 5], global_batch_size=256, seed=0)
+    apt.prepare()
+    curve = []
+    for epoch in range(EPOCHS):
+        # One epoch at a time so we can evaluate between epochs.
+        apt.run_strategy(strategy, 1, lr=5e-3, reset_model=(epoch == 0))
+        ctx = ExecutionContext.build(ds, cluster, model, [5, 5])
+        curve.append(evaluate_accuracy(ctx, seeds=eval_seeds))
+    return curve
+
+
+def run_fig6():
+    ds = small_dataset(n=2500, feature_dim=24, num_classes=6, seed=3)
+    eval_seeds = np.setdiff1d(np.arange(ds.num_nodes), ds.train_seeds)[:1500]
+    cluster4 = single_machine_cluster(4, gpu_cache_bytes=0.06 * ds.feature_bytes)
+    cluster1 = single_machine_cluster(1, gpu_cache_bytes=0.06 * ds.feature_bytes)
+
+    curves = {}
+    for name in common.STRATEGIES:
+        curves[name] = accuracy_curve(ds, cluster4, name, eval_seeds)
+    # Single-GPU baseline ("DGL"): same task on one device.
+    curves["single_gpu"] = accuracy_curve(ds, cluster1, "gdp", eval_seeds)
+    return curves
+
+
+def test_fig06_sanity_accuracy(benchmark):
+    curves = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    lines = [f"{'epoch':>6}" + "".join(f"{n:>12}" for n in curves)]
+    for e in range(EPOCHS):
+        lines.append(
+            f"{e:>6}" + "".join(f"{curves[n][e]:>12.4f}" for n in curves)
+        )
+    common.emit("fig06_sanity_accuracy", {"curves": curves}, lines)
+
+    ref = curves["gdp"]
+    # Strategies produce the *identical* accuracy curve.
+    for name in common.STRATEGIES:
+        assert curves[name] == pytest.approx(ref, abs=1e-12), name
+    # The single-GPU baseline applies the same global-batch updates, so its
+    # curve coincides too (our DDP emulation is exact).
+    assert curves["single_gpu"] == pytest.approx(ref, abs=1e-12)
+    # And training actually learns something.
+    assert ref[-1] > ref[0] + 0.1
+    assert ref[-1] > 0.6

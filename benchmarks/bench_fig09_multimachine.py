@@ -1,0 +1,58 @@
+"""Paper Figure 9 — distributed training: 4 machines x 4 GPUs, 100 GbE.
+
+GraphSAGE, hidden-dimension sweep, features partitioned across machines
+without overlap.  Paper findings:
+
+* GDP and DNP generally perform well: GDP never ships hidden embeddings
+  across machines, DNP ships at most one per destination;
+* SNP degrades sharply relative to its single-machine standing — its many
+  partial embeddings now cross the (shared, slower) NIC;
+* NFP is worst: its allreduce volume scales with the GPU count.
+"""
+
+import pytest
+
+import common
+
+HIDDEN_DIMS = (8, 32, 128, 512)
+
+
+def run_fig9():
+    records, lines = [], []
+    for name in common.DATASETS:
+        ds = common.dataset(name)
+        cluster = common.cluster_for(ds, num_gpus=16, num_machines=4)
+        parts = common.partition(name, cluster.num_devices)
+        for hidden in HIDDEN_DIMS:
+            model = common.make_model("sage", ds, hidden=hidden)
+            rec = common.compare_case(ds, model, cluster, parts=parts)
+            rec.update(dataset=name, hidden=hidden)
+            records.append(rec)
+            lines.append(
+                common.format_row(
+                    f"{name} 4x4 hidden={hidden}",
+                    rec["times"],
+                    rec["best"],
+                    rec["apt_choice"],
+                )
+            )
+    return records, lines
+
+
+def test_fig09_multimachine(benchmark):
+    records, lines = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    quality = common.selection_quality(records)
+    lines.append(f"APT selection: {quality}")
+    common.emit("fig09_multimachine", {"records": records, "apt": quality}, lines)
+
+    by_case = {(r["dataset"], r["hidden"]): r for r in records}
+    for name in common.DATASETS:
+        for hidden in HIDDEN_DIMS:
+            times = by_case[(name, hidden)]["times"]
+            # GDP or DNP is the winner in the distributed setting.
+            assert by_case[(name, hidden)]["best"] in ("gdp", "dnp")
+            # SNP never beats DNP here (its partials cross machines).
+            assert times["dnp"] <= times["snp"] * 1.05
+            # NFP is the worst strategy at every hidden dim.
+            assert times["nfp"] >= max(times[s] for s in ("gdp", "dnp"))
+    assert quality["worst_ratio"] < 1.4

@@ -1,0 +1,61 @@
+"""Extension — generality check: the Fig. 8(a) sweep with a GCN.
+
+APT treats the model as a black box; a mean-normalized GCN should exhibit
+the same strategy trade-offs as GraphSAGE (it has the same communication
+structure: one d'-vector per destination, partial (sum, count) algebra).
+This benchmark repeats the hidden-dimension sweep with GCN and checks the
+headline crossovers carry over.
+"""
+
+import pytest
+
+import common
+
+HIDDEN_DIMS = (8, 128, 512)
+
+
+def run_gcn_sweep():
+    records, lines = [], []
+    for name in ("ps", "fs"):
+        ds = common.dataset(name)
+        cluster = common.cluster_for(ds)
+        parts = common.partition(name, cluster.num_devices)
+        for hidden in HIDDEN_DIMS:
+            model = common.make_model("gcn", ds, hidden=hidden)
+            rec = common.compare_case(ds, model, cluster, parts=parts)
+            rec.update(dataset=name, hidden=hidden)
+            records.append(rec)
+            lines.append(
+                common.format_row(
+                    f"{name} gcn hidden={hidden}",
+                    rec["times"],
+                    rec["best"],
+                    rec["apt_choice"],
+                )
+            )
+    return records, lines
+
+
+def test_generality_gcn(benchmark):
+    records, lines = benchmark.pedantic(run_gcn_sweep, rounds=1, iterations=1)
+    quality = common.selection_quality(records)
+    lines.append(f"APT selection: {quality}")
+    common.emit("generality_gcn", {"records": records, "apt": quality}, lines)
+
+    by_case = {(r["dataset"], r["hidden"]): r for r in records}
+    # Same headline shape as GraphSAGE:
+    # PS favors GDP throughout; FS favors a shuffling strategy at small
+    # hidden dims and GDP at 512.
+    for hidden in HIDDEN_DIMS:
+        assert by_case[("ps", hidden)]["best"] == "gdp"
+    assert by_case[("fs", 8)]["best"] in ("snp", "dnp")
+    fs512 = by_case[("fs", 512)]["times"]
+    assert fs512["gdp"] <= 1.05 * min(fs512.values())
+    # NFP grows fastest with hidden dim, as for SAGE.
+    for name in ("ps", "fs"):
+        growth = {
+            s: by_case[(name, 512)]["times"][s] / by_case[(name, 8)]["times"][s]
+            for s in common.STRATEGIES
+        }
+        assert max(growth, key=growth.get) == "nfp"
+    assert quality["worst_ratio"] < 1.4

@@ -1,0 +1,68 @@
+"""Extension — the paper's future-work hybrid (GDP x machines, SNP inside).
+
+Paper §5.2 conjecture: "it is possible to use GDP to coordinate different
+machines in order to avoid shuffling hidden embeddings among machines, and
+SNP for the GPUs on each machine to effectively utilize the GPU cache for
+graphs like FS."
+
+This benchmark tests that conjecture on the 4x4 distributed setup: for the
+scattered-access FS graph at small/medium hidden dimensions, the hybrid
+should beat both pure GDP (better cache utilization inside machines) and
+pure SNP (no hidden embeddings on the NIC).
+"""
+
+import numpy as np
+import pytest
+
+import common
+
+CASES = [("fs", 8), ("fs", 32), ("fs", 128), ("ps", 32), ("im", 32)]
+STRATS = ("gdp", "nfp", "snp", "dnp", "hyb")
+
+
+def run_hybrid():
+    records, lines = [], []
+    for name, hidden in CASES:
+        ds = common.dataset(name)
+        cluster = common.cluster_for(ds, num_gpus=16, num_machines=4)
+        parts = common.partition(name, cluster.num_devices)
+        model = common.make_model("sage", ds, hidden=hidden)
+        apt = common.build_apt(ds, model, cluster, parts=parts)
+        results = apt.compare_all(num_epochs=1, numerics=False, strategies=STRATS)
+        times = {s: r.epoch_seconds for s, r in results.items()}
+        # Verify the design property: the hybrid ships no hidden
+        # embeddings across machines.
+        B = results["hyb"].recorder.hidden_bytes
+        machines = np.array([cluster.machine_of(d) for d in range(16)])
+        cross = machines[:, None] != machines[None, :]
+        records.append(
+            {
+                "dataset": name,
+                "hidden": hidden,
+                "times": times,
+                "hyb_inter_machine_hidden_bytes": float(B[cross].sum()),
+                "best": min(times, key=times.get),
+            }
+        )
+        cells = " ".join(f"{s}={times[s] * 1e3:8.3f}ms" for s in STRATS)
+        lines.append(f"{name} 4x4 hidden={hidden:<4} {cells}  best={records[-1]['best']}")
+    return records, lines
+
+
+def test_hybrid_strategy(benchmark):
+    records, lines = benchmark.pedantic(run_hybrid, rounds=1, iterations=1)
+    common.emit("hybrid_strategy", {"records": records}, lines)
+
+    by_case = {(r["dataset"], r["hidden"]): r for r in records}
+    for rec in records:
+        # The design property holds everywhere.
+        assert rec["hyb_inter_machine_hidden_bytes"] == 0.0
+    # The paper's conjecture, on FS at small/medium hidden dims: the hybrid
+    # beats both of its parents.
+    for hidden in (8, 32):
+        t = by_case[("fs", hidden)]["times"]
+        assert t["hyb"] < t["gdp"], hidden
+        assert t["hyb"] < t["snp"], hidden
+    # And it degrades gracefully where GDP rules (skewed PS): within 2x.
+    t = by_case[("ps", 32)]["times"]
+    assert t["hyb"] < 2.0 * t["gdp"]

@@ -1,0 +1,191 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(Section 5).  Conventions:
+
+* graphs are the scale-model analogs at ``BENCH_NODES`` nodes; per-GPU
+  cache budgets cover the same *fraction* of the feature matrix as the
+  paper's 4 GB covers of each dataset's features (see ``repro.config``);
+* strategy epoch times are **simulated seconds** from the timing model
+  (timing-only execution — numerics are exercised by the test suite and the
+  sanity benchmarks);
+* each benchmark prints the paper-style table and writes it as JSON to
+  ``benchmarks/results/``;
+* datasets and partitions are memoized so a full ``pytest benchmarks/``
+  session generates each analog once.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, multi_machine_cluster, single_machine_cluster
+from repro.config import PAPER_CACHE_GB, scaled_gpu_cache_bytes
+from repro.core import APT
+from repro.graph import fs_like, im_like, metis_like_partition, ps_like
+from repro.graph.datasets import GraphDataset
+from repro.models import GAT, GCN, GraphSAGE
+
+#: analog sizes used by all performance benchmarks
+BENCH_NODES = {"ps": 12_000, "fs": 12_000, "im": 15_000}
+#: per-GPU minibatch (the paper uses 1024 at 1000x graph scale)
+BATCH_PER_GPU = 128
+DATASETS = ("ps", "fs", "im")
+STRATEGIES = ("gdp", "nfp", "snp", "dnp")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str) -> GraphDataset:
+    """Memoized dataset analog at benchmark scale."""
+    factory = {"ps": ps_like, "fs": fs_like, "im": im_like}[name]
+    return factory(n=BENCH_NODES[name])
+
+
+@functools.lru_cache(maxsize=None)
+def partition(name: str, num_parts: int, seed: int = 0) -> np.ndarray:
+    """Memoized METIS-like partition of a benchmark dataset."""
+    return metis_like_partition(dataset(name).graph, num_parts, seed=seed)
+
+
+def cluster_for(
+    ds: GraphDataset,
+    *,
+    num_gpus: int = 8,
+    num_machines: int = 1,
+    cache_gb: float = PAPER_CACHE_GB,
+) -> ClusterSpec:
+    """A cluster preset with the paper-equivalent cache fraction."""
+    cache = scaled_gpu_cache_bytes(ds, cache_gb) if cache_gb > 0 else 0.0
+    if num_machines == 1:
+        return single_machine_cluster(num_gpus, gpu_cache_bytes=cache)
+    return multi_machine_cluster(
+        num_machines, num_gpus // num_machines, gpu_cache_bytes=cache
+    )
+
+
+def make_model(
+    kind: str, ds: GraphDataset, hidden: int, num_layers: int = 3, heads: int = 4
+):
+    """Build GraphSAGE / GAT with the paper's defaults."""
+    if kind == "sage":
+        return GraphSAGE(ds.feature_dim, hidden, ds.num_classes, num_layers, seed=1)
+    if kind == "gat":
+        return GAT(ds.feature_dim, hidden, ds.num_classes, num_layers, heads, seed=1)
+    if kind == "gcn":
+        return GCN(ds.feature_dim, hidden, ds.num_classes, num_layers, seed=1)
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def build_apt(
+    ds: GraphDataset,
+    model,
+    cluster: ClusterSpec,
+    *,
+    fanouts: Sequence[int] = (10, 10, 10),
+    parts: Optional[np.ndarray] = None,
+    seed: int = 0,
+    **kw,
+) -> APT:
+    apt = APT(
+        ds,
+        model,
+        cluster,
+        fanouts=fanouts,
+        global_batch_size=cluster.num_devices * BATCH_PER_GPU,
+        partition=parts if parts is not None else "metis",
+        seed=seed,
+        **kw,
+    )
+    apt.prepare()
+    return apt
+
+
+def compare_case(
+    ds: GraphDataset,
+    model,
+    cluster: ClusterSpec,
+    *,
+    fanouts: Sequence[int] = (10, 10, 10),
+    parts: Optional[np.ndarray] = None,
+    with_plan: bool = True,
+    **kw,
+) -> Dict:
+    """Run all strategies (timing-only) plus the APT planner on one case.
+
+    Returns a record with per-strategy simulated epoch seconds, the
+    paper-style breakdowns, the actual best, and APT's pick.
+    """
+    apt = build_apt(ds, model, cluster, fanouts=fanouts, parts=parts, **kw)
+    results = apt.compare_all(num_epochs=1, numerics=False)
+    record = {
+        "times": {n: r.epoch_seconds for n, r in results.items()},
+        "breakdowns": {n: r.breakdown for n, r in results.items()},
+        "peak_intermediate_bytes": {
+            n: float(r.recorder.peak_intermediate_bytes.max())
+            for n, r in results.items()
+        },
+        "best": min(results, key=lambda n: results[n].epoch_seconds),
+    }
+    if with_plan:
+        plan = apt.plan()
+        record["apt_choice"] = plan.chosen
+        record["estimates"] = {
+            n: e.as_dict() for n, e in plan.estimates.items()
+        }
+    return record
+
+
+# ---------------------------------------------------------------------- #
+# reporting
+# ---------------------------------------------------------------------- #
+def format_row(label: str, times: Dict[str, float], best: str, choice: str) -> str:
+    cells = " ".join(
+        f"{s}={times[s] * 1e3:8.3f}ms" for s in STRATEGIES
+    )
+    star = f" apt={choice}{'*' if choice == best else ''}"
+    return f"{label:<24} {cells}  best={best}{star}"
+
+
+def emit(name: str, payload: Dict, lines: List[str]) -> None:
+    """Print a benchmark's table and persist it as JSON."""
+    print(f"\n===== {name} =====")
+    for line in lines:
+        print(line)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+
+
+def selection_quality(records: List[Dict]) -> Dict[str, float]:
+    """How well APT's choices track the oracle over a set of cases."""
+    hits, ratios = 0, []
+    for rec in records:
+        times = rec["times"]
+        best = rec["best"]
+        choice = rec.get("apt_choice", best)
+        hits += choice == best
+        ratios.append(times[choice] / times[best])
+    return {
+        "optimal_picks": hits,
+        "cases": len(records),
+        "worst_ratio": max(ratios) if ratios else 1.0,
+        "mean_ratio": float(np.mean(ratios)) if ratios else 1.0,
+    }
+
+
+def apt_speedup_over_fixed(records: List[Dict]) -> Dict[str, float]:
+    """Paper Table 4: max over cases of fixed-strategy time / APT time."""
+    out = {}
+    for s in STRATEGIES:
+        out[s] = max(
+            rec["times"][s] / rec["times"][rec.get("apt_choice", rec["best"])]
+            for rec in records
+        )
+    return out

@@ -1,0 +1,55 @@
+"""Cost-model accuracy: estimated vs simulated epoch time (paper Fig. 12).
+
+The APT planner never executes the candidate strategies — it estimates
+their strategy-specific time from one dry-run epoch (communication volumes
+x profiled operator bandwidths).  Here we compare those estimates against
+the fully-simulated epoch times.  Like the paper, we add the common
+training-compute time (measured once, from GDP, which does not shuffle) to
+the strategy-specific estimate to get a full epoch-time prediction.
+
+Run with::
+
+    python examples/cost_model_accuracy.py
+"""
+
+from repro.cluster import single_machine_cluster
+from repro.config import scaled_gpu_cache_bytes
+from repro.core import APT
+from repro.graph import fs_like
+from repro.models import GraphSAGE
+
+
+def main() -> None:
+    dataset = fs_like(n=12_000)
+    cluster = single_machine_cluster(
+        num_gpus=8, gpu_cache_bytes=scaled_gpu_cache_bytes(dataset)
+    )
+    hidden = 32
+    model = GraphSAGE(dataset.feature_dim, hidden, dataset.num_classes, 3, seed=1)
+    apt = APT(
+        dataset, model, cluster, fanouts=[10, 10, 10],
+        global_batch_size=8 * 128, seed=0,
+    )
+    apt.prepare()
+    plan = apt.plan()
+    actual = apt.compare_all(num_epochs=1, numerics=False)
+
+    # Common training compute, measured on GDP (no hidden shuffling).
+    gdp_bd = actual["gdp"].breakdown
+    t_train_common = gdp_bd["training"]
+
+    print(f"{'strategy':>9} | {'estimated':>10} | {'actual':>10} | {'error':>7}")
+    for name in ("gdp", "nfp", "snp", "dnp"):
+        est = plan.estimates[name].total + t_train_common
+        act = actual[name].epoch_seconds
+        err = (est - act) / act * 100.0
+        print(
+            f"{name:>9} | {est * 1e3:>8.3f}ms | {act * 1e3:>8.3f}ms "
+            f"| {err:>+6.1f}%"
+        )
+    print(f"\nplanner choice: {plan.chosen}; actual best: "
+          f"{min(actual, key=lambda n: actual[n].epoch_seconds)}")
+
+
+if __name__ == "__main__":
+    main()

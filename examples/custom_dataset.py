@@ -1,0 +1,87 @@
+"""Bring your own graph: run APT on a dataset built from an edge list.
+
+Shows the integration surface a downstream user needs: wrap an edge list
+into a ``CSRGraph``, attach features/labels/seeds as a ``GraphDataset``,
+persist it, and hand it to APT.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+import tempfile
+import pathlib
+
+import numpy as np
+
+from repro.cluster import single_machine_cluster
+from repro.core import APT
+from repro.graph import CSRGraph, load_dataset_file, save_dataset
+from repro.graph.datasets import GraphDataset
+from repro.models import GCN
+
+
+def build_karate_like(num_copies: int = 60, seed: int = 0) -> GraphDataset:
+    """A toy 'social network': many loosely-linked cliquish communities."""
+    rng = np.random.default_rng(seed)
+    nodes_per = 34
+    n = num_copies * nodes_per
+    src_parts, dst_parts = [], []
+    for c in range(num_copies):
+        base = c * nodes_per
+        # A dense core plus random intra-community edges.
+        within = rng.integers(0, nodes_per, size=(nodes_per * 5, 2)) + base
+        src_parts.append(within[:, 0])
+        dst_parts.append(within[:, 1])
+        # A few bridges to the next community.
+        bridges = rng.integers(0, nodes_per, size=(4, 2))
+        src_parts.append(bridges[:, 0] + base)
+        dst_parts.append(bridges[:, 1] + ((c + 1) % num_copies) * nodes_per)
+    graph = CSRGraph.from_edges(
+        np.concatenate(src_parts), np.concatenate(dst_parts), n
+    )
+
+    labels = (np.arange(n) // nodes_per % 4).astype(np.int64)  # 4 classes
+    centers = rng.normal(size=(4, 16))
+    features = centers[labels] + 0.8 * rng.normal(size=(n, 16))
+    train_seeds = rng.choice(n, size=n // 4, replace=False).astype(np.int64)
+    return GraphDataset(
+        name="karate-like",
+        graph=graph,
+        features=features,
+        labels=labels,
+        train_seeds=np.sort(train_seeds),
+        num_classes=4,
+    )
+
+
+def main() -> None:
+    dataset = build_karate_like()
+    print(
+        f"custom dataset: {dataset.num_nodes} nodes, "
+        f"{dataset.graph.num_edges} edges, {dataset.num_classes} classes"
+    )
+
+    # Persist + reload (what a real pipeline would do once).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "karate.npz"
+        save_dataset(dataset, path)
+        dataset = load_dataset_file(path)
+        print(f"round-tripped through {path.name}")
+
+    cluster = single_machine_cluster(
+        4, gpu_cache_bytes=0.08 * dataset.feature_bytes
+    )
+    model = GCN(dataset.feature_dim, 32, dataset.num_classes, num_layers=2)
+    apt = APT(dataset, model, cluster, fanouts=[5, 5], global_batch_size=256)
+    apt.prepare()
+    plan = apt.plan()
+    print("\n" + plan.summary())
+    result = apt.run(num_epochs=4, lr=5e-3)
+    print(f"\ntrained with {result.strategy}: "
+          f"loss {result.epochs[0].mean_loss:.3f} -> "
+          f"{result.epochs[-1].mean_loss:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Link prediction with sampled GNN embeddings (another GNN task family).
+
+The paper motivates GNNs with node classification, link prediction, and
+clustering; this example shows the library handles the second: a GraphSAGE
+encoder produces L2-normalized node embeddings from sampled blocks, edges
+are scored by temperature-scaled cosine similarity, and training minimizes
+binary cross entropy over positive edges vs uniformly drawn negatives.
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+import numpy as np
+
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+from repro.sampling import NeighborSampler
+from repro.tensor import Tensor, concat, functional as F
+from repro.tensor.optim import Adam
+from repro.utils.random import rng_from
+
+TAU = 4.0           # cosine temperature
+STEPS = 80
+EDGES_PER_STEP = 256
+
+
+def sample_edges(graph, count, rng):
+    """Uniformly sample existing (positive) edges as (u, v) pairs."""
+    eid = rng.integers(0, graph.num_edges, size=count)
+    dst = np.searchsorted(graph.indptr, eid, side="right") - 1
+    src = graph.indices[eid]
+    return src, dst
+
+
+def embed(model, sampler, nodes, features, epoch):
+    """L2-normalized encoder embeddings for a node batch.
+
+    The encoder is the model minus its classification head (all layers but
+    the last), run on sampled blocks exactly like supervised training.
+    """
+    mb = sampler.sample(nodes, epoch=epoch)
+    h = Tensor(features[mb.input_nodes])
+    for layer, block in zip(list(model.layers)[:-1], mb.blocks[:-1]):
+        h = layer.full_forward(block, h)
+    norm = ((h * h).sum(axis=1, keepdims=True) + 1e-8) ** 0.5
+    return h / norm, mb.blocks[-1].src_nodes  # embeddings + global ids
+
+
+def pairwise_auc(logits, n):
+    """Probability a random positive outranks a random negative."""
+    return float(
+        (logits[:n][:, None] > logits[n:][None, :]).mean()
+    )
+
+
+def main() -> None:
+    ds = small_dataset(n=2500, feature_dim=24, num_classes=6, seed=9)
+    rng = rng_from(7, 0x11)
+    model = GraphSAGE(ds.feature_dim, 32, ds.num_classes, num_layers=2, seed=0)
+    sampler = NeighborSampler(ds.graph, [5, 5], global_seed=1)
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def score_batch(step):
+        n = EDGES_PER_STEP
+        pos_u, pos_v = sample_edges(ds.graph, n, rng)
+        neg_u = rng.integers(0, ds.num_nodes, size=n)
+        neg_v = rng.integers(0, ds.num_nodes, size=n)
+        nodes = np.unique(np.concatenate([pos_u, pos_v, neg_u, neg_v]))
+        h, ids = embed(model, sampler, nodes, ds.features, step)
+        where = dict(zip(nodes.tolist(), np.searchsorted(ids, nodes).tolist()))
+
+        def rows(arr):
+            return h.index_rows(np.array([where[int(x)] for x in arr]))
+
+        scores_pos = (rows(pos_u) * rows(pos_v)).sum(axis=1) * TAU
+        scores_neg = (rows(neg_u) * rows(neg_v)).sum(axis=1) * TAU
+        logits = concat([scores_pos, scores_neg], axis=0)
+        targets = np.concatenate([np.ones(n), np.zeros(n)])
+        return logits, targets
+
+    print("training a GraphSAGE encoder for link prediction...")
+    for step in range(STEPS):
+        logits, targets = score_batch(step)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        if step % 20 == 0:
+            print(
+                f"  step {step:>3}: bce={loss.item():.4f} "
+                f"pairwise-AUC~{pairwise_auc(logits.data, EDGES_PER_STEP):.3f}"
+            )
+
+    logits, _ = score_batch(10_000)  # fresh evaluation edges
+    auc = pairwise_auc(logits.data, EDGES_PER_STEP)
+    print(f"\nfinal pairwise AUC on held-out edge samples: {auc:.3f}")
+    assert auc > 0.8, "link predictor failed to learn"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Compare the four parallelization strategies across hidden dimensions.
+
+Reproduces the shape of the paper's motivating Figure 1(b): on the
+Friendster-like graph (scattered feature accesses), SNP wins at small
+hidden dimensions, DNP in the middle, GDP at large ones — there is no
+consistent winner, which is the premise of APT.
+
+Run with::
+
+    python examples/strategy_comparison.py
+"""
+
+from repro.cluster import single_machine_cluster
+from repro.config import scaled_gpu_cache_bytes
+from repro.core import APT
+from repro.graph import fs_like
+from repro.models import GraphSAGE
+
+
+def main() -> None:
+    dataset = fs_like(n=12_000)
+    cluster = single_machine_cluster(
+        num_gpus=8, gpu_cache_bytes=scaled_gpu_cache_bytes(dataset)
+    )
+    print(
+        f"Friendster analog: {dataset.num_nodes} nodes, "
+        f"{dataset.graph.num_edges} edges, {dataset.feature_dim}-d features"
+    )
+    print(f"per-GPU cache: {cluster.gpu_cache_bytes / 1e6:.1f} MB "
+          f"({cluster.gpu_cache_bytes / dataset.feature_bytes * 100:.1f}% of features)\n")
+
+    header = f"{'hidden':>8} | " + " | ".join(f"{s:>9}" for s in ("gdp", "nfp", "snp", "dnp"))
+    print(header + " | best   | APT picks")
+    print("-" * len(header) + "-" * 22)
+
+    for hidden in (8, 32, 128, 512):
+        model = GraphSAGE(
+            dataset.feature_dim, hidden, dataset.num_classes, 3, seed=1
+        )
+        apt = APT(
+            dataset,
+            model,
+            cluster,
+            fanouts=[10, 10, 10],
+            global_batch_size=8 * 128,
+            seed=0,
+        )
+        apt.prepare()
+        # Timing-only execution: identical simulated time, no tensor math.
+        results = apt.compare_all(num_epochs=1, numerics=False)
+        chosen = apt.plan().chosen
+        times = {n: r.epoch_seconds * 1e3 for n, r in results.items()}
+        best = min(times, key=times.get)
+        row = f"{hidden:>8} | " + " | ".join(
+            f"{times[s]:>7.2f}ms" for s in ("gdp", "nfp", "snp", "dnp")
+        )
+        print(f"{row} | {best:<6} | {chosen}")
+
+    print(
+        "\nNote how the winner shifts with the hidden dimension: shuffling "
+        "strategies (SNP/DNP)\nwin while hidden embeddings are cheap to "
+        "exchange; GDP wins once they are not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the APT workflow:
+
+``plan``
+    Dry-run the strategies on a dataset analog and print the cost-model
+    ranking (the paper's Plan step).
+``run``
+    Train with a chosen (or auto-selected) strategy and report simulated
+    epoch times and losses.
+``compare``
+    Run every strategy from the same initial model and print the paper-
+    style epoch-time table.
+
+``report``
+    Summarize saved benchmark results (``benchmarks/results/*.json``).
+
+Examples::
+
+    python -m repro plan --dataset fs --hidden 32
+    python -m repro run --dataset ps --strategy auto --epochs 3
+    python -m repro compare --dataset fs --machines 4 --gpus 16 --hybrid
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Optional
+
+from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.config import PAPER_CACHE_GB, scaled_gpu_cache_bytes
+from repro.core import APT
+from repro.graph import load_dataset
+from repro.models import GAT, GCN, GraphSAGE
+
+
+def _add_task_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", choices=("ps", "fs", "im"), default="fs",
+                   help="dataset analog (paper Table 2 abbreviations)")
+    p.add_argument("--nodes", type=int, default=12_000,
+                   help="analog size in nodes")
+    p.add_argument("--model", choices=("sage", "gat", "gcn"), default="sage")
+    p.add_argument("--hidden", type=int, default=32,
+                   help="hidden dim (GAT: per-head dim)")
+    p.add_argument("--layers", type=int, default=3)
+    p.add_argument("--heads", type=int, default=4, help="GAT attention heads")
+    p.add_argument("--fanout", type=int, nargs="+", default=None,
+                   help="per-layer fanouts, input layer first")
+    p.add_argument("--machines", type=int, default=1)
+    p.add_argument("--gpus", type=int, default=8, help="total GPUs")
+    p.add_argument("--cache-gb", type=float, default=PAPER_CACHE_GB,
+                   help="per-GPU cache (paper-GB, rescaled to the analog)")
+    p.add_argument("--batch-per-gpu", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _build(args) -> APT:
+    ds = load_dataset(args.dataset, n=args.nodes)
+    cache = scaled_gpu_cache_bytes(ds, args.cache_gb) if args.cache_gb > 0 else 0.0
+    if args.machines == 1:
+        cluster = single_machine_cluster(args.gpus, gpu_cache_bytes=cache)
+    else:
+        cluster = multi_machine_cluster(
+            args.machines, args.gpus // args.machines, gpu_cache_bytes=cache
+        )
+    if args.model == "sage":
+        model = GraphSAGE(ds.feature_dim, args.hidden, ds.num_classes,
+                          args.layers, seed=args.seed)
+    elif args.model == "gcn":
+        model = GCN(ds.feature_dim, args.hidden, ds.num_classes,
+                    args.layers, seed=args.seed)
+    else:
+        model = GAT(ds.feature_dim, args.hidden, ds.num_classes,
+                    args.layers, args.heads, seed=args.seed)
+    fanouts = args.fanout or [10] * args.layers
+    apt = APT(
+        ds, model, cluster,
+        fanouts=fanouts,
+        global_batch_size=cluster.num_devices * args.batch_per_gpu,
+        seed=args.seed,
+    )
+    apt.prepare()
+    print(
+        f"task: {args.dataset} ({ds.num_nodes} nodes, "
+        f"{ds.graph.num_edges} edges, d={ds.feature_dim}), "
+        f"{args.model} x{args.layers}, fanouts={fanouts}, "
+        f"{cluster.num_devices} GPUs on {cluster.num_machines} machine(s)"
+    )
+    return apt
+
+
+def cmd_plan(args) -> int:
+    apt = _build(args)
+    report = apt.plan()
+    print("\ncost-model estimates (strategy-specific seconds per epoch):")
+    print(report.summary())
+    print(f"\nAPT selects: {report.chosen}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    apt = _build(args)
+    strategy: Optional[str] = None if args.strategy == "auto" else args.strategy
+    if args.trace:
+        # Trace-enabled run: drive the trainer directly so we own the
+        # timeline instance.
+        from repro.cluster import Timeline
+        from repro.engine import ParallelTrainer, make_strategy
+        from repro.engine.context import ExecutionContext
+        from repro.tensor.optim import Adam
+
+        name = strategy or apt.plan().chosen
+        ctx = apt._build_context()
+        ctx.timeline = Timeline(apt.cluster.num_devices, trace=True)
+        from repro.cluster import Communicator
+        from repro.cluster.compute import ComputeCharger
+
+        ctx.comm = Communicator(apt.cluster, ctx.timeline)
+        ctx.charger = ComputeCharger(apt.cluster, ctx.timeline)
+        trainer = ParallelTrainer(
+            make_strategy(name), ctx, Adam(apt.model.parameters(), args.lr)
+        )
+        results = trainer.train(args.epochs)
+        with open(args.trace, "w") as fh:
+            json.dump(ctx.timeline.to_chrome_trace(), fh)
+        print(f"ran {len(results)} epoch(s) with {name}; "
+              f"chrome trace written to {args.trace}")
+        for e in results:
+            print(f"  epoch {e.epoch}: loss={e.mean_loss:.4f} "
+                  f"simulated={e.wall_seconds * 1e3:.3f} ms")
+        return 0
+    result = apt.run(num_epochs=args.epochs, strategy=strategy, lr=args.lr)
+    print(f"\nran {len(result.epochs)} epoch(s) with {result.strategy}:")
+    for e in result.epochs:
+        print(
+            f"  epoch {e.epoch}: loss={e.mean_loss:.4f} "
+            f"simulated={e.wall_seconds * 1e3:.3f} ms "
+            f"({e.num_batches} batches)"
+        )
+    bd = result.breakdown
+    print("breakdown:", {k: f"{v * 1e3:.3f}ms" for k, v in bd.items()})
+    return 0
+
+
+def cmd_compare(args) -> int:
+    apt = _build(args)
+    strategies = ["gdp", "nfp", "snp", "dnp"]
+    if args.hybrid:
+        strategies.append("hyb")
+    results = apt.compare_all(
+        num_epochs=1, numerics=not args.full, strategies=tuple(strategies)
+    )
+    plan = apt.plan()
+    print(f"\n{'strategy':>9} {'epoch time':>12}  breakdown")
+    for name in strategies:
+        r = results[name]
+        bd = " ".join(f"{k}={v * 1e3:.3f}ms" for k, v in r.breakdown.items())
+        marker = " <- APT" if name == plan.chosen else ""
+        print(f"{name:>9} {r.epoch_seconds * 1e3:>10.3f}ms  {bd}{marker}")
+    best = min(results, key=lambda n: results[n].epoch_seconds)
+    print(f"\nactual best: {best}; APT selected: {plan.chosen}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    results_dir = pathlib.Path(args.results_dir)
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        print(f"no results found under {results_dir} — run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    print(f"benchmark results in {results_dir}:\n")
+    for path in files:
+        with open(path) as fh:
+            payload = json.load(fh)
+        summary = _summarize_result(path.stem, payload)
+        print(f"  {path.stem:<28} {summary}")
+    return 0
+
+
+def _summarize_result(name: str, payload: dict) -> str:
+    """One-line digest of a saved benchmark payload."""
+    if "records" in payload and isinstance(payload["records"], list):
+        records = payload["records"]
+        with_choice = [r for r in records if "apt_choice" in r and "best" in r]
+        if with_choice:
+            hits = sum(r["apt_choice"] == r["best"] for r in with_choice)
+            return f"{len(records)} cases, APT optimal in {hits}/{len(with_choice)}"
+        return f"{len(records)} cases"
+    if "curves" in payload:
+        return f"{len(payload['curves'])} accuracy curves"
+    if "table" in payload:
+        rows = ", ".join(
+            f"{k}: nfp {v.get('nfp', float('nan')):.1f}x"
+            for k, v in payload["table"].items()
+        )
+        return f"max speedup over fixed strategies ({rows})"
+    if "max_error" in payload:
+        return f"cost-model max |error| {payload['max_error'] * 100:.1f}%"
+    if "ours" in payload and "paper" in payload:
+        return "ours-vs-paper table"
+    return f"{len(payload)} top-level entries"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="APT (PPoPP'25) reproduction — adaptive parallel GNN training",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="dry-run strategies and rank them")
+    _add_task_args(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_run = sub.add_parser("run", help="train with a strategy")
+    _add_task_args(p_run)
+    p_run.add_argument("--strategy", default="auto",
+                       choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
+    p_run.add_argument("--epochs", type=int, default=3)
+    p_run.add_argument("--lr", type=float, default=1e-3)
+    p_run.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a chrome://tracing JSON of the run")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="epoch-time table for all strategies")
+    _add_task_args(p_cmp)
+    p_cmp.add_argument("--hybrid", action="store_true",
+                       help="include the GDPxSNP hybrid")
+    p_cmp.add_argument("--full", action="store_true",
+                       help="run real numerics (slower) instead of timing-only")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rep = sub.add_parser("report", help="summarize saved benchmark results")
+    p_rep.add_argument(
+        "--results-dir",
+        default=str(pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"),
+    )
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

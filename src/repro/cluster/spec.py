@@ -1,0 +1,171 @@
+"""Hardware specifications for the simulated cluster.
+
+Default constants model the paper's platform (Section 5.1 / Appendix A):
+AWS ``g4dn.metal`` — 96-core Xeon 8259CL, 8x NVIDIA T4 (16 GB) on PCIe 3.0
+x16, machines linked by 100 Gbps Ethernet.  Public datasheet numbers:
+
+* T4 FP32 peak            ~8.1 TFLOP/s (GNN kernels reach a fraction of it)
+* T4 GDDR6 bandwidth      ~320 GB/s
+* PCIe 3.0 x16 effective  ~12 GB/s per direction
+* 100 GbE                 ~12.5 GB/s per machine, shared by its GPUs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One GPU's compute/memory characteristics."""
+
+    name: str = "T4"
+    peak_flops: float = 8.1e12
+    #: Fraction of peak FLOPs that sparse-ish GNN kernels actually achieve.
+    compute_efficiency: float = 0.22
+    mem_bandwidth: float = 320e9
+    memory_bytes: float = 16e9
+    #: GPU-based neighbor-sampling throughput (edges/s), cf. gSampler-style
+    #: on-GPU sampling the paper's implementation uses.
+    sampling_edges_per_sec: float = 2.5e8
+
+    def dense_seconds(self, flops: float) -> float:
+        """Simulated time for a dense kernel of ``flops`` floating ops."""
+        return flops / (self.peak_flops * self.compute_efficiency)
+
+    def memory_bound_seconds(self, bytes_touched: float) -> float:
+        """Simulated time for a memory-bound kernel (SpMM, gather)."""
+        return bytes_touched / self.mem_bandwidth
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link: bandwidth (bytes/s) and per-message latency."""
+
+    bandwidth: float
+    latency: float = 0.0
+
+    def seconds(self, nbytes: float, messages: int = 1) -> float:
+        check_positive("bandwidth", self.bandwidth)
+        return nbytes / self.bandwidth + messages * self.latency
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine: its GPUs and intra-machine links."""
+
+    num_gpus: int = 8
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    #: GPU <-> host link (UVA feature reads, GPU-GPU staging without NVLink).
+    pcie: LinkSpec = field(default_factory=lambda: LinkSpec(bandwidth=12e9, latency=8e-6))
+    #: Fast GPU <-> GPU link; ``None`` models the T4 platform (no NVLink),
+    #: in which case peer-GPU traffic goes over PCIe.
+    nvlink: Optional[LinkSpec] = None
+    #: CPU-based sampling throughput (edges/s) across the whole machine;
+    #: used by the DistDGL-style baseline in the Fig. 7 sanity check.
+    cpu_sampling_edges_per_sec: float = 2.5e7
+
+    def gpu_peer_link(self) -> LinkSpec:
+        """The link used for intra-machine GPU-to-GPU transfers."""
+        return self.nvlink if self.nvlink is not None else self.pcie
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster of identical machines plus the interconnect between them."""
+
+    machines: Tuple[MachineSpec, ...]
+    network: LinkSpec = field(default_factory=lambda: LinkSpec(bandwidth=12.5e9, latency=3e-5))
+    #: Per-GPU feature-cache capacity in bytes (paper default: 4 GB,
+    #: rescaled by benchmarks to the analog datasets' feature sizes).
+    gpu_cache_bytes: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def num_devices(self) -> int:
+        return sum(m.num_gpus for m in self.machines)
+
+    @property
+    def gpus_per_machine(self) -> int:
+        return self.machines[0].num_gpus
+
+    def device_spec(self, device: int) -> DeviceSpec:
+        return self.machines[self.machine_of(device)].device
+
+    def machine_of(self, device: int) -> int:
+        """Machine index hosting global device id ``device``."""
+        remaining = device
+        for m_idx, m in enumerate(self.machines):
+            if remaining < m.num_gpus:
+                return m_idx
+            remaining -= m.num_gpus
+        raise IndexError(f"device {device} out of range ({self.num_devices})")
+
+    def same_machine(self, a: int, b: int) -> bool:
+        return self.machine_of(a) == self.machine_of(b)
+
+    def machine_spec(self, device: int) -> MachineSpec:
+        return self.machines[self.machine_of(device)]
+
+    def devices_of_machine(self, machine: int) -> List[int]:
+        start = sum(m.num_gpus for m in self.machines[:machine])
+        return list(range(start, start + self.machines[machine].num_gpus))
+
+    def inter_machine_link_per_gpu(self, device: int) -> LinkSpec:
+        """Effective inter-machine link seen by one GPU (NIC is shared)."""
+        m = self.machine_spec(device)
+        return LinkSpec(
+            bandwidth=self.network.bandwidth / max(m.num_gpus, 1),
+            latency=self.network.latency,
+        )
+
+    def with_cache(self, gpu_cache_bytes: float) -> "ClusterSpec":
+        """Copy of the spec with a different per-GPU cache capacity."""
+        return ClusterSpec(
+            machines=self.machines,
+            network=self.network,
+            gpu_cache_bytes=gpu_cache_bytes,
+        )
+
+
+def single_machine_cluster(
+    num_gpus: int = 8,
+    gpu_cache_bytes: float = 0.0,
+    *,
+    device: Optional[DeviceSpec] = None,
+    nvlink: Optional[LinkSpec] = None,
+) -> ClusterSpec:
+    """The paper's single-machine testbed: one g4dn.metal with 8 T4 GPUs."""
+    check_positive("num_gpus", num_gpus)
+    machine = MachineSpec(
+        num_gpus=num_gpus,
+        device=device or DeviceSpec(),
+        nvlink=nvlink,
+    )
+    return ClusterSpec(machines=(machine,), gpu_cache_bytes=gpu_cache_bytes)
+
+
+def multi_machine_cluster(
+    num_machines: int = 4,
+    gpus_per_machine: int = 4,
+    gpu_cache_bytes: float = 0.0,
+    *,
+    device: Optional[DeviceSpec] = None,
+    network: Optional[LinkSpec] = None,
+) -> ClusterSpec:
+    """The paper's distributed testbed: 4 machines x 4 T4 GPUs, 100 GbE."""
+    check_positive("num_machines", num_machines)
+    check_positive("gpus_per_machine", gpus_per_machine)
+    machine = MachineSpec(num_gpus=gpus_per_machine, device=device or DeviceSpec())
+    return ClusterSpec(
+        machines=tuple(machine for _ in range(num_machines)),
+        network=network or LinkSpec(bandwidth=12.5e9, latency=3e-5),
+        gpu_cache_bytes=gpu_cache_bytes,
+    )

@@ -1,0 +1,193 @@
+"""Per-device, per-phase simulated-time accounting.
+
+The paper decomposes epoch time as ``T = T_build + T_load + T_shuffle +
+T_train`` (Eq. 2) and reports stacked breakdowns of *sampling / loading /
+training* in Figs. 8-11 (graph-structure shuffling is folded into sampling,
+hidden-embedding shuffling into training).  :class:`Timeline` mirrors that:
+
+* strategies charge simulated seconds to ``(device, phase)`` buckets;
+* a per-minibatch barrier models bulk-synchronous execution — the epoch
+  advances by the *slowest* device's batch time, so load imbalance (e.g.
+  SNP/DNP's partition-skewed seed assignment) costs real simulated time;
+* per-phase epoch totals are the sum over batches of the per-batch
+  max-over-devices, so the stacked breakdown adds up to the wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Phase keys.  ``sample`` includes graph-structure shuffling (T_build);
+#: ``load`` is input-feature loading (T_load); ``train`` is model compute
+#: (T_train); ``shuffle`` is hidden-embedding exchange (T_shuffle).
+PHASES = ("sample", "load", "train", "shuffle")
+
+#: Reporting groups used by the paper's stacked bars.
+PAPER_BREAKDOWN = {
+    "sampling": ("sample",),
+    "loading": ("load",),
+    "training": ("train", "shuffle"),
+}
+
+
+#: phases that belong to the data-preparation pipeline stage when
+#: prefetch overlap is modeled (sampling + feature loading of batch i+1
+#: can run while batch i trains).
+PREP_PHASES = ("sample", "load")
+
+
+class Timeline:
+    """Simulated-time ledger for one epoch (or more) of execution.
+
+    Parameters
+    ----------
+    num_devices:
+        Logical GPU count.
+    overlap:
+        Model prefetch pipelining: with ``overlap=True`` a batch costs
+        ``max(prep, compute)`` per device instead of ``prep + compute``,
+        where prep = sampling + loading and compute = training + hidden
+        shuffling — the steady-state throughput of a two-stage pipeline
+        (DGL-style prefetching dataloaders).  Default off, matching the
+        paper's additive Eq. 2 decomposition.
+    trace:
+        Keep per-batch, per-device phase snapshots so the run can be
+        exported with :meth:`to_chrome_trace`.
+    """
+
+    def __init__(
+        self, num_devices: int, overlap: bool = False, trace: bool = False
+    ):
+        if num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {num_devices}")
+        self.num_devices = int(num_devices)
+        self.overlap = bool(overlap)
+        self.trace = bool(trace)
+        #: per-batch snapshots of the per-device phase deltas (trace mode)
+        self._trace_batches: list = []
+        # Whole-run phase totals per device.
+        self._device_phase = np.zeros((self.num_devices, len(PHASES)))
+        # Current-batch deltas per device.
+        self._batch_delta = np.zeros((self.num_devices, len(PHASES)))
+        # Synchronized epoch totals.
+        self._wall = 0.0
+        self._phase_wall = np.zeros(len(PHASES))
+        self._batches = 0
+        self._prep_idx = np.array([PHASES.index(p) for p in PREP_PHASES])
+        self._compute_idx = np.array(
+            [i for i in range(len(PHASES)) if i not in self._prep_idx]
+        )
+
+    # ------------------------------------------------------------------ #
+    def charge(self, device: int, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time to one device and phase."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        p = PHASES.index(phase)
+        self._device_phase[device, p] += seconds
+        self._batch_delta[device, p] += seconds
+
+    def charge_all(self, phase: str, seconds: float) -> None:
+        """Charge the same time to every device (symmetric collectives)."""
+        p = PHASES.index(phase)
+        self._device_phase[:, p] += seconds
+        self._batch_delta[:, p] += seconds
+
+    def end_batch(self) -> float:
+        """Apply the bulk-synchronous barrier; returns this batch's time.
+
+        The batch costs the maximum per-device total; each phase's wall
+        contribution is that phase's maximum across devices, so the stacked
+        per-phase breakdown sums to (an upper estimate within the batch of)
+        the wall time.  With ``overlap=True`` the per-device total is
+        ``max(prep, compute)`` (prefetch pipelining).
+        """
+        if self.trace:
+            self._trace_batches.append(
+                (self._wall, self._batch_delta.copy())
+            )
+        if self.overlap:
+            prep = self._batch_delta[:, self._prep_idx].sum(axis=1)
+            compute = self._batch_delta[:, self._compute_idx].sum(axis=1)
+            batch_wall = float(np.maximum(prep, compute).max())
+        else:
+            batch_wall = float(self._batch_delta.sum(axis=1).max())
+        self._wall += batch_wall
+        self._phase_wall += self._batch_delta.max(axis=0)
+        self._batch_delta[:] = 0.0
+        self._batches += 1
+        return batch_wall
+
+    # ------------------------------------------------------------------ #
+    @property
+    def wall_seconds(self) -> float:
+        """Synchronized total time (sum of per-batch maxima)."""
+        return self._wall
+
+    @property
+    def num_batches(self) -> int:
+        return self._batches
+
+    def phase_seconds(self, phase: str) -> float:
+        """Synchronized time attributed to ``phase``."""
+        return float(self._phase_wall[PHASES.index(phase)])
+
+    def device_phase_seconds(self, device: int, phase: str) -> float:
+        return float(self._device_phase[device, PHASES.index(phase)])
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-phase synchronized times keyed by phase name."""
+        return {p: float(self._phase_wall[i]) for i, p in enumerate(PHASES)}
+
+    def paper_breakdown(self) -> Dict[str, float]:
+        """The paper's three-way split: sampling / loading / training."""
+        return {
+            label: sum(self.phase_seconds(p) for p in phases)
+            for label, phases in PAPER_BREAKDOWN.items()
+        }
+
+    def to_chrome_trace(self) -> list:
+        """Export the run as Chrome-trace events (``chrome://tracing``).
+
+        Requires ``trace=True`` at construction.  Each simulated GPU is one
+        "thread"; within a batch, a device's phases are laid out in the
+        canonical order (sample, load, train, shuffle) starting at the
+        batch's barrier-aligned start time.  Durations are simulated
+        seconds expressed in microseconds (the trace format's unit).
+        """
+        if not self.trace:
+            raise RuntimeError("timeline was not constructed with trace=True")
+        events = []
+        for batch_idx, (start, deltas) in enumerate(self._trace_batches):
+            for dev in range(self.num_devices):
+                cursor = start
+                for p_idx, phase in enumerate(PHASES):
+                    dur = float(deltas[dev, p_idx])
+                    if dur <= 0.0:
+                        continue
+                    events.append(
+                        {
+                            "name": phase,
+                            "cat": f"batch{batch_idx}",
+                            "ph": "X",
+                            "ts": cursor * 1e6,
+                            "dur": dur * 1e6,
+                            "pid": 0,
+                            "tid": dev,
+                        }
+                    )
+                    cursor += dur
+        return events
+
+    def merged(self, other: "Timeline") -> "Timeline":
+        """Element-wise sum of two timelines (multi-epoch aggregation)."""
+        if other.num_devices != self.num_devices:
+            raise ValueError("cannot merge timelines with different device counts")
+        out = Timeline(self.num_devices)
+        out._device_phase = self._device_phase + other._device_phase
+        out._wall = self._wall + other._wall
+        out._phase_wall = self._phase_wall + other._phase_wall
+        out._batches = self._batches + other._batches
+        return out

@@ -1,0 +1,35 @@
+"""APT core: the paper's primary contribution.
+
+Implements the Prepare -> Plan -> Adapt -> Run workflow of Fig. 4:
+
+* :mod:`~repro.core.dryrun` — the cheap dry-run that samples one epoch per
+  strategy, collecting communication volumes and node-access frequencies
+  while skipping feature loading and model computation (§3.2);
+* :mod:`~repro.core.costmodel` — the ``T = T_build + T_load + T_shuffle +
+  T_train`` decomposition (Eq. 2), comparing only the strategy-specific
+  terms with profiled communication-operator bandwidths;
+* :mod:`~repro.core.planner` — ranks the strategies and selects the
+  estimated-fastest one;
+* :mod:`~repro.core.adapter` — configures the unified execution engine for
+  the chosen strategy;
+* :mod:`~repro.core.apt` — the user-facing :class:`APT` facade.
+"""
+
+from repro.core.apt import APT, APTRunResult
+from repro.core.costmodel import CostEstimate, CostModel
+from repro.core.dryrun import DryRun, DryRunStats, access_frequency_census
+from repro.core.planner import Planner, PlanReport
+from repro.core.adapter import adapt_strategy
+
+__all__ = [
+    "APT",
+    "APTRunResult",
+    "DryRun",
+    "DryRunStats",
+    "access_frequency_census",
+    "CostModel",
+    "CostEstimate",
+    "Planner",
+    "PlanReport",
+    "adapt_strategy",
+]

@@ -1,0 +1,26 @@
+"""The APT adapter (paper §4.1, "Adapt" step).
+
+Given the planner's choice, the adapter configures the unified execution
+engine: it instantiates the strategy object — whose ``prepare`` installs
+the strategy's communication/computation operators around the single-GPU
+kernels (Permute/Shuffle/Execute/Reshuffle) and configures the data layout
+(per-GPU cache contents, feature map) — so that ``Run`` can launch
+DDP-style workers directly.
+"""
+
+from __future__ import annotations
+
+from repro.engine import make_strategy
+from repro.engine.base import Strategy
+from repro.engine.context import ExecutionContext
+
+
+def adapt_strategy(name: str, ctx: ExecutionContext) -> Strategy:
+    """Instantiate and prepare a strategy on an execution context.
+
+    Returns the prepared strategy; ``ctx``'s feature store is left
+    configured with the strategy's cache layout.
+    """
+    strategy = make_strategy(name)
+    strategy.prepare(ctx)
+    return strategy

@@ -1,0 +1,261 @@
+"""The APT facade: Prepare -> Plan -> Adapt -> Run (paper Fig. 4).
+
+Typical use::
+
+    apt = APT(dataset, model, cluster, fanouts=[10, 10, 10])
+    apt.prepare()                  # partition graph, place features, profile
+    report = apt.plan()            # dry-run all strategies, pick the best
+    result = apt.run(num_epochs=5) # execute the chosen strategy
+
+``run_strategy`` executes a *fixed* strategy from the same initial model
+state — the benchmarks use it to produce the per-strategy epoch times the
+paper's figures compare against APT's automatic choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.adapter import adapt_strategy
+from repro.core.costmodel import CostModel
+from repro.core.dryrun import DryRun, DryRunStats
+from repro.core.planner import Planner, PlanReport
+from repro.engine import STRATEGIES
+from repro.engine.context import ExecutionContext, VolumeRecorder
+from repro.engine.trainer import EpochResult, ParallelTrainer
+from repro.graph.datasets import GraphDataset
+from repro.graph.partition import metis_like_partition, random_partition
+from repro.models.base import GNNModel
+from repro.tensor.optim import Adam
+
+
+@dataclass
+class APTRunResult:
+    """Outcome of executing one strategy for some epochs."""
+
+    strategy: str
+    epochs: List[EpochResult]
+    recorder: VolumeRecorder
+    #: the paper's stacked breakdown summed over the run
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(e.wall_seconds for e in self.epochs)
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Average simulated epoch time (the paper's main metric)."""
+        return self.wall_seconds / max(len(self.epochs), 1)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].mean_loss if self.epochs else float("nan")
+
+
+class APT:
+    """Adaptive parallel training for one GNN task on one cluster.
+
+    Parameters
+    ----------
+    dataset / model / cluster:
+        The GNN training task (paper "Prepare" inputs).
+    fanouts:
+        Node-wise sampling fanouts, input layer first (default [10,10,10]).
+    global_batch_size:
+        Seeds per synchronized step, summed over GPUs (paper: 1024/GPU).
+    partition:
+        ``"metis"`` (default), ``"random"`` (Fig. 11's baseline), or an
+        explicit node->device array.
+    bandwidth_noise:
+        Relative measurement error of the bandwidth-profiling trials.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        model: GNNModel,
+        cluster: ClusterSpec,
+        fanouts: Sequence[int] = (10, 10, 10),
+        *,
+        global_batch_size: int = 1024,
+        partition: Union[str, np.ndarray] = "metis",
+        seed: int = 0,
+        bandwidth_noise: float = 0.02,
+        cpu_sampling: bool = False,
+        compute_skew: bool = True,
+        overlap: bool = False,
+    ):
+        if model.num_layers != len(fanouts):
+            raise ValueError(
+                f"model has {model.num_layers} layers but fanouts has "
+                f"{len(fanouts)} entries"
+            )
+        self.dataset = dataset
+        self.model = model
+        self.cluster = cluster
+        self.fanouts = list(fanouts)
+        self.global_batch_size = int(global_batch_size)
+        self.partition = partition
+        self.seed = int(seed)
+        self.bandwidth_noise = float(bandwidth_noise)
+        self.cpu_sampling = bool(cpu_sampling)
+        self.compute_skew = bool(compute_skew)
+        self.overlap = bool(overlap)
+
+        self._initial_state = model.state_dict()
+        self.parts: Optional[np.ndarray] = None
+        self.node_machine: Optional[np.ndarray] = None
+        self.dryrun: Optional[DryRun] = None
+        self.dryrun_stats: Dict[str, DryRunStats] = {}
+        self.plan_report: Optional[PlanReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Prepare
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> None:
+        """Partition the graph and lay out features across machines.
+
+        The node->device partition feeds SNP/DNP; grouping it by hosting
+        machine yields the feature placement every strategy shares (the
+        paper partitions features across machines without overlap).
+        """
+        if isinstance(self.partition, np.ndarray):
+            self.parts = np.asarray(self.partition, dtype=np.int64)
+        elif self.partition == "metis":
+            self.parts = metis_like_partition(
+                self.dataset.graph, self.cluster.num_devices, seed=self.seed
+            )
+        elif self.partition == "random":
+            self.parts = random_partition(
+                self.dataset.num_nodes, self.cluster.num_devices, seed=self.seed
+            )
+        else:
+            raise ValueError(f"unknown partition mode {self.partition!r}")
+        machine_of_device = np.array(
+            [self.cluster.machine_of(d) for d in range(self.cluster.num_devices)],
+            dtype=np.int64,
+        )
+        self.node_machine = machine_of_device[self.parts]
+        self.dryrun = DryRun(
+            self.dataset,
+            self.cluster,
+            self.model,
+            self.fanouts,
+            parts=self.parts,
+            node_machine=self.node_machine,
+            global_batch_size=self.global_batch_size,
+            sampler_seed=self.seed,
+            shuffle_seed=self.seed,
+        )
+
+    def _require_prepared(self) -> None:
+        if self.dryrun is None:
+            self.prepare()
+
+    # ------------------------------------------------------------------ #
+    # Plan
+    # ------------------------------------------------------------------ #
+    def plan(self, strategies: Sequence[str] = ("gdp", "nfp", "snp", "dnp")) -> PlanReport:
+        """Dry-run the candidate strategies and select the cheapest."""
+        self._require_prepared()
+        self.dryrun_stats = {s: self.dryrun.run(s) for s in strategies}
+        cost_model = CostModel(
+            self.cluster,
+            self.dataset.feature_dim,
+            bandwidth_noise=self.bandwidth_noise,
+            noise_seed=self.seed,
+            include_compute_skew=self.compute_skew,
+        )
+        self.plan_report = Planner(cost_model).select(self.dryrun_stats)
+        return self.plan_report
+
+    # ------------------------------------------------------------------ #
+    # Adapt + Run
+    # ------------------------------------------------------------------ #
+    def _build_context(self, numerics: bool = True) -> ExecutionContext:
+        return ExecutionContext.build(
+            self.dataset,
+            self.cluster,
+            self.model,
+            self.fanouts,
+            parts=self.parts,
+            node_machine=self.node_machine,
+            access_freq=self.dryrun.access_freq if self.dryrun else None,
+            global_batch_size=self.global_batch_size,
+            sampler_seed=self.seed,
+            shuffle_seed=self.seed,
+            cpu_sampling=self.cpu_sampling,
+            numerics=numerics,
+            overlap=self.overlap,
+        )
+
+    def run_strategy(
+        self,
+        name: str,
+        num_epochs: int = 1,
+        *,
+        lr: float = 1e-3,
+        reset_model: bool = True,
+        numerics: bool = True,
+    ) -> APTRunResult:
+        """Execute a fixed strategy for ``num_epochs`` simulated epochs.
+
+        ``numerics=False`` runs in timing-only mode: the identical simulated
+        time is charged but tensor math is skipped (use for performance
+        sweeps; losses come back NaN).
+        """
+        if name not in STRATEGIES:
+            raise KeyError(f"unknown strategy {name!r}")
+        self._require_prepared()
+        if reset_model:
+            self.model.load_state_dict(self._initial_state)
+        ctx = self._build_context(numerics=numerics)
+        strategy = adapt_strategy(name, ctx)
+        trainer = ParallelTrainer(
+            strategy, ctx, Adam(self.model.parameters(), lr=lr)
+        )
+        epochs = trainer.train(num_epochs)
+        return APTRunResult(
+            strategy=name,
+            epochs=epochs,
+            recorder=ctx.recorder,
+            breakdown=ctx.timeline.paper_breakdown(),
+        )
+
+    def run(
+        self,
+        num_epochs: int = 1,
+        *,
+        strategy: Optional[str] = None,
+        lr: float = 1e-3,
+    ) -> APTRunResult:
+        """Adapt to the planned (or given) strategy and train."""
+        if strategy is None:
+            if self.plan_report is None:
+                self.plan()
+            strategy = self.plan_report.chosen
+        return self.run_strategy(strategy, num_epochs, lr=lr)
+
+    # ------------------------------------------------------------------ #
+    def compare_all(
+        self,
+        num_epochs: int = 1,
+        *,
+        lr: float = 1e-3,
+        numerics: bool = True,
+        strategies: Sequence[str] = ("gdp", "nfp", "snp", "dnp"),
+    ) -> Dict[str, APTRunResult]:
+        """Execute the given strategies from identical initial state.
+
+        Defaults to the paper's four; pass ``strategies=(..., "hyb")`` to
+        include the future-work hybrid.
+        """
+        return {
+            name: self.run_strategy(name, num_epochs, lr=lr, numerics=numerics)
+            for name in strategies
+        }

@@ -1,0 +1,154 @@
+"""The APT dry-run (paper §3.2, "Plan" step of §4.1).
+
+The dry-run executes, per strategy, one epoch of *sampling and routing
+only*: seeds are distributed, subgraphs sampled, and the strategy's
+``plan_batch`` computes where every edge/node/partial would travel —
+charging simulated T_build time and recording every communication volume —
+while **feature loading, hidden-embedding shuffling, and model computation
+are skipped entirely** (the three reasons the paper gives for the dry-run
+being cheap).
+
+The dry-run also performs the node-access-frequency census that drives the
+§3.2 cache policies: how often each node appears as a first-layer source
+(i.e. how often its feature would be loaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.engine import make_strategy
+from repro.engine.base import sample_batches
+from repro.engine.context import ExecutionContext, VolumeRecorder
+from repro.graph.datasets import GraphDataset
+from repro.models.base import GNNModel
+from repro.sampling.batching import EpochIterator
+from repro.sampling.neighbor import NeighborSampler
+
+
+def access_frequency_census(
+    dataset: GraphDataset,
+    fanouts,
+    global_batch_size: int,
+    *,
+    sampler_seed: int = 0,
+    shuffle_seed: int = 0,
+    epoch: int = 0,
+) -> np.ndarray:
+    """Count how often each node's feature would be loaded in one epoch.
+
+    Following the paper ("how many times they appear in the sampled
+    subgraphs"), a source node is counted once per first-layer destination
+    it was sampled for — i.e. with multiplicity across the per-seed
+    subgraphs, not merely once per batch.  This is the signal the §3.2
+    cache policies rank by, and what paper Table 3 tabulates.  The paper
+    observes that one epoch suffices (94.77% top-1% overlap across epochs
+    on PS); :mod:`tests.core.test_dryrun` re-checks that stability.
+    """
+    sampler = NeighborSampler(dataset.graph, fanouts, global_seed=sampler_seed)
+    freq = np.zeros(dataset.num_nodes, dtype=np.int64)
+    iterator = EpochIterator(dataset.train_seeds, global_batch_size, shuffle_seed)
+    for batch in iterator.epoch_batches(epoch):
+        mb = sampler.sample(batch, epoch=epoch)
+        block = mb.blocks[0]
+        np.add.at(freq, block.src_nodes[block.edge_src], 1)
+        # Destinations read their own feature too (self term / self edge).
+        np.add.at(freq, block.dst_nodes, 1)
+    return freq.astype(np.float64)
+
+
+@dataclass
+class DryRunStats:
+    """Everything the cost model needs about one strategy's dry-run."""
+
+    strategy: str
+    recorder: VolumeRecorder
+    #: simulated seconds of sampling + computation-graph shuffling (T_build)
+    t_build: float
+    #: feature row width each device reads (1.0, or 1/C for NFP)
+    dim_fraction: float
+    num_batches: int
+
+
+class DryRun:
+    """Per-strategy dry-run executor over a shared task description."""
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        cluster: ClusterSpec,
+        model: GNNModel,
+        fanouts,
+        *,
+        parts: Optional[np.ndarray] = None,
+        node_machine: Optional[np.ndarray] = None,
+        global_batch_size: int = 1024,
+        sampler_seed: int = 0,
+        shuffle_seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.cluster = cluster
+        self.model = model
+        self.fanouts = list(fanouts)
+        self.parts = parts
+        self.node_machine = node_machine
+        self.global_batch_size = int(global_batch_size)
+        self.sampler_seed = int(sampler_seed)
+        self.shuffle_seed = int(shuffle_seed)
+        self._access_freq: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def access_freq(self) -> np.ndarray:
+        """Lazily computed access-frequency census (shared by strategies)."""
+        if self._access_freq is None:
+            self._access_freq = access_frequency_census(
+                self.dataset,
+                self.fanouts,
+                self.global_batch_size,
+                sampler_seed=self.sampler_seed,
+                shuffle_seed=self.shuffle_seed,
+            )
+        return self._access_freq
+
+    def run(self, strategy_name: str, epoch: int = 0) -> DryRunStats:
+        """Plan-only epoch for one strategy."""
+        strategy = make_strategy(strategy_name)
+        ctx = ExecutionContext.build(
+            self.dataset,
+            self.cluster,
+            self.model,
+            self.fanouts,
+            parts=self.parts,
+            node_machine=self.node_machine,
+            access_freq=self.access_freq,
+            global_batch_size=self.global_batch_size,
+            sampler_seed=self.sampler_seed,
+            shuffle_seed=self.shuffle_seed,
+        )
+        report = strategy.prepare(ctx)
+        iterator = EpochIterator(
+            self.dataset.train_seeds, self.global_batch_size, self.shuffle_seed
+        )
+        batches_list = iterator.epoch_batches(epoch)
+        for global_batch in batches_list:
+            seeds = strategy.assign_seeds(ctx, global_batch)
+            batches = sample_batches(ctx, seeds, epoch)
+            strategy.plan_batch(ctx, batches)  # records volumes, charges T_build
+            ctx.timeline.end_batch()
+        ctx.recorder.access_frequency = self.access_freq
+        return DryRunStats(
+            strategy=strategy_name,
+            recorder=ctx.recorder,
+            t_build=ctx.timeline.phase_seconds("sample"),
+            dim_fraction=report.dim_fraction,
+            num_batches=len(batches_list),
+        )
+
+    def run_all(self, strategies=("gdp", "nfp", "snp", "dnp")) -> Dict[str, DryRunStats]:
+        """Dry-run every candidate strategy (the paper's Plan step)."""
+        return {name: self.run(name) for name in strategies}

@@ -1,0 +1,49 @@
+"""The APT planner: rank strategies by estimated cost, pick the cheapest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.costmodel import CostEstimate, CostModel
+from repro.core.dryrun import DryRunStats
+
+
+@dataclass
+class PlanReport:
+    """Outcome of the Plan step."""
+
+    estimates: Dict[str, CostEstimate]
+    chosen: str
+    ranking: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Human-readable table of per-strategy estimates."""
+        lines = [
+            f"{'strategy':<10}{'t_build':>12}{'t_load':>12}{'t_shuffle':>12}"
+            f"{'t_skew':>12}{'total':>12}"
+        ]
+        for name in self.ranking:
+            e = self.estimates[name]
+            star = " *" if name == self.chosen else ""
+            lines.append(
+                f"{name:<10}{e.t_build:>12.4f}{e.t_load:>12.4f}"
+                f"{e.t_shuffle:>12.4f}{e.t_skew:>12.4f}{e.total:>12.4f}{star}"
+            )
+        return "\n".join(lines)
+
+
+class Planner:
+    """Selects the estimated-fastest strategy from dry-run statistics."""
+
+    def __init__(self, cost_model: CostModel):
+        self.cost_model = cost_model
+
+    def select(self, stats_by_strategy: Dict[str, DryRunStats]) -> PlanReport:
+        if not stats_by_strategy:
+            raise ValueError("no dry-run statistics to plan over")
+        estimates = self.cost_model.estimate_all(stats_by_strategy)
+        ranking = sorted(estimates, key=lambda n: estimates[n].total)
+        return PlanReport(
+            estimates=estimates, chosen=ranking[0], ranking=ranking
+        )

@@ -1,0 +1,67 @@
+"""Unified execution engine: one engine, four parallelization strategies.
+
+Paper §4.2: all strategies decompose into *Permute / Shuffle / Execute /
+Reshuffle* stages around a single-GPU GNN kernel.  Here:
+
+* **Permute** — :meth:`Strategy.plan_batch` computes the routing of the
+  sampled first-layer blocks (which edges/nodes go to which device) and
+  records the communication volumes (this is also exactly what the APT
+  dry-run needs, so the planner reuses it);
+* **Shuffle** — structure payloads charged via
+  :class:`~repro.cluster.comm.Communicator` (AllBroadcast for NFP,
+  Alltoall for SNP/DNP, nothing for GDP);
+* **Execute** — feature reads through the unified feature store plus the
+  layer-1 numerics (full or partial, per strategy);
+* **Reshuffle** — hidden-embedding exchange (SparseAllreduce for NFP,
+  GroupReduce = alltoall + local aggregation for SNP, Alltoall for DNP).
+
+Layers >= 2 always run data-parallel on the seed-owning device, and model
+gradients are synchronized DDP-style — identically for every strategy.
+"""
+
+from repro.engine.context import ExecutionContext, VolumeRecorder
+from repro.engine.base import Strategy, StrategyReport
+from repro.engine.gdp import GDPStrategy
+from repro.engine.nfp import NFPStrategy
+from repro.engine.snp import SNPStrategy
+from repro.engine.dnp import DNPStrategy
+from repro.engine.hybrid import HybridGDPSNPStrategy
+from repro.engine.trainer import EpochResult, ParallelTrainer, evaluate_accuracy
+
+STRATEGIES = {
+    "gdp": GDPStrategy,
+    "nfp": NFPStrategy,
+    "snp": SNPStrategy,
+    "dnp": DNPStrategy,
+    # extension: the paper's future-work hybrid (GDP across machines,
+    # SNP within each machine); not part of APT's default candidate set.
+    "hyb": HybridGDPSNPStrategy,
+}
+
+
+def make_strategy(name: str) -> Strategy:
+    """Instantiate a strategy by its paper abbreviation."""
+    try:
+        return STRATEGIES[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+
+
+__all__ = [
+    "ExecutionContext",
+    "VolumeRecorder",
+    "Strategy",
+    "StrategyReport",
+    "GDPStrategy",
+    "NFPStrategy",
+    "SNPStrategy",
+    "DNPStrategy",
+    "HybridGDPSNPStrategy",
+    "ParallelTrainer",
+    "EpochResult",
+    "evaluate_accuracy",
+    "STRATEGIES",
+    "make_strategy",
+]

@@ -1,0 +1,161 @@
+"""Strategy base class and shared engine machinery."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.context import ExecutionContext
+from repro.sampling.block import MiniBatch
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class StrategyReport:
+    """Summary facts a strategy can expose after preparation."""
+
+    name: str
+    cached_nodes_per_device: List[int]
+    dim_fraction: float
+
+
+class Strategy(abc.ABC):
+    """A parallelization strategy over the unified execution engine.
+
+    Lifecycle::
+
+        strategy.prepare(ctx)                  # caches, partition checks
+        for each global batch:
+            seeds = strategy.assign_seeds(ctx, global_batch)
+            batches = sample_batches(ctx, seeds, epoch)
+            plan = strategy.plan_batch(ctx, batches)      # Permute+Shuffle
+            h1 = strategy.execute_batch(ctx, plan, batches)  # Execute+Reshuffle
+
+    ``plan_batch`` performs only routing math: it charges the
+    graph-structure shuffling (part of the paper's T_build) and records
+    every communication volume into ``ctx.recorder`` — which is exactly
+    what the APT dry-run measures, so the planner runs plans without
+    executes.  ``execute_batch`` performs feature loads, layer-1 numerics,
+    and hidden-embedding shuffles.
+    """
+
+    #: paper abbreviation ("gdp", "nfp", "snp", "dnp")
+    name: str = "base"
+    #: whether the strategy needs a node->device graph partition
+    requires_partition: bool = False
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        """Configure caches / placement; called once before training."""
+
+    @abc.abstractmethod
+    def assign_seeds(
+        self, ctx: ExecutionContext, global_batch: np.ndarray
+    ) -> List[Optional[np.ndarray]]:
+        """Distribute a global seed batch over devices (None = no seeds)."""
+
+    @abc.abstractmethod
+    def plan_batch(self, ctx: ExecutionContext, batches: List[Optional[MiniBatch]]):
+        """Permute+Shuffle: route first-layer blocks, record volumes."""
+
+    @abc.abstractmethod
+    def execute_batch(
+        self,
+        ctx: ExecutionContext,
+        plan,
+        batches: List[Optional[MiniBatch]],
+    ) -> List[Optional[Tensor]]:
+        """Execute+Reshuffle: produce per-device layer-1 outputs aligned to
+        each device's ``blocks[0].dst_nodes``."""
+
+    # ------------------------------------------------------------------ #
+    def grad_sync_bytes(self, model) -> float:
+        """DDP gradient-allreduce volume (full model by default)."""
+        return model.parameter_bytes()
+
+    def check_partition(self, ctx: ExecutionContext) -> np.ndarray:
+        if ctx.parts is None:
+            raise ValueError(
+                f"strategy {self.name!r} requires a node->device partition; "
+                "set ctx.parts (e.g. metis_like_partition(graph, num_devices))"
+            )
+        parts = np.asarray(ctx.parts, dtype=np.int64)
+        if parts.shape != (ctx.dataset.num_nodes,):
+            raise ValueError(
+                f"partition shape {parts.shape} != ({ctx.dataset.num_nodes},)"
+            )
+        if parts.size and parts.max() >= ctx.num_devices:
+            raise ValueError(
+                f"partition references device {parts.max()} but the cluster "
+                f"has {ctx.num_devices}"
+            )
+        return parts
+
+    def resolve_access_freq(self, ctx: ExecutionContext) -> np.ndarray:
+        """Access frequencies for cache policies (degree proxy if absent).
+
+        The APT workflow supplies dry-run frequencies; standalone strategy
+        runs fall back to in-degree, a standard static approximation
+        (PaGraph-style caching).
+        """
+        if ctx.access_freq is not None:
+            return np.asarray(ctx.access_freq, dtype=np.float64)
+        return ctx.dataset.graph.in_degrees.astype(np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers
+# ---------------------------------------------------------------------- #
+def split_round_robin(
+    global_batch: np.ndarray, num_devices: int
+) -> List[Optional[np.ndarray]]:
+    """Even contiguous split of a shuffled global batch (GDP/NFP)."""
+    chunks = np.array_split(np.asarray(global_batch, dtype=np.int64), num_devices)
+    return [c if c.size else None for c in chunks]
+
+
+def split_by_partition(
+    global_batch: np.ndarray, parts: np.ndarray, num_devices: int
+) -> List[Optional[np.ndarray]]:
+    """Partition-local seed assignment (SNP/DNP, paper §3.2)."""
+    gb = np.asarray(global_batch, dtype=np.int64)
+    owner = parts[gb]
+    out: List[Optional[np.ndarray]] = []
+    for d in range(num_devices):
+        mine = gb[owner == d]
+        out.append(mine if mine.size else None)
+    return out
+
+
+def sample_batches(
+    ctx: ExecutionContext,
+    seeds_per_device: List[Optional[np.ndarray]],
+    epoch: int,
+) -> List[Optional[MiniBatch]]:
+    """Sample per-device minibatches, charging simulated sampling time."""
+    batches: List[Optional[MiniBatch]] = []
+    for d, seeds in enumerate(seeds_per_device):
+        if seeds is None or len(seeds) == 0:
+            batches.append(None)
+            continue
+        mb = ctx.sampler.sample(seeds, epoch=epoch)
+        if ctx.cpu_sampling:
+            ctx.charger.cpu_sampling(d, mb.total_edges())
+        else:
+            ctx.charger.gpu_sampling(d, mb.total_edges())
+        batches.append(mb)
+    return batches
+
+
+def local_index_of(sorted_ids: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Positions of ``queries`` within a sorted unique id array."""
+    idx = np.searchsorted(sorted_ids, queries)
+    if idx.size and (
+        idx.max() >= sorted_ids.size or not np.array_equal(sorted_ids[idx], queries)
+    ):
+        raise KeyError("queries contain ids missing from the sorted array")
+    return idx

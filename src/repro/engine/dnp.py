@@ -1,0 +1,229 @@
+"""Destination node parallel (DNP) — the paper's new strategy (§3.1, Fig. 3d).
+
+Like SNP, DNP relies on an edge-cut partition, but routes each first-layer
+**destination** node (with its complete sampled in-edge list) to the device
+managing its partition.  The manager loads all the source features — its
+cache holds the hottest nodes of its partition *plus the 1-hop halo*, which
+is exactly the input set it can be asked for — computes the *full* layer-1
+embedding, and ships one finished ``d'``-vector back per virtual node.
+
+Consequences the paper highlights (§3.3):
+
+* at most **one** hidden embedding is shuffled per destination node
+  (``N_vd <= N_d``), usually fewer than SNP's per-partition partials;
+* every destination is computed with a complete view of its sources, so
+  attention models need no extra communication (unlike SNP/NFP);
+* DNP can exploit *excess* cache beyond ``1/C`` of the features (the halo),
+  but with a small cache it loads more rows than SNP because the per-device
+  input set (partition + halo) is larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.base import (
+    Strategy,
+    StrategyReport,
+    local_index_of,
+    split_by_partition,
+)
+from repro.engine.context import ExecutionContext
+from repro.featurestore.cache import cache_capacity_nodes, dnp_cache_nodes
+from repro.sampling.block import Block
+from repro.tensor import concat as tensor_concat
+from repro.tensor.sparse import segment_sum
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class DNPTask:
+    """One (requester, owner) routing entry for a batch."""
+
+    requester: int
+    owner: int
+    #: destination nodes managed by ``owner`` (global ids, sorted)
+    vdst: np.ndarray
+    #: position of each in the requester's block-0 dst list
+    vdst_req_idx: np.ndarray
+    #: the complete sampled in-edges of those destinations
+    edge_src: np.ndarray  # global ids
+    edge_dst: np.ndarray  # local index into vdst
+
+
+@dataclass
+class DNPPlan:
+    tasks: List[DNPTask] = field(default_factory=list)
+    owner_nodes: List[Optional[np.ndarray]] = field(default_factory=list)
+
+
+class DNPStrategy(Strategy):
+    name = "dnp"
+    requires_partition = True
+
+    def __init__(self):
+        self._parts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        self._parts = self.check_partition(ctx)
+        freq = self.resolve_access_freq(ctx)
+        cap = cache_capacity_nodes(
+            ctx.cluster.gpu_cache_bytes, ctx.dataset.feature_dim
+        )
+        caches = [
+            dnp_cache_nodes(freq, self._parts, d, ctx.dataset.graph, cap)
+            for d in range(ctx.num_devices)
+        ]
+        ctx.store.configure_caches(caches, dim_fraction=1.0)
+        return StrategyReport(
+            name=self.name,
+            cached_nodes_per_device=[int(c.size) for c in caches],
+            dim_fraction=1.0,
+        )
+
+    def assign_seeds(self, ctx, global_batch):
+        return split_by_partition(global_batch, self._parts, ctx.num_devices)
+
+    # ------------------------------------------------------------------ #
+    def plan_batch(self, ctx: ExecutionContext, batches) -> DNPPlan:
+        C = ctx.num_devices
+        parts = self._parts
+        layer = ctx.model.first_layer
+        d_hidden = layer.out_dim
+        plan = DNPPlan(owner_nodes=[None] * C)
+        need: List[List[np.ndarray]] = [[] for _ in range(C)]
+        struct_bytes = np.zeros((C, C))
+
+        for r, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[0]
+            ctx.recorder.n_dst += block.num_dst
+            src_g = block.src_nodes[block.edge_src]
+            dst_owner_per_edge = parts[block.dst_nodes[block.edge_dst]]
+            dst_owner = parts[block.dst_nodes]
+            for o in range(C):
+                sel = dst_owner == o
+                if not sel.any():
+                    continue
+                vdst = block.dst_nodes[sel]
+                e_mask = dst_owner_per_edge == o
+                e_src = src_g[e_mask]
+                e_dst_g = block.dst_nodes[block.edge_dst[e_mask]]
+                task = DNPTask(
+                    requester=r,
+                    owner=o,
+                    vdst=vdst,
+                    vdst_req_idx=np.nonzero(sel)[0],
+                    edge_src=e_src,
+                    edge_dst=local_index_of(vdst, e_dst_g),
+                )
+                plan.tasks.append(task)
+                need[o].append(e_src)
+                need[o].append(vdst)
+                # Owner-side full layer-1 work estimate.
+                n_src = np.unique(e_src).size + vdst.size
+                if layer.is_attention:
+                    flops = (
+                        2.0 * n_src * layer.in_dim * layer.heads * layer.head_dim
+                        + (e_src.size + vdst.size)
+                        * layer.heads
+                        * (layer.head_dim + 6.0)
+                    )
+                else:
+                    flops = (
+                        2.0 * e_src.size * layer.in_dim
+                        + 4.0 * vdst.size * layer.in_dim * d_hidden
+                    )
+                ctx.recorder.record_layer1_flops(o, flops)
+                if o != r:
+                    ctx.recorder.n_virtual += vdst.size
+                    struct_bytes[r, o] += 8.0 * (2 * e_src.size + vdst.size)
+                    ctx.recorder.record_hidden(o, r, vdst.size * d_hidden * 8.0)
+
+        ctx.comm.alltoall_bytes(struct_bytes, phase="sample")
+        for dev in range(C):
+            ctx.recorder.record_structure(dev, float(struct_bytes[dev].sum()))
+        # One hidden-embedding alltoall per batch along the task pattern.
+        ctx.recorder.record_message_pattern(struct_bytes, calls=1)
+
+        for o in range(C):
+            if need[o]:
+                nodes = np.unique(np.concatenate(need[o]))
+                plan.owner_nodes[o] = nodes
+                split = ctx.store.classify(o, nodes)
+                ctx.recorder.record_load(
+                    o, {t: ids.size for t, ids in split.items()}
+                )
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def execute_batch(self, ctx, plan: DNPPlan, batches) -> List[Optional[Tensor]]:
+        C = ctx.num_devices
+        layer = ctx.model.first_layer
+
+        xs: List[Optional[Tensor]] = []
+        for o, nodes in enumerate(plan.owner_nodes):
+            if nodes is None:
+                xs.append(None)
+                continue
+            if ctx.numerics:
+                x_rows, _ = ctx.store.read(o, nodes, ctx.timeline)
+                xs.append(Tensor(x_rows))
+            else:
+                ctx.store.charge_load(o, nodes, ctx.timeline)
+                xs.append(None)
+
+        # Owners compute complete layer-1 embeddings per task.
+        h_grid = [[None] * C for _ in range(C)]
+        task_info: Dict[Tuple[int, int], DNPTask] = {}
+        hidden_bytes = np.zeros((C, C))
+        for task in plan.tasks:
+            o, r = task.owner, task.requester
+            sub = Block.from_global_edges(task.edge_src, task.vdst[task.edge_dst])
+            if not np.array_equal(sub.dst_nodes, task.vdst):
+                raise AssertionError(
+                    "DNP sub-block destinations diverged from the routed set"
+                )
+            ctx.charger.dense(o, layer.forward_flops(sub))
+            ctx.recorder.record_intermediate(
+                o,
+                8.0 * (sub.num_src * layer.in_dim + sub.num_dst * layer.out_dim),
+            )
+            if ctx.numerics:
+                rows = local_index_of(plan.owner_nodes[o], sub.src_nodes)
+                h_grid[o][r] = layer.full_forward(sub, xs[o].index_rows(rows))
+            if o != r:
+                hidden_bytes[o, r] += task.vdst.size * layer.out_dim * 8.0
+            task_info[(o, r)] = task
+
+        if ctx.numerics:
+            recv = ctx.comm.alltoall_tensors(h_grid, phase="shuffle")
+        else:
+            ctx.comm.alltoall_bytes(
+                hidden_bytes, phase="shuffle", count_backward=True
+            )
+
+        # Assemble each requester's layer-1 output (each row arrives once).
+        h1: List[Optional[Tensor]] = [None] * C
+        for r, mb in enumerate(batches):
+            if mb is None or not ctx.numerics:
+                continue
+            block = mb.blocks[0]
+            pieces, idx = [], []
+            for o in range(C):
+                task = task_info.get((o, r))
+                if task is None:
+                    continue
+                pieces.append(recv[r][o])
+                idx.append(task.vdst_req_idx)
+            h1[r] = segment_sum(
+                tensor_concat(pieces, axis=0),
+                np.concatenate(idx),
+                block.num_dst,
+            )
+        return h1

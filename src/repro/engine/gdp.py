@@ -1,0 +1,106 @@
+"""Graph data parallel (GDP) — the classical strategy (paper §3.1, Fig. 3a).
+
+Each device processes its own seed nodes end to end: samples the subgraphs,
+loads the input features (from its cache, local CPU, or remote CPU), and
+runs the whole model locally.  Nothing is shuffled except DDP gradients, so
+``T_shuffle = 0`` and T_build has no communication component — GDP's entire
+strategy-specific cost is feature loading, which is why it wins when the
+GPU cache absorbs most accesses (skewed graphs, e.g. PS) and loses when
+accesses are scattered (FS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.base import Strategy, StrategyReport, split_round_robin
+from repro.engine.context import ExecutionContext
+from repro.featurestore.cache import (
+    cache_capacity_nodes,
+    hot_cache_nodes,
+    unified_cache_nodes,
+)
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class GDPPlan:
+    """Per-device feature-load sets (GDP has no routing to plan)."""
+
+    load_nodes: List[Optional[np.ndarray]]
+
+
+class GDPStrategy(Strategy):
+    name = "gdp"
+    requires_partition = False
+
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        freq = self.resolve_access_freq(ctx)
+        cap = cache_capacity_nodes(
+            ctx.cluster.gpu_cache_bytes, ctx.dataset.feature_dim
+        )
+        if ctx.cluster.machines[0].nvlink is not None and ctx.num_devices > 1:
+            # Fast inter-GPU links: stripe a DSP/Quiver-style unified cache
+            # across the GPUs of each machine instead of replicating the
+            # same hot set (paper §6: APT "can easily incorporate" such
+            # caching strategies).
+            caches = [None] * ctx.num_devices
+            for m in range(ctx.cluster.num_machines):
+                devs = ctx.cluster.devices_of_machine(m)
+                per_machine = unified_cache_nodes(freq, cap, len(devs))
+                for d, nodes in zip(devs, per_machine):
+                    caches[d] = nodes
+        else:
+            hot = hot_cache_nodes(freq, cap)
+            caches = [hot] * ctx.num_devices
+        ctx.store.configure_caches(caches, dim_fraction=1.0)
+        return StrategyReport(
+            name=self.name,
+            cached_nodes_per_device=[int(c.size) for c in caches],
+            dim_fraction=1.0,
+        )
+
+    def assign_seeds(self, ctx, global_batch):
+        return split_round_robin(global_batch, ctx.num_devices)
+
+    # ------------------------------------------------------------------ #
+    def plan_batch(self, ctx: ExecutionContext, batches) -> GDPPlan:
+        load_nodes: List[Optional[np.ndarray]] = []
+        for d, mb in enumerate(batches):
+            if mb is None:
+                load_nodes.append(None)
+                continue
+            nodes = mb.input_nodes
+            split = ctx.store.classify(d, nodes)
+            ctx.recorder.record_load(d, {t: ids.size for t, ids in split.items()})
+            ctx.recorder.n_dst += mb.blocks[0].num_dst
+            ctx.recorder.record_layer1_flops(
+                d, ctx.model.first_layer.forward_flops(mb.blocks[0])
+            )
+            load_nodes.append(nodes)
+        return GDPPlan(load_nodes=load_nodes)
+
+    def execute_batch(
+        self, ctx: ExecutionContext, plan: GDPPlan, batches
+    ) -> List[Optional[Tensor]]:
+        layer = ctx.model.first_layer
+        h1: List[Optional[Tensor]] = []
+        for d, mb in enumerate(batches):
+            if mb is None:
+                h1.append(None)
+                continue
+            block = mb.blocks[0]
+            ctx.charger.dense(d, layer.forward_flops(block))
+            ctx.recorder.record_intermediate(
+                d, 8.0 * (block.num_src * layer.in_dim + block.num_dst * layer.out_dim)
+            )
+            if ctx.numerics:
+                x_rows, _ = ctx.store.read(d, plan.load_nodes[d], ctx.timeline)
+                h1.append(layer.full_forward(block, Tensor(x_rows)))
+            else:
+                ctx.store.charge_load(d, plan.load_nodes[d], ctx.timeline)
+                h1.append(None)
+        return h1

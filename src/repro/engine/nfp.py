@@ -1,0 +1,293 @@
+"""Node feature parallel (NFP) — P3-style (paper §3.1, Fig. 3b).
+
+The input feature matrix is partitioned *by dimension*: device ``c`` holds
+``d/C`` feature columns of every node, and the co-partitioned columns of
+the first-layer weights.  Per batch:
+
+1. **Shuffle** — every device broadcasts its layer-1 computation graph
+   (AllBroadcast), so each device sees all subgraphs;
+2. **Execute** — device ``c`` computes, for every owner ``o``, the partial
+   first-layer contribution of its dimension shard (GraphSAGE: the
+   shard's ``mean(W_n^c x^c) + W_s^c x^c``; GAT: the shard's partial
+   projection ``W^c x^c`` for every source);
+3. **Reshuffle** — a SparseAllreduce sums partials at each owner
+   (GraphSAGE receives finished pre-activations per destination, volume
+   ``2 d' C N_d``; GAT must reduce projections for *every source* before
+   attention can run, which is why NFP suits attention models poorly,
+   §3.3).
+
+The first-layer weights are sharded, so NFP's DDP gradient sync excludes
+them.  Cache policy: the globally hottest nodes, but only the local
+dimension shard of each — the same byte budget covers ``C`` times more
+nodes than GDP (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.base import (
+    Strategy,
+    StrategyReport,
+    local_index_of,
+    split_round_robin,
+)
+from repro.engine.context import ExecutionContext
+from repro.featurestore.cache import cache_capacity_nodes, hot_cache_nodes
+from repro.models.base import extend_with_self_edges
+from repro.models.gat import GATLayer
+from repro.models.sage import SAGELayer
+from repro.tensor.sparse import segment_mean
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class NFPPlan:
+    """Routing facts for one NFP batch."""
+
+    #: union of all requesters' input nodes (every device reads its shard)
+    union_nodes: np.ndarray
+    #: per requester: positions of its block-0 sources within the union
+    src_idx_in_union: List[Optional[np.ndarray]]
+
+
+class NFPStrategy(Strategy):
+    name = "nfp"
+    requires_partition = False
+
+    def __init__(self):
+        self._shard_bounds: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        C = ctx.num_devices
+        d = ctx.dataset.feature_dim
+        if d < C:
+            raise ValueError(
+                f"NFP requires feature_dim >= num_devices ({d} < {C})"
+            )
+        self._shard_bounds = np.linspace(0, d, C + 1).round().astype(np.int64)
+        freq = self.resolve_access_freq(ctx)
+        dim_fraction = 1.0 / C
+        cap = cache_capacity_nodes(
+            ctx.cluster.gpu_cache_bytes, d, dim_fraction=dim_fraction
+        )
+        hot = hot_cache_nodes(freq, cap)
+        ctx.store.configure_caches([hot] * C, dim_fraction=dim_fraction)
+        return StrategyReport(
+            name=self.name,
+            cached_nodes_per_device=[int(hot.size)] * C,
+            dim_fraction=dim_fraction,
+        )
+
+    def shard(self, device: int) -> tuple:
+        lo, hi = self._shard_bounds[device], self._shard_bounds[device + 1]
+        return int(lo), int(hi)
+
+    def assign_seeds(self, ctx, global_batch):
+        return split_round_robin(global_batch, ctx.num_devices)
+
+    def grad_sync_bytes(self, model) -> float:
+        """First-layer weights are sharded, never synchronized."""
+        return model.parameter_bytes() - model.first_layer_parameter_bytes()
+
+    # ------------------------------------------------------------------ #
+    def plan_batch(self, ctx: ExecutionContext, batches) -> NFPPlan:
+        C = ctx.num_devices
+        layer = ctx.model.first_layer
+        d_hidden = layer.out_dim if not layer.is_attention else (
+            layer.heads * layer.head_dim
+        )
+        # AllBroadcast of the layer-1 computation graphs.
+        struct_bytes = [
+            (mb.blocks[0].structure_bytes() if mb is not None else 0.0)
+            for mb in batches
+        ]
+        ctx.comm.allgather_bytes(struct_bytes, phase="sample")
+        for dev, b in enumerate(struct_bytes):
+            ctx.recorder.record_structure(dev, b * (C - 1))
+
+        all_src = [mb.blocks[0].src_nodes for mb in batches if mb is not None]
+        union = np.unique(np.concatenate(all_src)) if all_src else np.empty(0, np.int64)
+        src_idx: List[Optional[np.ndarray]] = []
+        for mb in batches:
+            src_idx.append(
+                local_index_of(union, mb.blocks[0].src_nodes) if mb is not None else None
+            )
+
+        # Every device loads its dimension shard of the whole union.
+        for dev in range(C):
+            split = ctx.store.classify(dev, union)
+            ctx.recorder.record_load(dev, {t: ids.size for t, ids in split.items()})
+
+        # Hidden-embedding reduce volumes: every non-owner contributor ships
+        # one d'-vector per destination (SAGE) or per source (GAT).
+        shard = ctx.dataset.feature_dim / C
+        # One SparseAllreduce per batch: every contributor messages every
+        # seed-holding owner.
+        reduce_pattern = np.zeros((C, C))
+        for owner, mb in enumerate(batches):
+            if mb is not None:
+                reduce_pattern[:, owner] = 1.0
+        ctx.recorder.record_message_pattern(reduce_pattern, calls=1)
+        for dev in range(C):
+            ctx.recorder.record_layer1_flops(
+                dev, 2.0 * union.size * shard * d_hidden
+            )
+        for owner, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[0]
+            ctx.recorder.n_dst += block.num_dst
+            rows = block.num_src if layer.is_attention else block.num_dst
+            nbytes = rows * d_hidden * 8.0
+            for c in range(C):
+                if c != owner:
+                    ctx.recorder.record_hidden(c, owner, nbytes)
+            if layer.is_attention:
+                ctx.recorder.record_layer1_flops(
+                    owner,
+                    (block.num_edges + block.num_dst)
+                    * layer.heads
+                    * (layer.head_dim + 6.0),
+                )
+            else:
+                for c in range(C):
+                    ctx.recorder.record_layer1_flops(
+                        c,
+                        2.0 * block.num_edges * d_hidden
+                        + 2.0 * block.num_dst * shard * d_hidden,
+                    )
+        return NFPPlan(union_nodes=union, src_idx_in_union=src_idx)
+
+    # ------------------------------------------------------------------ #
+    def execute_batch(
+        self, ctx: ExecutionContext, plan: NFPPlan, batches
+    ) -> List[Optional[Tensor]]:
+        layer = ctx.model.first_layer
+        if isinstance(layer, GATLayer):
+            return self._execute_gat(ctx, plan, batches, layer)
+        if hasattr(layer, "partial_aggregate"):
+            # The partial-mean protocol (GraphSAGE, GCN, ...).
+            return self._execute_sage(ctx, plan, batches, layer)
+        raise TypeError(
+            f"NFP does not know how to decompose layer type {type(layer).__name__}"
+        )
+
+    def _execute_sage(self, ctx, plan, batches, layer: SAGELayer):
+        C = ctx.num_devices
+        union = plan.union_nodes
+        d_hidden = layer.out_dim
+        # contributions[c][o]: device c's shard contribution for owner o.
+        contributions: List[List[Optional[Tensor]]] = [
+            [None] * C for _ in range(C)
+        ]
+        shuffle_bytes = np.zeros((C, C))
+        self_in_agg = layer.self_loop_in_aggregation
+        for c in range(C):
+            lo, hi = self.shard(c)
+            if ctx.numerics:
+                x_rows, _ = ctx.store.read(c, union, ctx.timeline)
+                x_shard = Tensor(x_rows[:, lo:hi])
+                w_param = layer.weight if self_in_agg else layer.w_neigh
+                wn = w_param.index_rows(np.arange(lo, hi))
+                ws = (
+                    None
+                    if self_in_agg
+                    else layer.w_self.index_rows(np.arange(lo, hi))
+                )
+                z_union = x_shard @ wn
+            else:
+                ctx.store.charge_load(c, union, ctx.timeline)
+            ctx.charger.dense(c, 2.0 * union.size * (hi - lo) * d_hidden)
+            inter = 0.0
+            for o, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                block = mb.blocks[0]
+                if ctx.numerics:
+                    idx = plan.src_idx_in_union[o]
+                    z_local = z_union.index_rows(idx)
+                    if self_in_agg:
+                        # GCN: the self loop is one more aggregation edge.
+                        es, ed = extend_with_self_edges(block)
+                        contributions[c][o] = segment_mean(
+                            z_local.index_rows(es), ed, block.num_dst
+                        )
+                    else:
+                        neigh = segment_mean(
+                            z_local.index_rows(block.edge_src),
+                            block.edge_dst,
+                            block.num_dst,
+                        )
+                        x_dst = x_shard.index_rows(idx[block.dst_in_src])
+                        contributions[c][o] = neigh + (x_dst @ ws)
+                if c != o:
+                    shuffle_bytes[c, o] += block.num_dst * d_hidden * 8.0
+                ctx.charger.dense(
+                    c,
+                    2.0 * block.num_edges * d_hidden
+                    + 2.0 * block.num_dst * (hi - lo) * d_hidden,
+                )
+                inter += block.num_dst * d_hidden * 8.0
+            ctx.recorder.record_intermediate(
+                c, inter + union.size * (hi - lo) * 8.0
+            )
+        if ctx.numerics:
+            totals = ctx.comm.scatter_reduce(contributions, phase="shuffle")
+            return [
+                layer.finalize_sum(t) if t is not None else None for t in totals
+            ]
+        ctx.comm.alltoall_bytes(shuffle_bytes, phase="shuffle", count_backward=True)
+        return [None] * C
+
+    def _execute_gat(self, ctx, plan, batches, layer: GATLayer):
+        C = ctx.num_devices
+        union = plan.union_nodes
+        d_proj = layer.heads * layer.head_dim
+        contributions: List[List[Optional[Tensor]]] = [
+            [None] * C for _ in range(C)
+        ]
+        shuffle_bytes = np.zeros((C, C))
+        for c in range(C):
+            lo, hi = self.shard(c)
+            if ctx.numerics:
+                x_rows, _ = ctx.store.read(c, union, ctx.timeline)
+                x_shard = Tensor(x_rows[:, lo:hi])
+                w_shard = layer.weight.index_rows(np.arange(lo, hi))
+                z_union = x_shard @ w_shard
+            else:
+                ctx.store.charge_load(c, union, ctx.timeline)
+            ctx.charger.dense(c, 2.0 * union.size * (hi - lo) * d_proj)
+            inter = union.size * ((hi - lo) + d_proj) * 8.0
+            for o, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                idx = plan.src_idx_in_union[o]
+                if ctx.numerics:
+                    contributions[c][o] = z_union.index_rows(idx)
+                if c != o:
+                    shuffle_bytes[c, o] += idx.size * d_proj * 8.0
+                inter += idx.size * d_proj * 8.0
+            ctx.recorder.record_intermediate(c, inter)
+        # SparseAllreduce the full projections, then attend locally.
+        if ctx.numerics:
+            z_totals = ctx.comm.scatter_reduce(contributions, phase="shuffle")
+        else:
+            ctx.comm.alltoall_bytes(
+                shuffle_bytes, phase="shuffle", count_backward=True
+            )
+        h1: List[Optional[Tensor]] = []
+        for o, mb in enumerate(batches):
+            if mb is None:
+                h1.append(None)
+                continue
+            block = mb.blocks[0]
+            ctx.charger.dense(
+                o, layer.forward_flops(block) - 2.0 * block.num_src * layer.in_dim * d_proj
+            )
+            h1.append(layer.attend(block, z_totals[o]) if ctx.numerics else None)
+        return h1

@@ -1,0 +1,488 @@
+"""Source node parallel (SNP) — GSplit-style (paper §3.1, Fig. 3c).
+
+An edge-cut partition assigns every graph node to a device.  Each device
+samples blocks for the seeds *in its own partition*; first-layer edges are
+then routed to the device owning their **source** node.  A destination node
+with sources on a remote device gets a *virtual node* there: the remote
+device projects and partially aggregates its local sources' contributions
+and ships the partial back to the requester (GroupReduce = alltoall + local
+aggregation, paper footnote 2).
+
+Exactness of the partials:
+
+* GraphSAGE — partials are ``(sum_u W_n x_u, count)`` pairs plus the self
+  term ``W_s x_v`` produced by ``v``'s owner; the requester divides summed
+  sums by summed counts.  Exactly the single-device mean.
+* GAT — attention needs ``v``'s destination score on every edge-holding
+  device (extra communication, §3.3): owners compute and distribute
+  ``a_r . W x_v``, every device forms shift-consistent
+  ``(sum exp(e-c) W x_u, sum exp(e-c))`` partials, and the requester's
+  division reconstructs the exact softmax (shift-invariance).
+
+Cache policy: the hottest nodes of the device's own partition — the read
+set of an SNP server is a subset of its partition, so a quality partition
+makes the cache extremely effective (and a random one destroys it,
+paper Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.base import (
+    Strategy,
+    StrategyReport,
+    local_index_of,
+    split_by_partition,
+)
+from repro.engine.context import ExecutionContext
+from repro.featurestore.cache import cache_capacity_nodes, snp_cache_nodes
+from repro.models.gat import GATLayer
+from repro.models.sage import SAGELayer
+from repro.tensor import concat as tensor_concat
+from repro.tensor.sparse import segment_sum
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class SNPTask:
+    """One (requester, server) routing entry for a batch."""
+
+    requester: int
+    server: int
+    #: virtual destination nodes hosted at ``server`` (global ids, sorted)
+    vdst: np.ndarray
+    #: position of each virtual node in the requester's block-0 dst list
+    vdst_req_idx: np.ndarray
+    #: routed edges: global source ids -> local index into ``vdst``
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    #: virtual nodes whose self term this server owns (parts[v] == server)
+    self_mask: np.ndarray
+
+
+@dataclass
+class SNPPlan:
+    tasks: List[SNPTask] = field(default_factory=list)
+    #: per-server union of feature nodes to load
+    server_nodes: List[Optional[np.ndarray]] = field(default_factory=list)
+
+
+class SNPStrategy(Strategy):
+    name = "snp"
+    requires_partition = True
+
+    def __init__(self):
+        self._parts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        self._parts = self.check_partition(ctx)
+        freq = self.resolve_access_freq(ctx)
+        cap = cache_capacity_nodes(
+            ctx.cluster.gpu_cache_bytes, ctx.dataset.feature_dim
+        )
+        caches = [
+            snp_cache_nodes(freq, self._parts, d, cap)
+            for d in range(ctx.num_devices)
+        ]
+        ctx.store.configure_caches(caches, dim_fraction=1.0)
+        return StrategyReport(
+            name=self.name,
+            cached_nodes_per_device=[int(c.size) for c in caches],
+            dim_fraction=1.0,
+        )
+
+    def assign_seeds(self, ctx, global_batch):
+        return split_by_partition(global_batch, self._parts, ctx.num_devices)
+
+    def server_of_nodes(self, nodes: np.ndarray, requester: int) -> np.ndarray:
+        """Device that manages each node, from the view of ``requester``.
+
+        Pure SNP routes by the global partition regardless of the
+        requester; the hybrid strategy (GDP across machines, SNP within)
+        overrides this to stay inside the requester's machine.
+        """
+        return self._parts[nodes]
+
+    # ------------------------------------------------------------------ #
+    def plan_batch(self, ctx: ExecutionContext, batches) -> SNPPlan:
+        C = ctx.num_devices
+        parts = self._parts
+        layer = ctx.model.first_layer
+        is_attention = layer.is_attention
+        plan = SNPPlan(server_nodes=[None] * C)
+        need: List[List[np.ndarray]] = [[] for _ in range(C)]
+        struct_bytes = np.zeros((C, C))
+        d_hidden = (
+            layer.heads * layer.head_dim if is_attention else layer.out_dim
+        )
+        # GAT and GCN fold the destination's own input into the edge
+        # aggregation (a self-edge routed to the owner); SAGE ships a
+        # separate self term instead.
+        self_as_edge = is_attention or layer.self_loop_in_aggregation
+
+        for r, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[0]
+            ctx.recorder.n_dst += block.num_dst
+            src_g = block.src_nodes[block.edge_src]
+            dst_g = block.dst_nodes[block.edge_dst]
+            edge_owner = self.server_of_nodes(src_g, r)
+            dst_owner = self.server_of_nodes(block.dst_nodes, r)
+            for p in range(C):
+                e_mask = edge_owner == p
+                owned = block.dst_nodes[dst_owner == p]
+                e_src, e_dst_g = src_g[e_mask], dst_g[e_mask]
+                if self_as_edge and owned.size:
+                    # Owners also hold the self edges (v, v) of their nodes.
+                    e_src = np.concatenate([e_src, owned])
+                    e_dst_g = np.concatenate([e_dst_g, owned])
+                if e_src.size == 0 and owned.size == 0:
+                    continue
+                vdst = np.unique(np.concatenate([e_dst_g, owned]))
+                task = SNPTask(
+                    requester=r,
+                    server=p,
+                    vdst=vdst,
+                    vdst_req_idx=local_index_of(block.dst_nodes, vdst),
+                    edge_src=e_src,
+                    edge_dst=local_index_of(vdst, e_dst_g),
+                    self_mask=self.server_of_nodes(vdst, r) == p,
+                )
+                plan.tasks.append(task)
+                need[p].append(e_src)
+                need[p].append(vdst[task.self_mask])
+                # Server-side partial work estimate (projection handled
+                # below once the server load sets are known).
+                edge_flops = (
+                    e_src.size * layer.heads * (layer.head_dim + 6.0)
+                    if is_attention
+                    else 2.0 * e_src.size * d_hidden
+                )
+                self_flops = (
+                    0.0
+                    if self_as_edge
+                    else 2.0 * int(task.self_mask.sum()) * layer.in_dim * d_hidden
+                )
+                ctx.recorder.record_layer1_flops(p, edge_flops + self_flops)
+                ctx.recorder.record_layer1_flops(r, 4.0 * vdst.size * d_hidden)
+                if p != r:
+                    ctx.recorder.n_virtual += vdst.size
+                    struct_bytes[r, p] += 8.0 * (2 * e_src.size + vdst.size)
+                    # Hidden partial payload: GraphSAGE ships (psum, count,
+                    # self); GAT ships (numerator, denominator) and receives
+                    # the destination scores beforehand.
+                    if is_attention:
+                        payload = vdst.size * (
+                            d_hidden + 2 * layer.heads
+                        ) * 8.0
+                    else:
+                        self_rows = (
+                            0 if self_as_edge else int(task.self_mask.sum())
+                        )
+                        payload = (
+                            vdst.size * (d_hidden + 1) + self_rows * d_hidden
+                        ) * 8.0
+                    ctx.recorder.record_hidden(p, r, payload)
+
+        ctx.comm.alltoall_bytes(struct_bytes, phase="sample")
+        for dev in range(C):
+            ctx.recorder.record_structure(dev, float(struct_bytes[dev].sum()))
+
+        # Message patterns of the Reshuffle stage (latency estimation).
+        if is_attention:
+            # one fused (numerator, denominator) exchange per task pair,
+            # plus the owner -> server destination-score distribution.
+            ctx.recorder.record_message_pattern(struct_bytes, calls=1)
+            score_pattern = np.zeros((C, C))
+            for task in plan.tasks:
+                owners = self.server_of_nodes(task.vdst, task.requester)
+                for o in np.unique(owners):
+                    if o != task.server:
+                        score_pattern[o, task.server] = 1.0
+            ctx.recorder.record_message_pattern(score_pattern, calls=1)
+        else:
+            # fused (psum, self) exchange plus the counts exchange.
+            ctx.recorder.record_message_pattern(struct_bytes, calls=2)
+
+        for p in range(C):
+            if need[p]:
+                nodes = np.unique(np.concatenate(need[p]))
+                plan.server_nodes[p] = nodes
+                split = ctx.store.classify(p, nodes)
+                ctx.recorder.record_load(
+                    p, {t: ids.size for t, ids in split.items()}
+                )
+                ctx.recorder.record_layer1_flops(
+                    p, 2.0 * nodes.size * layer.in_dim * d_hidden
+                )
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def execute_batch(self, ctx, plan: SNPPlan, batches) -> List[Optional[Tensor]]:
+        layer = ctx.model.first_layer
+        if isinstance(layer, GATLayer):
+            return self._execute_gat(ctx, plan, batches, layer)
+        if hasattr(layer, "partial_aggregate"):
+            # The partial-mean protocol (GraphSAGE, GCN, ...).
+            return self._execute_sage(ctx, plan, batches, layer)
+        raise TypeError(
+            f"SNP does not know how to decompose layer type {type(layer).__name__}"
+        )
+
+    def _load_servers(self, ctx, plan: SNPPlan) -> List[Optional[Tensor]]:
+        xs: List[Optional[Tensor]] = []
+        for p, nodes in enumerate(plan.server_nodes):
+            if nodes is None:
+                xs.append(None)
+                continue
+            if ctx.numerics:
+                x_rows, _ = ctx.store.read(p, nodes, ctx.timeline)
+                xs.append(Tensor(x_rows))
+            else:
+                ctx.store.charge_load(p, nodes, ctx.timeline)
+                xs.append(None)
+        return xs
+
+    # ------------------------------------------------------------------ #
+    def _execute_sage(self, ctx, plan, batches, layer: SAGELayer):
+        C = ctx.num_devices
+        xs = self._load_servers(ctx, plan)
+        d_hidden = layer.out_dim
+        # Projected neighbors once per server.
+        z_servers: List[Optional[Tensor]] = []
+        for p in range(C):
+            if plan.server_nodes[p] is None:
+                z_servers.append(None)
+                continue
+            z_servers.append(
+                layer.project_neigh(xs[p]) if ctx.numerics else None
+            )
+            ctx.charger.dense(
+                p, 2.0 * plan.server_nodes[p].size * layer.in_dim * d_hidden
+            )
+            ctx.recorder.record_intermediate(
+                p,
+                plan.server_nodes[p].size * (layer.in_dim + d_hidden) * 8.0,
+            )
+
+        # Partials per task, shipped through an alltoall grid.
+        psum_grid = [[None] * C for _ in range(C)]
+        self_grid = [[None] * C for _ in range(C)]
+        task_info: Dict[Tuple[int, int], SNPTask] = {}
+        counts_grid: Dict[Tuple[int, int], np.ndarray] = {}
+        counts_bytes = np.zeros((C, C))
+        partial_bytes = np.zeros((C, C))
+        ships_self = not layer.self_loop_in_aggregation
+        for task in plan.tasks:
+            p, r = task.server, task.requester
+            self_nodes = (
+                task.vdst[task.self_mask] if ships_self else np.empty(0, np.int64)
+            )
+            if ctx.numerics:
+                src_idx = local_index_of(plan.server_nodes[p], task.edge_src)
+                psum, counts = layer.partial_aggregate(
+                    z_servers[p], src_idx, task.edge_dst, task.vdst.size
+                )
+                psum_grid[p][r] = psum
+                counts_grid[(p, r)] = counts
+                if self_nodes.size:
+                    x_self = xs[p].index_rows(
+                        local_index_of(plan.server_nodes[p], self_nodes)
+                    )
+                    self_grid[p][r] = layer.project_self(x_self)
+            if p != r:
+                partial_bytes[p, r] += (
+                    task.vdst.size + self_nodes.size
+                ) * d_hidden * 8.0
+                counts_bytes[p, r] += task.vdst.size * 8.0
+            ctx.charger.dense(p, 2.0 * task.edge_src.size * d_hidden)
+            if self_nodes.size:
+                ctx.charger.dense(
+                    p, 2.0 * self_nodes.size * layer.in_dim * d_hidden
+                )
+            task_info[(p, r)] = task
+
+        if ctx.numerics:
+            recv_psum, recv_self = ctx.comm.alltoall_many(
+                [psum_grid, self_grid], phase="shuffle"
+            )
+        else:
+            ctx.comm.alltoall_bytes(
+                partial_bytes, phase="shuffle", count_backward=True
+            )
+        ctx.comm.alltoall_bytes(counts_bytes, phase="shuffle")
+
+        # GroupReduce at each requester.
+        h1: List[Optional[Tensor]] = [None] * C
+        for r, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[0]
+            ctx.charger.dense(r, 4.0 * block.num_dst * d_hidden)
+            if not ctx.numerics:
+                continue
+            psums, pidx = [], []
+            selfs, sidx = [], []
+            counts_tot = np.zeros(block.num_dst)
+            for p in range(C):
+                task = task_info.get((p, r))
+                if task is None:
+                    continue
+                psums.append(recv_psum[r][p])
+                pidx.append(task.vdst_req_idx)
+                np.add.at(counts_tot, task.vdst_req_idx, counts_grid[(p, r)])
+                if recv_self[r][p] is not None:
+                    selfs.append(recv_self[r][p])
+                    sidx.append(task.vdst_req_idx[task.self_mask])
+            psum_tot = segment_sum(
+                tensor_concat(psums, axis=0),
+                np.concatenate(pidx),
+                block.num_dst,
+            )
+            self_tot = (
+                segment_sum(
+                    tensor_concat(selfs, axis=0),
+                    np.concatenate(sidx),
+                    block.num_dst,
+                )
+                if selfs
+                else None
+            )
+            h1[r] = layer.combine_partials(psum_tot, counts_tot, self_tot)
+        return h1
+
+    # ------------------------------------------------------------------ #
+    def _execute_gat(self, ctx, plan, batches, layer: GATLayer):
+        C = ctx.num_devices
+        parts = self._parts
+        xs = self._load_servers(ctx, plan)
+        heads, d_proj = layer.heads, layer.heads * layer.head_dim
+
+        z_servers: List[Optional[Tensor]] = []
+        sl_servers: List[Optional[Tensor]] = []
+        for p in range(C):
+            if plan.server_nodes[p] is None:
+                z_servers.append(None)
+                sl_servers.append(None)
+                continue
+            if ctx.numerics:
+                z = layer.project(xs[p])
+                z_servers.append(z)
+                sl_servers.append(layer.src_scores(z))
+            else:
+                z_servers.append(None)
+                sl_servers.append(None)
+            ctx.charger.dense(
+                p,
+                2.0 * plan.server_nodes[p].size * layer.in_dim * d_proj
+                + 4.0 * plan.server_nodes[p].size * d_proj,
+            )
+            ctx.recorder.record_intermediate(
+                p, plan.server_nodes[p].size * (layer.in_dim + d_proj) * 8.0
+            )
+
+        # --- destination-score distribution (the attention extra comm) --- #
+        # For each requester, owners compute a_r . z_v for the destinations
+        # they own; assembled per requester, then used by every server.
+        s_r_full: List[Optional[Tensor]] = [None] * C
+        shift_full: List[Optional[np.ndarray]] = [None] * C
+        score_bytes = np.zeros((C, C))
+        if ctx.numerics:
+            for r, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                block = mb.blocks[0]
+                dst_owner = self.server_of_nodes(block.dst_nodes, r)
+                pieces, idx_pieces = [], []
+                for o in range(C):
+                    owned_idx = np.nonzero(dst_owner == o)[0]
+                    if owned_idx.size == 0:
+                        continue
+                    owned_nodes = block.dst_nodes[owned_idx]
+                    rows = local_index_of(plan.server_nodes[o], owned_nodes)
+                    pieces.append(
+                        layer.dst_scores(z_servers[o].index_rows(rows))
+                    )
+                    idx_pieces.append(owned_idx)
+                s_r = segment_sum(
+                    tensor_concat(pieces, axis=0),
+                    np.concatenate(idx_pieces),
+                    block.num_dst,
+                )
+                s_r_full[r] = s_r
+                shift_full[r] = s_r.data.copy()  # detached (softmax-invariant)
+        # Charge the owner -> server score traffic (forward + gradient).
+        for task in plan.tasks:
+            owners = self.server_of_nodes(task.vdst, task.requester)
+            for o in range(C):
+                n = int((owners == o).sum())
+                if n and o != task.server:
+                    score_bytes[o, task.server] += n * heads * 8.0
+        ctx.comm.alltoall_bytes(score_bytes, phase="shuffle", count_backward=True)
+
+        # --- partial attention at each server ---------------------------- #
+        num_grid = [[None] * C for _ in range(C)]
+        den_grid = [[None] * C for _ in range(C)]
+        task_info: Dict[Tuple[int, int], SNPTask] = {}
+        partial_bytes = np.zeros((C, C))
+        for task in plan.tasks:
+            p, r = task.server, task.requester
+            if ctx.numerics:
+                src_idx = local_index_of(plan.server_nodes[p], task.edge_src)
+                s_r_task = s_r_full[r].index_rows(task.vdst_req_idx)
+                shift_task = shift_full[r][task.vdst_req_idx]
+                num, den = layer.partial_attention(
+                    z_servers[p],
+                    sl_servers[p],
+                    s_r_task,
+                    shift_task,
+                    src_idx,
+                    task.edge_dst,
+                    task.vdst.size,
+                )
+                num_grid[p][r] = num
+                den_grid[p][r] = den
+            if p != r:
+                partial_bytes[p, r] += task.vdst.size * (d_proj + heads) * 8.0
+            ctx.charger.dense(
+                p, task.edge_src.size * heads * (layer.head_dim + 6.0)
+            )
+            task_info[(p, r)] = task
+
+        if ctx.numerics:
+            recv_num, recv_den = ctx.comm.alltoall_many(
+                [num_grid, den_grid], phase="shuffle"
+            )
+        else:
+            ctx.comm.alltoall_bytes(
+                partial_bytes, phase="shuffle", count_backward=True
+            )
+
+        # GroupReduce + exact softmax reconstruction at each requester.
+        h1: List[Optional[Tensor]] = [None] * C
+        for r, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[0]
+            ctx.charger.dense(r, 4.0 * block.num_dst * d_proj)
+            if not ctx.numerics:
+                continue
+            nums, dens, idx = [], [], []
+            for p in range(C):
+                task = task_info.get((p, r))
+                if task is None:
+                    continue
+                nums.append(recv_num[r][p])
+                dens.append(recv_den[r][p])
+                idx.append(task.vdst_req_idx)
+            idx_cat = np.concatenate(idx)
+            num_tot = segment_sum(tensor_concat(nums, axis=0), idx_cat, block.num_dst)
+            den_tot = segment_sum(tensor_concat(dens, axis=0), idx_cat, block.num_dst)
+            h1[r] = layer.combine_attention_partials(num_tot, den_tot)
+        return h1

@@ -1,0 +1,155 @@
+"""The DDP-style parallel trainer driving any strategy.
+
+Per global batch:
+
+1. the strategy distributes the seeds over the simulated devices;
+2. every seed-holding device samples its blocks (sampling time charged);
+3. the strategy plans (Permute/Shuffle) and executes (Execute/Reshuffle)
+   the first layer;
+4. layers >= 2 run data-parallel per device; each device's loss is weighted
+   by its share of the *global* batch, so the summed loss equals the exact
+   global-mean cross entropy no matter how the strategy grouped the seeds —
+   this makes all four strategies apply the identical sequence of updates
+   (the paper's semantic-equivalence property, Fig. 6);
+5. one backward pass accumulates the global gradient (replicated-parameter
+   emulation of DDP), the gradient-allreduce cost is charged, and the
+   optimizer steps.
+
+Epoch time is the sum of per-batch maxima over devices (bulk-synchronous
+barrier), as in :class:`~repro.cluster.timeline.Timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.base import Strategy, sample_batches
+from repro.engine.context import ExecutionContext
+from repro.sampling.batching import EpochIterator
+from repro.tensor import functional as F
+from repro.tensor.optim import Optimizer
+from repro.tensor.tensor import Tensor, add_n, no_grad
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one simulated training epoch."""
+
+    epoch: int
+    mean_loss: float
+    wall_seconds: float
+    #: the paper's stacked breakdown: sampling / loading / training seconds
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    num_batches: int = 0
+
+
+class ParallelTrainer:
+    """Runs epochs of one strategy over an execution context."""
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        ctx: ExecutionContext,
+        optimizer: Optional[Optimizer] = None,
+    ):
+        self.strategy = strategy
+        self.ctx = ctx
+        self.optimizer = optimizer
+        self.report = strategy.prepare(ctx)
+        self._iterator = EpochIterator(
+            ctx.dataset.train_seeds,
+            ctx.global_batch_size,
+            shuffle_seed=ctx.shuffle_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_global_batch(self, global_batch: np.ndarray, epoch: int) -> float:
+        """One synchronized training step; returns the global-mean loss."""
+        ctx = self.ctx
+        seeds = self.strategy.assign_seeds(ctx, global_batch)
+        batches = sample_batches(ctx, seeds, epoch)
+        plan = self.strategy.plan_batch(ctx, batches)
+        h1 = self.strategy.execute_batch(ctx, plan, batches)
+
+        losses: List[Tensor] = []
+        weight_total = float(len(global_batch))
+        for d, mb in enumerate(batches):
+            if mb is None:
+                continue
+            for layer, block in zip(list(ctx.model.layers)[1:], mb.blocks[1:]):
+                ctx.charger.dense(d, layer.forward_flops(block))
+            if ctx.numerics:
+                logits = ctx.model.upper_forward(mb, h1[d])
+                labels = ctx.dataset.labels[mb.blocks[-1].dst_nodes]
+                losses.append(
+                    F.cross_entropy(logits, labels, weight_total=weight_total)
+                )
+
+        loss_value = float("nan")
+        if ctx.numerics:
+            total_loss = add_n(losses)
+            total_loss.backward()
+            loss_value = total_loss.item()
+        ctx.comm.allreduce_gradient_sync(
+            self.strategy.grad_sync_bytes(ctx.model), phase="train"
+        )
+        if ctx.numerics and self.optimizer is not None:
+            self.optimizer.step()
+        ctx.model.zero_grad()
+        ctx.timeline.end_batch()
+        return loss_value
+
+    def train_epoch(self, epoch: int) -> EpochResult:
+        """Run one full epoch; returns loss and timing summary."""
+        ctx = self.ctx
+        wall_before = ctx.timeline.wall_seconds
+        phases_before = ctx.timeline.paper_breakdown()
+        batch_losses = []
+        for global_batch in self._iterator.epoch_batches(epoch):
+            batch_losses.append(self.run_global_batch(global_batch, epoch))
+        phases_after = ctx.timeline.paper_breakdown()
+        return EpochResult(
+            epoch=epoch,
+            mean_loss=float(np.mean(batch_losses)),
+            wall_seconds=ctx.timeline.wall_seconds - wall_before,
+            breakdown={
+                k: phases_after[k] - phases_before[k] for k in phases_after
+            },
+            num_batches=len(batch_losses),
+        )
+
+    def train(self, num_epochs: int) -> List[EpochResult]:
+        return [self.train_epoch(e) for e in range(num_epochs)]
+
+
+def evaluate_accuracy(
+    ctx: ExecutionContext,
+    seeds: Optional[np.ndarray] = None,
+    epoch: int = 10_000,
+    batch_size: int = 2048,
+) -> float:
+    """Sampled-inference test accuracy of the current model (no charging).
+
+    Runs a plain single-device forward over evaluation batches — this is
+    how Fig. 6/7's test-accuracy curves are produced.
+    """
+    ds = ctx.dataset
+    if seeds is None:
+        seeds = np.arange(ds.num_nodes, dtype=np.int64)
+    sampler = ctx.sampler
+    correct = 0
+    total = 0
+    with no_grad():
+        for i in range(0, len(seeds), batch_size):
+            chunk = np.asarray(seeds[i : i + batch_size], dtype=np.int64)
+            mb = sampler.sample(chunk, epoch=epoch)
+            x = Tensor(ds.features[mb.input_nodes])
+            logits = ctx.model.forward(mb, x)
+            pred = logits.data.argmax(axis=1)
+            labels = ds.labels[mb.blocks[-1].dst_nodes]
+            correct += int((pred == labels).sum())
+            total += labels.size
+    return correct / max(total, 1)

@@ -1,0 +1,237 @@
+"""The unified feature store: placement, feature map, and read accounting.
+
+Resolution order for a feature read by GPU ``d`` (paper §4.2):
+
+1. ``d``'s own GPU cache (HBM bandwidth — effectively free);
+2. a peer GPU's cache on the same machine, *only when fast inter-GPU links
+   (NVLink) exist* — the T4 preset has none, so this tier is inactive by
+   default, exactly as on the paper's platform;
+3. the local CPU's feature shard (PCIe UVA read);
+4. a remote machine's CPU (shared NIC).
+
+Every read returns the actual feature rows (for the real numerics) plus a
+:class:`LoadReport`, and charges simulated load time at each tier's
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import Timeline
+from repro.graph.datasets import GraphDataset
+
+
+class Tier(enum.Enum):
+    """Memory tier a feature row was served from."""
+
+    GPU_CACHE = "gpu_cache"
+    PEER_GPU = "peer_gpu"
+    LOCAL_CPU = "local_cpu"
+    REMOTE_CPU = "remote_cpu"
+
+
+@dataclass
+class LoadReport:
+    """Per-tier accounting of one feature read."""
+
+    rows: Dict[Tier, int] = field(default_factory=lambda: {t: 0 for t in Tier})
+    bytes: Dict[Tier, float] = field(default_factory=lambda: {t: 0.0 for t in Tier})
+    seconds: float = 0.0
+
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+    def hit_rate(self) -> float:
+        """Fraction of rows served from this GPU's own cache."""
+        total = self.total_rows()
+        return self.rows[Tier.GPU_CACHE] / total if total else 0.0
+
+    def merge(self, other: "LoadReport") -> None:
+        for t in Tier:
+            self.rows[t] += other.rows[t]
+            self.bytes[t] += other.bytes[t]
+        self.seconds += other.seconds
+
+
+class UnifiedFeatureStore:
+    """Feature placement plus cached-read accounting for all strategies.
+
+    Parameters
+    ----------
+    dataset:
+        Provides the feature matrix and graph.
+    cluster:
+        Hardware model; supplies tier bandwidths and the cache byte budget.
+    node_machine:
+        ``(num_nodes,)`` machine index holding each node's features in CPU
+        memory.  With one machine this is all zeros.  Benchmarks pass a
+        METIS-grouped assignment, mirroring the paper's data layout step.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        cluster: ClusterSpec,
+        node_machine: Optional[np.ndarray] = None,
+    ):
+        self.dataset = dataset
+        self.cluster = cluster
+        n = dataset.num_nodes
+        if node_machine is None:
+            node_machine = np.zeros(n, dtype=np.int64)
+        node_machine = np.asarray(node_machine, dtype=np.int64)
+        if node_machine.shape != (n,):
+            raise ValueError(f"node_machine shape {node_machine.shape} != ({n},)")
+        if node_machine.size and node_machine.max() >= cluster.num_machines:
+            raise ValueError("node_machine references a machine beyond the cluster")
+        self.node_machine = node_machine
+        C = cluster.num_devices
+        # Per-device boolean cache membership.
+        self._cached = np.zeros((C, n), dtype=bool)
+        #: Dimension fraction each device reads (1.0 except under NFP).
+        self.dim_fraction = 1.0
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def configure_caches(
+        self, cached_nodes: Sequence[np.ndarray], dim_fraction: float = 1.0
+    ) -> None:
+        """Install per-device cache node sets (from a §3.2 cache policy)."""
+        C = self.cluster.num_devices
+        if len(cached_nodes) != C:
+            raise ValueError(f"need {C} cache sets, got {len(cached_nodes)}")
+        if not 0.0 < dim_fraction <= 1.0:
+            raise ValueError(f"dim_fraction must be in (0, 1], got {dim_fraction}")
+        self._cached[:] = False
+        for d, nodes in enumerate(cached_nodes):
+            if np.asarray(nodes).size:
+                self._cached[d, np.asarray(nodes, dtype=np.int64)] = True
+        self.dim_fraction = float(dim_fraction)
+
+    def cached_node_count(self, device: int) -> int:
+        return int(self._cached[device].sum())
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def classify(self, device: int, node_ids: np.ndarray) -> Dict[Tier, np.ndarray]:
+        """Split ``node_ids`` by the tier device ``device`` reads them from."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        out: Dict[Tier, np.ndarray] = {}
+        own_hit = self._cached[device, node_ids]
+        out[Tier.GPU_CACHE] = node_ids[own_hit]
+        rest = node_ids[~own_hit]
+
+        machine = self.cluster.machine_of(device)
+        mspec = self.cluster.machine_spec(device)
+        if mspec.nvlink is not None and rest.size:
+            peers = [
+                d
+                for d in self.cluster.devices_of_machine(machine)
+                if d != device
+            ]
+            if peers:
+                peer_hit = self._cached[peers][:, rest].any(axis=0)
+            else:
+                peer_hit = np.zeros(rest.size, dtype=bool)
+            out[Tier.PEER_GPU] = rest[peer_hit]
+            rest = rest[~peer_hit]
+        else:
+            out[Tier.PEER_GPU] = np.empty(0, dtype=np.int64)
+
+        local = self.node_machine[rest] == machine
+        out[Tier.LOCAL_CPU] = rest[local]
+        out[Tier.REMOTE_CPU] = rest[~local]
+        return out
+
+    def read(
+        self,
+        device: int,
+        node_ids: np.ndarray,
+        timeline: Optional[Timeline] = None,
+        phase: str = "load",
+    ) -> tuple:
+        """Fetch feature rows for ``node_ids`` on ``device``.
+
+        Returns ``(features, report)`` where ``features`` is the dense
+        ``(len(node_ids), feature_dim)`` array (full dimensionality — NFP
+        slices its shard afterwards) and ``report`` the tier accounting.
+        Simulated load seconds are charged to ``timeline`` when given.
+        """
+        report = self.charge_load(device, node_ids, timeline, phase)
+        features = self.dataset.features[np.asarray(node_ids, dtype=np.int64)]
+        return features, report
+
+    def charge_load(
+        self,
+        device: int,
+        node_ids: np.ndarray,
+        timeline: Optional[Timeline] = None,
+        phase: str = "load",
+    ) -> LoadReport:
+        """The accounting half of :meth:`read` — no data is materialized.
+
+        Used by timing-only execution (performance benchmarks) where the
+        simulated load time matters but the feature values do not.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        split = self.classify(device, node_ids)
+        row_bytes = self.dataset.feature_dim * 8.0 * self.dim_fraction
+
+        mspec = self.cluster.machine_spec(device)
+        dspec = self.cluster.device_spec(device)
+        tier_links = {
+            Tier.GPU_CACHE: None,  # HBM — charged at memory bandwidth
+            Tier.PEER_GPU: mspec.gpu_peer_link(),
+            Tier.LOCAL_CPU: mspec.pcie,
+            Tier.REMOTE_CPU: self.cluster.inter_machine_link_per_gpu(device),
+        }
+        report = LoadReport()
+        for tier, ids in split.items():
+            nbytes = ids.size * row_bytes
+            report.rows[tier] = int(ids.size)
+            report.bytes[tier] = nbytes
+            if ids.size == 0:
+                continue
+            link = tier_links[tier]
+            if link is None:
+                report.seconds += dspec.memory_bound_seconds(nbytes)
+            else:
+                report.seconds += link.seconds(nbytes, messages=1)
+        if timeline is not None:
+            timeline.charge(device, phase, report.seconds)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def estimate_load_seconds(
+        self, device: int, rows_per_tier: Dict[Tier, float]
+    ) -> float:
+        """Cost-model helper: load time for hypothetical per-tier row counts.
+
+        Used by the APT planner, which knows expected tier row counts from
+        dry-run statistics without performing the reads.
+        """
+        row_bytes = self.dataset.feature_dim * 8.0 * self.dim_fraction
+        mspec = self.cluster.machine_spec(device)
+        dspec = self.cluster.device_spec(device)
+        total = 0.0
+        for tier, rows in rows_per_tier.items():
+            nbytes = rows * row_bytes
+            if nbytes <= 0:
+                continue
+            if tier is Tier.GPU_CACHE:
+                total += dspec.memory_bound_seconds(nbytes)
+            elif tier is Tier.PEER_GPU:
+                total += mspec.gpu_peer_link().seconds(nbytes)
+            elif tier is Tier.LOCAL_CPU:
+                total += mspec.pcie.seconds(nbytes)
+            else:
+                total += self.cluster.inter_machine_link_per_gpu(device).seconds(nbytes)
+        return total

@@ -1,0 +1,306 @@
+"""Graph partitioning: a multilevel edge-cut partitioner plus baselines.
+
+The paper uses METIS to assign graph nodes to GPUs for the SNP and DNP
+strategies (and shows in Fig. 11 how badly they degrade under random
+partitioning).  METIS itself is not available offline, so
+:func:`metis_like_partition` implements the standard multilevel scheme METIS
+popularized (Karypis & Kumar, 1998):
+
+1. **Coarsening** — repeated heavy-edge matching collapses matched node
+   pairs until the graph is small;
+2. **Initial partitioning** — greedy balanced region growing on the
+   coarsest graph, seeded from high-degree nodes;
+3. **Uncoarsening + refinement** — projected back level by level with
+   boundary Kernighan-Lin-style moves that reduce the edge cut while
+   keeping parts within a balance tolerance.
+
+On the community-structured datasets in this repo it recovers partitions
+with edge-cut fractions far below random, which is exactly the contrast
+paper Fig. 11 exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.random import rng_from
+from repro.utils.validation import check_positive
+
+
+def random_partition(num_nodes: int, num_parts: int, seed: int = 0) -> np.ndarray:
+    """Uniform random node-to-part assignment (paper Fig. 11 baseline)."""
+    check_positive("num_parts", num_parts)
+    rng = rng_from(seed, 0xBAD)
+    return rng.integers(0, num_parts, size=num_nodes).astype(np.int64)
+
+
+def hash_partition(num_nodes: int, num_parts: int) -> np.ndarray:
+    """Deterministic modulo assignment (round-robin by node id)."""
+    check_positive("num_parts", num_parts)
+    return (np.arange(num_nodes, dtype=np.int64) % num_parts)
+
+
+# --------------------------------------------------------------------- #
+# multilevel partitioner internals
+# --------------------------------------------------------------------- #
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_weights: np.ndarray
+    node_weights: np.ndarray
+    # Mapping from the *finer* level's nodes to this level's nodes.
+    fine_to_coarse: Optional[np.ndarray]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.indptr.shape[0] - 1
+
+
+def _heavy_edge_matching(
+    level: _Level, rng: np.random.Generator, rounds: int = 5
+) -> np.ndarray:
+    """Vectorized heavy-edge matching via repeated mutual-best pairing.
+
+    Each round, every unmatched node nominates its heaviest unmatched
+    neighbor (random tie-breaking); mutually-nominating pairs are matched.
+    This is the standard parallel approximation of sequential HEM and
+    typically matches >80% of nodes in a few rounds.  Returns
+    ``fine_to_coarse``: matched pairs share a coarse node id.
+    """
+    n = level.num_nodes
+    indptr, indices, ew = level.indptr, level.indices, level.edge_weights
+    match = np.arange(n, dtype=np.int64)  # self-matched by default
+    unmatched = np.ones(n, dtype=bool)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    noise = rng.random(ew.shape[0]) * 1e-6
+    for _ in range(rounds):
+        valid = unmatched[src] & unmatched[indices] & (src != indices)
+        if not valid.any():
+            break
+        w = np.where(valid, ew + noise, -np.inf)
+        # Per-row argmax: sort by (row, weight); the last entry per row wins.
+        order = np.lexsort((w, src))
+        sorted_src = src[order]
+        row_last = np.nonzero(
+            np.r_[sorted_src[1:] != sorted_src[:-1], True]
+        )[0]
+        rows = sorted_src[row_last]
+        best_edge = order[row_last]
+        has_valid = np.isfinite(w[best_edge])
+        rows, best_edge = rows[has_valid], best_edge[has_valid]
+        best = np.full(n, -1, dtype=np.int64)
+        best[rows] = indices[best_edge]
+        # Mutual nominations become matches.
+        cand = np.nonzero(best >= 0)[0]
+        mutual = cand[best[best[cand]] == cand]
+        pairs = mutual[mutual < best[mutual]]
+        if pairs.size == 0:
+            break
+        partners = best[pairs]
+        match[pairs] = partners
+        match[partners] = pairs
+        unmatched[pairs] = False
+        unmatched[partners] = False
+    owner = np.minimum(np.arange(n), match)
+    _, fine_to_coarse = np.unique(owner, return_inverse=True)
+    return fine_to_coarse.astype(np.int64)
+
+
+def _coarsen(level: _Level, fine_to_coarse: np.ndarray) -> _Level:
+    """Build the coarse graph induced by a matching."""
+    n_coarse = int(fine_to_coarse.max()) + 1
+    src = np.repeat(np.arange(level.num_nodes), np.diff(level.indptr))
+    dst = level.indices
+    cu, cv = fine_to_coarse[src], fine_to_coarse[dst]
+    keep = cu != cv
+    cu, cv, w = cu[keep], cv[keep], level.edge_weights[keep]
+    # Merge parallel edges, summing weights.
+    key = cu * np.int64(n_coarse) + cv
+    order = np.argsort(key, kind="stable")
+    key, cu, cv, w = key[order], cu[order], cv[order], w[order]
+    if key.size:
+        boundary = np.empty(key.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = key[1:] != key[:-1]
+        group = np.cumsum(boundary) - 1
+        merged_w = np.bincount(group, weights=w)
+        cu, cv = cu[boundary], cv[boundary]
+    else:
+        merged_w = w
+    counts = np.bincount(cu, minlength=n_coarse)
+    indptr = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    node_weights = np.bincount(fine_to_coarse, weights=level.node_weights, minlength=n_coarse)
+    return _Level(
+        indptr=indptr,
+        indices=cv.astype(np.int64),
+        edge_weights=merged_w.astype(np.float64),
+        node_weights=node_weights,
+        fine_to_coarse=fine_to_coarse,
+    )
+
+
+def _initial_partition(
+    level: _Level, num_parts: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy balanced region growing on the coarsest graph."""
+    n = level.num_nodes
+    total_w = level.node_weights.sum()
+    cap = total_w / num_parts * 1.05
+    parts = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(num_parts)
+    degree_order = np.argsort(-np.diff(level.indptr))
+    frontier_sets: List[List[int]] = [[] for _ in range(num_parts)]
+    seeds_iter = iter(degree_order)
+    for p in range(num_parts):
+        for s in seeds_iter:
+            if parts[s] == -1:
+                parts[s] = p
+                loads[p] += level.node_weights[s]
+                frontier_sets[p].extend(
+                    level.indices[level.indptr[s] : level.indptr[s + 1]].tolist()
+                )
+                break
+    # Round-robin BFS growth.
+    active = True
+    while active:
+        active = False
+        for p in np.argsort(loads):
+            if loads[p] >= cap:
+                continue
+            frontier = frontier_sets[p]
+            grabbed = False
+            while frontier:
+                v = frontier.pop()
+                if parts[v] == -1:
+                    parts[v] = p
+                    loads[p] += level.node_weights[v]
+                    frontier_sets[p].extend(
+                        level.indices[level.indptr[v] : level.indptr[v + 1]].tolist()
+                    )
+                    grabbed = True
+                    break
+            if grabbed:
+                active = True
+    # Any disconnected leftovers go to the lightest parts.
+    for v in np.nonzero(parts == -1)[0]:
+        p = int(np.argmin(loads))
+        parts[v] = p
+        loads[p] += level.node_weights[v]
+    return parts
+
+
+def _refine(
+    level: _Level,
+    parts: np.ndarray,
+    num_parts: int,
+    passes: int,
+    balance_tol: float,
+) -> np.ndarray:
+    """Boundary refinement: greedily move nodes to their best-connected part.
+
+    A node moves when its heaviest-adjacency part differs from its current
+    part and the move keeps both parts within the balance tolerance.  This
+    is the lightweight FM-style refinement used at each uncoarsening level.
+    """
+    n = level.num_nodes
+    indptr, indices, ew = level.indptr, level.indices, level.edge_weights
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    loads = np.bincount(parts, weights=level.node_weights, minlength=num_parts)
+    total_w = level.node_weights.sum()
+    cap = total_w / num_parts * (1.0 + balance_tol)
+    floor = total_w / num_parts * (1.0 - balance_tol)
+    for _ in range(passes):
+        # Adjacency weight of every node to every part, in one bincount.
+        key = src * np.int64(num_parts) + parts[indices]
+        conn = np.bincount(key, weights=ew, minlength=n * num_parts).reshape(
+            n, num_parts
+        )
+        best = np.argmax(conn, axis=1)
+        cur_conn = conn[np.arange(n), parts]
+        gain = conn[np.arange(n), best] - cur_conn
+        cand = np.nonzero((best != parts) & (gain > 0))[0]
+        if cand.size == 0:
+            break
+        # Apply moves greedily by descending gain, maintaining balance.
+        cand = cand[np.argsort(-gain[cand])]
+        moved = 0
+        for v in cand:
+            b, c = int(best[v]), int(parts[v])
+            wv = level.node_weights[v]
+            if loads[b] + wv > cap or loads[c] - wv < floor:
+                continue
+            parts[v] = b
+            loads[b] += wv
+            loads[c] -= wv
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def metis_like_partition(
+    graph: CSRGraph,
+    num_parts: int,
+    seed: int = 0,
+    *,
+    coarsen_until: int = 4_000,
+    max_levels: int = 12,
+    refine_passes: int = 4,
+    balance_tol: float = 0.08,
+) -> np.ndarray:
+    """Multilevel k-way edge-cut partitioning (METIS stand-in).
+
+    Parameters
+    ----------
+    graph:
+        Input topology (treated as undirected; the CSR should be symmetric).
+    num_parts:
+        Number of parts (one per simulated GPU for SNP/DNP).
+    coarsen_until:
+        Stop coarsening when the graph has at most this many nodes.
+    balance_tol:
+        Allowed relative deviation of part weights from perfect balance.
+
+    Returns
+    -------
+    ``(num_nodes,)`` int64 part assignment.
+    """
+    check_positive("num_parts", num_parts)
+    if num_parts == 1:
+        return np.zeros(graph.num_nodes, dtype=np.int64)
+    rng = rng_from(seed, 0x4E715)
+
+    base = _Level(
+        indptr=graph.indptr,
+        indices=graph.indices,
+        edge_weights=np.ones(graph.num_edges, dtype=np.float64),
+        node_weights=np.ones(graph.num_nodes, dtype=np.float64),
+        fine_to_coarse=None,
+    )
+    levels = [base]
+    while levels[-1].num_nodes > coarsen_until and len(levels) < max_levels:
+        matching = _heavy_edge_matching(levels[-1], rng)
+        coarse = _coarsen(levels[-1], matching)
+        if coarse.num_nodes >= levels[-1].num_nodes * 0.95:
+            break  # matching stalled; stop coarsening
+        levels.append(coarse)
+
+    parts = _initial_partition(levels[-1], num_parts, rng)
+    parts = _refine(levels[-1], parts, num_parts, refine_passes, balance_tol)
+
+    # Uncoarsen: project and refine at each finer level.
+    for level_idx in range(len(levels) - 1, 0, -1):
+        mapping = levels[level_idx].fine_to_coarse
+        parts = parts[mapping]
+        parts = _refine(
+            levels[level_idx - 1], parts, num_parts, refine_passes, balance_tol
+        )
+    return parts.astype(np.int64)

@@ -1,0 +1,29 @@
+"""GNN models: GraphSAGE (mean aggregation) and GAT (multi-head attention).
+
+Each layer exposes two APIs:
+
+* ``full_forward(block, h_src)`` — the standard single-device computation
+  (used by GDP everywhere, by every strategy for layers >= 2, and by DNP's
+  destination owners, which always hold a complete view);
+* decomposition primitives (projection, partial aggregation, combination)
+  that let SNP and NFP split the first layer across devices while remaining
+  *numerically exact* — GraphSAGE partials carry (sum, count) pairs and GAT
+  partials carry shift-consistent (sum exp * z, sum exp) pairs, so the
+  combined result equals the single-device computation to float precision.
+"""
+
+from repro.models.base import GNNLayer, GNNModel
+from repro.models.sage import GraphSAGE, SAGELayer
+from repro.models.gat import GAT, GATLayer
+from repro.models.gcn import GCN, GCNLayer
+
+__all__ = [
+    "GNNLayer",
+    "GNNModel",
+    "GraphSAGE",
+    "SAGELayer",
+    "GAT",
+    "GATLayer",
+    "GCN",
+    "GCNLayer",
+]

@@ -1,0 +1,143 @@
+"""Graph Convolutional Network (Kipf & Welling, 2017), sampled-subgraph form.
+
+Layer function over the self-augmented sampled neighborhood:
+
+.. math::
+
+    h_v = \\sigma( W \\cdot mean_{u \\in N(v) \\cup \\{v\\}} h_u + b )
+
+(the mean-normalized GCN variant DGL exposes as the "gcn" aggregator; the
+symmetric-sqrt normalization degenerates to this under fixed-fanout
+sampling).  Unlike GraphSAGE there is no separate self weight: the
+destination's own input rides along as one more aggregation element, which
+the SNP router realizes as a self-edge materialized at the destination's
+partition owner (``self_loop_in_aggregation``).
+
+The cross-device decomposition uses the same exact (sum, count) algebra as
+GraphSAGE — see :class:`repro.models.sage.SAGELayer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import GNNLayer, GNNModel, extend_with_self_edges
+from repro.sampling.block import Block
+from repro.tensor import functional as F
+from repro.tensor import init as tinit
+from repro.tensor.module import Parameter
+from repro.tensor.sparse import segment_mean, segment_sum
+from repro.tensor.tensor import Tensor
+from repro.utils.random import rng_from
+
+
+class GCNLayer(GNNLayer):
+    """One mean-normalized GCN layer (self-loop folded into aggregation)."""
+
+    self_loop_in_aggregation = True
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: bool = True,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if rng is None:
+            rng = rng_from(0, in_dim, out_dim, 0x6C9)
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.activation = bool(activation)
+        self.weight = Parameter(tinit.xavier_uniform((self.in_dim, self.out_dim), rng))
+        self.bias = Parameter(np.zeros(self.out_dim))
+
+    # ------------------------------------------------------------------ #
+    def full_forward(self, block: Block, h_src: Tensor) -> Tensor:
+        if h_src.shape != (block.num_src, self.in_dim):
+            raise ValueError(
+                f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
+            )
+        edge_src, edge_dst = extend_with_self_edges(block)
+        msgs = h_src.index_rows(edge_src)
+        mean = segment_mean(msgs, edge_dst, block.num_dst)
+        return self._finish(mean @ self.weight)
+
+    def _finish(self, pre: Tensor) -> Tensor:
+        out = pre + self.bias
+        return F.relu(out) if self.activation else out
+
+    def forward_flops(self, block: Block) -> float:
+        agg = 2.0 * (block.num_edges + block.num_dst) * self.in_dim
+        proj = 2.0 * block.num_dst * self.in_dim * self.out_dim
+        return agg + proj
+
+    # ------------------------------------------------------------------ #
+    # partial-mean protocol (shared with SAGELayer; see engine/snp.py)
+    # ------------------------------------------------------------------ #
+    def project_neigh(self, x: Tensor) -> Tensor:
+        """Project source inputs (``W x``); mean and projection commute."""
+        return x @ self.weight
+
+    def partial_aggregate(
+        self,
+        z_src: Tensor,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        num_dst: int,
+    ) -> Tuple[Tensor, np.ndarray]:
+        """Partial (sum, count) over an edge subset — identical algebra to
+        :meth:`SAGELayer.partial_aggregate`."""
+        msgs = z_src.index_rows(edge_src)
+        psum = segment_sum(msgs, edge_dst, num_dst)
+        counts = np.bincount(edge_dst, minlength=num_dst).astype(np.float64)
+        return psum, counts
+
+    def combine_partials(
+        self,
+        psum_total: Tensor,
+        counts_total: np.ndarray,
+        self_term: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Exact reconstruction; GCN has no separate self term (the
+        self-loop was routed as an edge)."""
+        safe = np.maximum(counts_total, 1.0).reshape(-1, 1)
+        out = psum_total * Tensor(1.0 / safe)
+        if self_term is not None:
+            out = out + self_term
+        return self._finish(out)
+
+    def finalize_sum(self, total: Tensor) -> Tensor:
+        """Bias + activation over summed NFP shard contributions."""
+        return self._finish(total)
+
+
+class GCN(GNNModel):
+    """A K-layer GCN for node classification."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 3,
+        seed: int = 0,
+    ):
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        layers = [
+            GCNLayer(
+                dims[k],
+                dims[k + 1],
+                activation=(k < num_layers - 1),
+                rng=rng_from(seed, 0x6C4, k),
+            )
+            for k in range(num_layers)
+        ]
+        super().__init__(layers)
+        self.in_dim = in_dim
+        self.num_classes = num_classes

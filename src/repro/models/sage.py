@@ -1,0 +1,176 @@
+"""GraphSAGE (Hamilton et al., 2017) with the mean aggregator.
+
+Layer function (paper Eq. 1 with mean AGG plus the usual self connection):
+
+.. math::
+
+    h_v = \\sigma( W_{self} h_v + W_{neigh} \\cdot mean_{u \\in N(v)} h_u + b )
+
+The decomposition primitives exploit linearity of projection and mean:
+``W_neigh * mean(x_u) = (sum_p W_neigh x_u^{(p)}) / (sum_p count_p)`` across
+partial source sets ``p`` (SNP), and the same identity across feature-
+dimension shards (NFP).  Both reconstructions are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import GNNLayer, GNNModel
+from repro.sampling.block import Block
+from repro.tensor import functional as F
+from repro.tensor import init as tinit
+from repro.tensor.module import Parameter
+from repro.tensor.sparse import segment_mean, segment_sum
+from repro.tensor.tensor import Tensor
+from repro.utils.random import rng_from
+
+
+class SAGELayer(GNNLayer):
+    """One GraphSAGE-mean layer.
+
+    Parameters
+    ----------
+    in_dim / out_dim:
+        Input and output embedding dimensions.
+    activation:
+        Apply ReLU after the affine combination (disabled on the output
+        layer).
+    rng:
+        Initializer RNG (deterministic model construction).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: bool = True,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if rng is None:
+            rng = rng_from(0, in_dim, out_dim)
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.activation = bool(activation)
+        self.w_self = Parameter(tinit.xavier_uniform((self.in_dim, self.out_dim), rng))
+        self.w_neigh = Parameter(tinit.xavier_uniform((self.in_dim, self.out_dim), rng))
+        self.bias = Parameter(np.zeros(self.out_dim))
+
+    # ------------------------------------------------------------------ #
+    # full local computation
+    # ------------------------------------------------------------------ #
+    def full_forward(self, block: Block, h_src: Tensor) -> Tensor:
+        if h_src.shape != (block.num_src, self.in_dim):
+            raise ValueError(
+                f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
+            )
+        # Aggregate raw inputs, then project: cheaper than projecting every
+        # source when out_dim < in_dim, and exactly equal either way.
+        msgs = h_src.index_rows(block.edge_src)
+        neigh_mean = segment_mean(msgs, block.edge_dst, block.num_dst)
+        h_dst_in = h_src.index_rows(block.dst_in_src)
+        return self.combine(neigh_mean @ self.w_neigh, h_dst_in @ self.w_self)
+
+    def combine(self, neigh_term: Tensor, self_term: Tensor) -> Tensor:
+        """Final affine combination plus optional activation."""
+        out = neigh_term + self_term + self.bias
+        return F.relu(out) if self.activation else out
+
+    def forward_flops(self, block: Block) -> float:
+        agg = 2.0 * block.num_edges * self.in_dim
+        proj = 2.0 * block.num_dst * self.in_dim * self.out_dim * 2  # self+neigh
+        return agg + proj
+
+    # ------------------------------------------------------------------ #
+    # decomposition primitives (SNP / NFP first-layer paths)
+    # ------------------------------------------------------------------ #
+    def project_neigh(self, x: Tensor) -> Tensor:
+        """Project source inputs with the neighbor weight (``W_neigh x``)."""
+        return x @ self.w_neigh
+
+    def project_self(self, x: Tensor) -> Tensor:
+        """Project destination inputs with the self weight (``W_self x``)."""
+        return x @ self.w_self
+
+    def partial_aggregate(
+        self,
+        z_src: Tensor,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        num_dst: int,
+    ) -> Tuple[Tensor, np.ndarray]:
+        """Partial neighbor aggregation over a subset of a block's edges.
+
+        Returns the per-destination partial sum of projected messages and
+        the per-destination edge count.  Partials from different devices
+        add: ``mean = sum(partial_sums) / sum(counts)``.
+        """
+        msgs = z_src.index_rows(edge_src)
+        psum = segment_sum(msgs, edge_dst, num_dst)
+        counts = np.bincount(edge_dst, minlength=num_dst).astype(np.float64)
+        return psum, counts
+
+    def finalize_sum(self, total: Tensor) -> Tensor:
+        """Bias + activation over an already-summed (neigh + self) term.
+
+        NFP's dimension shards each produce ``mean_c(W_n^c x^c) + W_s^c x^c``
+        (global edge counts are known on every device, so the division
+        happens before the reduce); their sum is the full pre-activation.
+        """
+        out = total + self.bias
+        return F.relu(out) if self.activation else out
+
+    def combine_partials(
+        self,
+        psum_total: Tensor,
+        counts_total: np.ndarray,
+        self_term: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Reconstruct the exact layer output from summed partials.
+
+        GraphSAGE always receives a self term (each destination's owner
+        ships ``W_self x_v``); the optional signature keeps the partial-
+        mean protocol uniform with layers that fold the self loop into the
+        aggregation (GCN).
+        """
+        safe = np.maximum(counts_total, 1.0).reshape(-1, 1)
+        neigh_term = psum_total * Tensor(1.0 / safe)
+        if self_term is None:
+            raise ValueError("GraphSAGE partials require the self term")
+        return self.combine(neigh_term, self_term)
+
+
+class GraphSAGE(GNNModel):
+    """A K-layer GraphSAGE-mean model for node classification.
+
+    Parameters mirror the paper's defaults: 3 layers, hidden dimension 32.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 3,
+        seed: int = 0,
+    ):
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        layers = []
+        for k in range(num_layers):
+            layers.append(
+                SAGELayer(
+                    dims[k],
+                    dims[k + 1],
+                    activation=(k < num_layers - 1),
+                    rng=rng_from(seed, 0x5A6E, k),
+                )
+            )
+        super().__init__(layers)
+        self.in_dim = in_dim
+        self.num_classes = num_classes

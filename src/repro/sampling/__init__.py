@@ -1,0 +1,26 @@
+"""Graph sampling: node-wise fanout sampling into bipartite blocks (MFGs).
+
+The sampler is *counter-based*: the neighbors drawn for a node depend only on
+``(global_seed, epoch, layer, node_id)``, computed with a vectorized
+splitmix64 hash instead of a sequential RNG.  Two consequences matter:
+
+* the same node sampled on two different simulated GPUs (or under two
+  different parallelization strategies) yields the *identical* neighbor
+  multiset, which is what lets the engine prove the strategies semantically
+  equivalent (paper Fig. 6) instead of just statistically similar;
+* sampling is embarrassingly parallel and fully vectorized.
+"""
+
+from repro.sampling.block import Block, MiniBatch
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.layerwise import LayerWiseSampler
+from repro.sampling.batching import EpochIterator, iter_epoch_batches
+
+__all__ = [
+    "Block",
+    "MiniBatch",
+    "NeighborSampler",
+    "LayerWiseSampler",
+    "EpochIterator",
+    "iter_epoch_batches",
+]

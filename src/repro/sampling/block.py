@@ -1,0 +1,137 @@
+"""Bipartite computation blocks (DGL's "message flow graphs").
+
+A :class:`Block` is one GNN layer's computation graph: edges flow from
+*source* nodes (embedding inputs) to *destination* nodes (embedding
+outputs).  Strategies repartition blocks along different dimensions —
+GDP by subgraph, NFP by feature dimension, SNP by source node, DNP by
+destination node (paper Fig. 5) — so the block is the engine's central
+currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.tensor.sparse import CSRMatrix
+
+
+@dataclass
+class Block:
+    """One layer's bipartite sampled graph.
+
+    Attributes
+    ----------
+    src_nodes:
+        Unique global ids of source nodes.  Guaranteed to contain every
+        destination node (so models can always read the destination's own
+        input, e.g. GraphSAGE's self term or GAT's self-loop).
+    dst_nodes:
+        Unique global ids of destination nodes.
+    dst_in_src:
+        ``dst_nodes[i] == src_nodes[dst_in_src[i]]`` — local position of
+        each destination within the source array.
+    edge_src / edge_dst:
+        Per-edge local indices into ``src_nodes`` / ``dst_nodes``; edges are
+        sorted by ``edge_dst``.  Self-edges are *not* materialized here;
+        models add them when their aggregation wants them.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    dst_in_src: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+
+    def __post_init__(self):
+        if self.dst_in_src.shape != self.dst_nodes.shape:
+            raise ValueError("dst_in_src must align with dst_nodes")
+        if self.edge_src.shape != self.edge_dst.shape:
+            raise ValueError("edge_src/edge_dst must align")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_src(self) -> int:
+        return int(self.src_nodes.shape[0])
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst_nodes.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.shape[0])
+
+    def adjacency(self) -> CSRMatrix:
+        """``(num_dst, num_src)`` unweighted adjacency for SpMM kernels."""
+        return CSRMatrix.from_edges(
+            self.edge_dst, self.edge_src, (self.num_dst, self.num_src)
+        )
+
+    def structure_bytes(self) -> int:
+        """Wire size of the block structure (drives T_build comm cost).
+
+        Counts the edge index pairs plus the global id arrays, at 8 bytes
+        per entry — the same bookkeeping a real engine serializes when
+        shuffling computation graphs between GPUs.
+        """
+        return 8 * (
+            2 * self.num_edges + self.num_src + self.num_dst
+        )
+
+    def degree_per_dst(self) -> np.ndarray:
+        """In-degree of each destination node within the block."""
+        return np.bincount(self.edge_dst, minlength=self.num_dst)
+
+    @classmethod
+    def from_global_edges(
+        cls, edge_src_global: np.ndarray, edge_dst_global: np.ndarray
+    ) -> "Block":
+        """Build a block from global-id edge endpoints.
+
+        Destinations are the unique ``edge_dst_global``; sources are the
+        unique union of both endpoint sets (ensuring destinations appear as
+        sources).  Edges come out sorted by destination.
+        """
+        edge_src_global = np.asarray(edge_src_global, dtype=np.int64)
+        edge_dst_global = np.asarray(edge_dst_global, dtype=np.int64)
+        dst_nodes = np.unique(edge_dst_global)
+        src_nodes = np.unique(np.concatenate([edge_src_global, dst_nodes]))
+        edge_src = np.searchsorted(src_nodes, edge_src_global)
+        edge_dst = np.searchsorted(dst_nodes, edge_dst_global)
+        order = np.argsort(edge_dst, kind="stable")
+        dst_in_src = np.searchsorted(src_nodes, dst_nodes)
+        return cls(
+            src_nodes=src_nodes,
+            dst_nodes=dst_nodes,
+            dst_in_src=dst_in_src,
+            edge_src=edge_src[order],
+            edge_dst=edge_dst[order],
+        )
+
+
+@dataclass
+class MiniBatch:
+    """The sampled computation graphs for one batch of seed nodes.
+
+    ``blocks[0]`` is the *first layer* in the paper's terminology — the
+    layer furthest from the seeds, consuming input node features.
+    ``blocks[-1]``'s destinations are exactly ``seeds``.
+    """
+
+    seeds: np.ndarray
+    blocks: List[Block]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def input_nodes(self) -> np.ndarray:
+        """Global ids whose input features the batch needs."""
+        return self.blocks[0].src_nodes
+
+    def total_edges(self) -> int:
+        return sum(b.num_edges for b in self.blocks)

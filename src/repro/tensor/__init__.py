@@ -1,0 +1,72 @@
+"""A tape-based NumPy autograd engine (the repo's PyTorch substitute).
+
+The APT paper implements its strategies on top of PyTorch + DGL.  Neither is
+available in this environment, so this package provides the minimal-but-real
+substrate the strategies need:
+
+* :class:`~repro.tensor.tensor.Tensor` — reverse-mode autograd over NumPy
+  arrays (dense ops, broadcasting, indexing/gather, concatenation).
+* :mod:`~repro.tensor.functional` — activations, softmax/log-softmax,
+  dropout, and the cross-entropy loss used for node classification.
+* :mod:`~repro.tensor.sparse` — CSR sparse-dense matmul (SpMM) and segment
+  operations (sum / mean / softmax over edge groups), the kernels a GNN layer
+  is made of.  These mirror DGL's SpMM/SDDMM kernel roles.
+* :mod:`~repro.tensor.module` — ``Module`` / ``Parameter`` containers.
+* :mod:`~repro.tensor.optim` — SGD and Adam optimizers.
+
+Everything computes in float64 by default so that the semantic-equivalence
+property of the four parallelization strategies (paper Fig. 6) can be
+asserted to ~1e-10 in the test suite rather than eyeballed.
+"""
+
+from repro.tensor.tensor import Tensor, concat, no_grad, stack, tensor, zeros
+from repro.tensor import functional
+from repro.tensor import init
+from repro.tensor.module import Linear, Module, ModuleList, Parameter
+from repro.tensor.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    LRScheduler,
+    Optimizer,
+    StepLR,
+    clip_grad_norm,
+)
+from repro.tensor.sparse import (
+    gather_rows,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    spmm,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "concat",
+    "stack",
+    "no_grad",
+    "functional",
+    "init",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "spmm",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+]

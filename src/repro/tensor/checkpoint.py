@@ -1,0 +1,77 @@
+"""Model/optimizer checkpointing (``.npz`` containers).
+
+Long simulated-training sessions (and the examples) can persist and resume
+exact training state: model parameters plus the optimizer's moment buffers
+and step counters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.tensor.module import Module
+from repro.tensor.optim import SGD, Adam, Optimizer
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_checkpoint(
+    module: Module, path: PathLike, optimizer: Optional[Optimizer] = None
+) -> None:
+    """Persist a module's parameters (and optimizer state) to ``path``."""
+    payload = {}
+    for name, arr in module.state_dict().items():
+        payload[f"param/{name}"] = arr
+    if optimizer is not None:
+        payload["opt/lr"] = np.array(optimizer.lr)
+        if isinstance(optimizer, Adam):
+            payload["opt/kind"] = np.array("adam")
+            payload["opt/t"] = np.array(optimizer._t)
+            for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+                payload[f"opt/m/{i}"] = m
+                payload[f"opt/v/{i}"] = v
+        elif isinstance(optimizer, SGD):
+            payload["opt/kind"] = np.array("sgd")
+            for i, vel in enumerate(optimizer._velocity):
+                payload[f"opt/vel/{i}"] = vel
+        else:
+            raise TypeError(
+                f"cannot checkpoint optimizer type {type(optimizer).__name__}"
+            )
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(
+    module: Module, path: PathLike, optimizer: Optional[Optimizer] = None
+) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` in place."""
+    with np.load(path, allow_pickle=False) as data:
+        state = {
+            key[len("param/"):]: data[key]
+            for key in data.files
+            if key.startswith("param/")
+        }
+        module.load_state_dict(state)
+        if optimizer is None:
+            return
+        if "opt/kind" not in data.files:
+            raise KeyError("checkpoint has no optimizer state")
+        kind = str(data["opt/kind"])
+        optimizer.lr = float(data["opt/lr"])
+        if kind == "adam":
+            if not isinstance(optimizer, Adam):
+                raise TypeError("checkpoint holds Adam state")
+            optimizer._t = int(data["opt/t"])
+            for i in range(len(optimizer.params)):
+                optimizer._m[i][:] = data[f"opt/m/{i}"]
+                optimizer._v[i][:] = data[f"opt/v/{i}"]
+        elif kind == "sgd":
+            if not isinstance(optimizer, SGD):
+                raise TypeError("checkpoint holds SGD state")
+            for i in range(len(optimizer.params)):
+                optimizer._velocity[i][:] = data[f"opt/vel/{i}"]
+        else:  # pragma: no cover - future formats
+            raise ValueError(f"unknown optimizer kind {kind!r}")

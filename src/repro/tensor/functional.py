@@ -1,0 +1,159 @@
+"""Composite neural-network functions built on the autograd ``Tensor``.
+
+Contains the activations used by GraphSAGE/GAT, numerically-stable
+(log-)softmax, dropout, and the node-classification cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.maximum_scalar(0.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (GAT's attention-score nonlinearity; default slope 0.2)."""
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    mask = np.where(x.data > 0, 1.0, negative_slope)
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * mask)
+
+    return Tensor._make(data, (x,), backward_fn, "leaky_relu")
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit (GAT's layer activation)."""
+    pos = x.data > 0
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    data = np.where(pos, x.data, exp_part)
+    deriv = np.where(pos, 1.0, exp_part + alpha)
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * deriv)
+
+    return Tensor._make(data, (x,), backward_fn, "elu")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * data * (1.0 - data))
+
+    return Tensor._make(data, (x,), backward_fn, "sigmoid")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_z
+    softmax = np.exp(data)
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(data, (x,), backward_fn, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    weight_total: Optional[float] = None,
+) -> Tensor:
+    """Mean (or weighted-sum) cross-entropy for integer class labels.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, num_classes)`` scores.
+    labels:
+        ``(n,)`` integer class labels.
+    weight_total:
+        When ``None`` the loss is averaged over the local ``n`` examples.
+        When given, the loss is ``sum(per_example) / weight_total``.  The
+        parallel trainer passes the *global* minibatch size here so that
+        per-device losses sum to the exact global mean regardless of how the
+        strategies distribute seeds among devices (this is what makes all
+        four strategies produce bit-identical gradient steps).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match ({n},)")
+    logp = log_softmax(logits, axis=-1)
+    # Select the label log-probabilities with a one-hot inner product to stay
+    # within the op set that has exact adjoints.
+    one_hot = np.zeros(logits.shape, dtype=logits.data.dtype)
+    one_hot[np.arange(n), labels] = 1.0
+    denom = float(n if weight_total is None else weight_total)
+    return (logp * Tensor(one_hot)).sum() * (-1.0 / denom)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout with an explicit RNG (deterministic under a seed)."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward_fn, "dropout")
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray
+) -> Tensor:
+    """Mean binary cross entropy over raw scores (numerically stable).
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))`` — the standard stable
+    form.  ``targets`` are constant 0/1 labels (e.g. positive vs negative
+    edges in link prediction).
+    """
+    t = np.asarray(targets, dtype=logits.data.dtype)
+    if t.shape != logits.shape:
+        raise ValueError(
+            f"targets shape {t.shape} does not match logits {logits.shape}"
+        )
+    x = logits.data
+    loss_val = np.maximum(x, 0.0) - x * t + np.log1p(np.exp(-np.abs(x)))
+    # d/dx = sigmoid(x) - t
+    grad_local = 1.0 / (1.0 + np.exp(-x)) - t
+    n = x.size
+
+    def backward_fn(g: np.ndarray) -> None:
+        if logits.requires_grad:
+            logits._accumulate(g * grad_local / n)
+
+    out = Tensor._make(
+        np.array(loss_val.mean()), (logits,), backward_fn, "bce_logits"
+    )
+    return out
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(np.asarray(target, dtype=pred.data.dtype))
+    return (diff * diff).mean()

@@ -1,0 +1,169 @@
+"""Sparse and segment kernels — the GNN analogue of DGL's SpMM/SDDMM.
+
+A sampled GNN layer is a bipartite graph: edges ``(u, v)`` connect source
+nodes (whose embeddings are inputs) to destination nodes (whose embeddings
+are produced).  Aggregation over in-edges of each destination is expressed
+with *segment operations*: edge values grouped by destination index.
+
+All kernels here are autograd-aware and fully vectorized
+(``np.add.at`` / ``np.ufunc.reduceat`` style), with exact adjoints:
+
+===============   =======================================================
+forward           backward
+===============   =======================================================
+gather_rows       scatter-add
+segment_sum       gather
+segment_mean      gather / count
+segment_softmax   softmax Jacobian within each segment
+spmm (CSR @ X)    CSR^T @ dY
+===============   =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Tensor
+
+
+def gather_rows(x: Tensor, idx: np.ndarray) -> Tensor:
+    """Row gather ``x[idx]`` (alias of :meth:`Tensor.index_rows`)."""
+    return x.index_rows(idx)
+
+
+def _check_segments(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise IndexError(
+            f"segment ids must lie in [0, {num_segments}); got range "
+            f"[{segment_ids.min()}, {segment_ids.max()}]"
+        )
+    return segment_ids
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets by ``segment_ids``.
+
+    ``values`` is ``(E, d)`` (or ``(E,)``); the result is
+    ``(num_segments, d)`` with row ``s`` equal to the sum of rows whose
+    segment id is ``s``.  Empty segments produce zero rows.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    out_shape = (num_segments,) + values.data.shape[1:]
+    out = np.zeros(out_shape, dtype=values.data.dtype)
+    np.add.at(out, segment_ids, values.data)
+
+    def backward_fn(g: np.ndarray) -> None:
+        if values.requires_grad:
+            values._accumulate(g[segment_ids])
+
+    return Tensor._make(out, (values,), backward_fn, "segment_sum")
+
+
+def segment_count(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Return the number of entries in each segment (plain array)."""
+    segment_ids = _check_segments(segment_ids, num_segments)
+    return np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment mean; empty segments yield zero rows."""
+    counts = segment_count(segment_ids, num_segments)
+    safe = np.maximum(counts, 1.0)
+    total = segment_sum(values, segment_ids, num_segments)
+    inv = (1.0 / safe).reshape((num_segments,) + (1,) * (values.data.ndim - 1))
+    return total * Tensor(inv)
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment max of a plain array (non-differentiable by design).
+
+    Used only as the numerical-stability shift inside
+    :func:`segment_softmax` and the decomposed cross-device softmax — the
+    softmax value is invariant to the shift, so detaching it keeps gradients
+    exact.  Empty segments return ``-inf``.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    out = np.full((num_segments,) + values.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(out, segment_ids, values)
+    return out
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of edge scores within each destination segment.
+
+    This is GAT's ``edge_softmax``: for each destination node ``v`` the
+    attention logits of its in-edges are normalized to sum to one.  Computed
+    via the shift-invariant decomposition
+    ``softmax(e) = exp(e - m_v) / sum exp(e - m_v)`` with the per-segment max
+    ``m_v`` detached.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    maxes = segment_max(scores.data, segment_ids, num_segments)
+    shift = Tensor(maxes[segment_ids])
+    expd = (scores - shift).exp()
+    denom = segment_sum(expd, segment_ids, num_segments)
+    # Gather per-edge denominator and divide.
+    return expd / denom.index_rows(segment_ids)
+
+
+class CSRMatrix:
+    """An immutable CSR adjacency operand for :func:`spmm`.
+
+    Wraps ``scipy.sparse.csr_matrix`` and pre-builds the transpose, since
+    every backward pass needs ``A^T``.  The matrix itself is structural (not
+    a differentiable quantity), matching how GNN frameworks treat sampled
+    adjacencies.
+    """
+
+    __slots__ = ("mat", "mat_t")
+
+    def __init__(self, mat: sp.csr_matrix):
+        self.mat = mat.tocsr()
+        self.mat_t = self.mat.T.tocsr()
+
+    @classmethod
+    def from_edges(
+        cls,
+        edge_dst: np.ndarray,
+        edge_src: np.ndarray,
+        shape: tuple,
+        values: Optional[np.ndarray] = None,
+    ) -> "CSRMatrix":
+        """Build an ``(n_dst, n_src)`` CSR matrix from edge index arrays."""
+        edge_dst = np.asarray(edge_dst, dtype=np.int64)
+        edge_src = np.asarray(edge_src, dtype=np.int64)
+        if values is None:
+            values = np.ones(edge_dst.shape[0], dtype=np.float64)
+        mat = sp.csr_matrix((values, (edge_dst, edge_src)), shape=shape)
+        return cls(mat)
+
+    @property
+    def shape(self) -> tuple:
+        return self.mat.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.mat.nnz
+
+
+def spmm(adj: CSRMatrix, x: Tensor) -> Tensor:
+    """Sparse-dense product ``adj @ x`` with autograd on the dense side.
+
+    Backward: ``dX = adj^T @ dY`` (exact adjoint of a linear map).
+    """
+    if adj.shape[1] != x.data.shape[0]:
+        raise ValueError(
+            f"spmm shape mismatch: adj is {adj.shape}, x has "
+            f"{x.data.shape[0]} rows"
+        )
+    out = adj.mat @ x.data
+
+    def backward_fn(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(adj.mat_t @ g)
+
+    return Tensor._make(out, (x,), backward_fn, "spmm")

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG helpers, validation, and lightweight timers."""
+
+from repro.utils.random import rng_from, seed_for_node, spawn_rngs
+from repro.utils.timing import WallTimer
+from repro.utils.validation import (
+    check_dim,
+    check_index_array,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "rng_from",
+    "seed_for_node",
+    "spawn_rngs",
+    "WallTimer",
+    "check_dim",
+    "check_index_array",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,48 @@
+"""Wall-clock timing helper for benchmarks and the dry-run overhead report."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WallTimer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = WallTimer()
+        with t.measure("sample"):
+            ...
+        t.total("sample")  # seconds
+    """
+
+    _totals: dict = field(default_factory=dict)
+
+    def measure(self, label: str):
+        return _Section(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        self._totals[label] = self._totals.get(label, 0.0) + seconds
+
+    def total(self, label: str) -> float:
+        return self._totals.get(label, 0.0)
+
+    def totals(self) -> dict:
+        return dict(self._totals)
+
+
+class _Section:
+    def __init__(self, timer: WallTimer, label: str):
+        self._timer = timer
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._timer.add(self._label, time.perf_counter() - self._start)
+        return False

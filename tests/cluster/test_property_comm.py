@@ -1,0 +1,74 @@
+"""Property-based tests on the collective cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Communicator, Timeline, multi_machine_cluster, single_machine_cluster
+
+
+def total_shuffle(cluster, B):
+    t = Timeline(cluster.num_devices)
+    Communicator(cluster, t).alltoall_bytes(B, "shuffle")
+    return sum(t.device_phase_seconds(d, "shuffle") for d in range(cluster.num_devices))
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_cost_monotone_in_bytes(C, seed):
+    """Sending more bytes never costs less."""
+    cluster = single_machine_cluster(C)
+    rng = np.random.default_rng(seed)
+    B = rng.random((C, C)) * 1e8
+    np.fill_diagonal(B, 0.0)
+    assert total_shuffle(cluster, 2.0 * B) >= total_shuffle(cluster, B)
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_cost_nonnegative_and_zero_for_empty(C, seed):
+    cluster = single_machine_cluster(C)
+    assert total_shuffle(cluster, np.zeros((C, C))) == 0.0
+    rng = np.random.default_rng(seed)
+    B = rng.random((C, C)) * 1e7
+    assert total_shuffle(cluster, B) >= 0.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_crossing_machines_never_cheaper(seed):
+    """The same payload costs at least as much across machines."""
+    rng = np.random.default_rng(seed)
+    nbytes = float(rng.uniform(1e6, 1e9))
+    intra = multi_machine_cluster(2, 2)
+    B_intra = np.zeros((4, 4))
+    B_intra[0, 1] = nbytes  # same machine
+    B_inter = np.zeros((4, 4))
+    B_inter[0, 2] = nbytes  # across machines
+    assert total_shuffle(intra, B_inter) >= total_shuffle(intra, B_intra)
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=1e4, max_value=1e9),
+)
+@settings(max_examples=30, deadline=None)
+def test_ring_allreduce_scales_with_bytes(C, nbytes):
+    cluster = single_machine_cluster(C)
+    t = Timeline(C)
+    comm = Communicator(cluster, t)
+    small = comm._ring_allreduce_seconds(nbytes)
+    large = comm._ring_allreduce_seconds(2 * nbytes)
+    assert large > small > 0.0
+
+
+def test_ring_allreduce_single_device_free():
+    cluster = single_machine_cluster(1)
+    comm = Communicator(cluster, Timeline(1))
+    assert comm._ring_allreduce_seconds(1e9) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for hardware specs and cluster presets."""
+
+import pytest
+
+from repro.cluster import (
+    DeviceSpec,
+    LinkSpec,
+    MachineSpec,
+    multi_machine_cluster,
+    single_machine_cluster,
+)
+
+
+class TestDeviceSpec:
+    def test_dense_seconds(self):
+        d = DeviceSpec(peak_flops=1e12, compute_efficiency=0.5)
+        assert d.dense_seconds(5e11) == pytest.approx(1.0)
+
+    def test_memory_bound_seconds(self):
+        d = DeviceSpec(mem_bandwidth=100e9)
+        assert d.memory_bound_seconds(100e9) == pytest.approx(1.0)
+
+    def test_t4_defaults(self):
+        d = DeviceSpec()
+        assert d.name == "T4"
+        assert d.memory_bytes == pytest.approx(16e9)
+
+
+class TestLinkSpec:
+    def test_seconds_with_latency(self):
+        link = LinkSpec(bandwidth=1e9, latency=1e-3)
+        assert link.seconds(1e9, messages=2) == pytest.approx(1.002)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0.0).seconds(10)
+
+
+class TestMachineSpec:
+    def test_peer_link_without_nvlink_is_pcie(self):
+        m = MachineSpec()
+        assert m.gpu_peer_link() is m.pcie
+
+    def test_peer_link_with_nvlink(self):
+        nv = LinkSpec(bandwidth=300e9)
+        m = MachineSpec(nvlink=nv)
+        assert m.gpu_peer_link() is nv
+
+
+class TestClusterSpec:
+    def test_single_machine_preset(self):
+        c = single_machine_cluster(8)
+        assert c.num_machines == 1
+        assert c.num_devices == 8
+        assert c.machine_of(7) == 0
+
+    def test_multi_machine_preset(self):
+        c = multi_machine_cluster(4, 4)
+        assert c.num_machines == 4
+        assert c.num_devices == 16
+        assert c.machine_of(0) == 0
+        assert c.machine_of(4) == 1
+        assert c.machine_of(15) == 3
+
+    def test_same_machine(self):
+        c = multi_machine_cluster(2, 2)
+        assert c.same_machine(0, 1)
+        assert not c.same_machine(1, 2)
+
+    def test_devices_of_machine(self):
+        c = multi_machine_cluster(2, 3)
+        assert c.devices_of_machine(1) == [3, 4, 5]
+
+    def test_device_out_of_range(self):
+        with pytest.raises(IndexError):
+            single_machine_cluster(2).machine_of(5)
+
+    def test_nic_shared_per_gpu(self):
+        c = multi_machine_cluster(2, 4)
+        per_gpu = c.inter_machine_link_per_gpu(0)
+        assert per_gpu.bandwidth == pytest.approx(c.network.bandwidth / 4)
+
+    def test_with_cache(self):
+        c = single_machine_cluster(4).with_cache(123.0)
+        assert c.gpu_cache_bytes == 123.0
+        assert c.num_devices == 4

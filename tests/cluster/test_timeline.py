@@ -1,0 +1,165 @@
+"""Tests for per-device, per-phase simulated-time accounting."""
+
+import pytest
+
+from repro.cluster import Timeline
+
+
+class TestCharging:
+    def test_charge_accumulates(self):
+        t = Timeline(2)
+        t.charge(0, "load", 1.0)
+        t.charge(0, "load", 0.5)
+        assert t.device_phase_seconds(0, "load") == 1.5
+
+    def test_charge_all(self):
+        t = Timeline(3)
+        t.charge_all("train", 2.0)
+        for d in range(3):
+            assert t.device_phase_seconds(d, "train") == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(1).charge(0, "load", -1.0)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(1).charge(0, "nope", 1.0)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+
+class TestBarrier:
+    def test_batch_costs_slowest_device(self):
+        t = Timeline(2)
+        t.charge(0, "train", 1.0)
+        t.charge(1, "train", 3.0)
+        assert t.end_batch() == pytest.approx(3.0)
+        assert t.wall_seconds == pytest.approx(3.0)
+
+    def test_imbalance_across_phases(self):
+        """Phase maxima may exceed the wall barrier — they are per-phase."""
+        t = Timeline(2)
+        t.charge(0, "load", 2.0)
+        t.charge(1, "train", 2.0)
+        t.end_batch()
+        assert t.wall_seconds == pytest.approx(2.0)
+        assert t.phase_seconds("load") == pytest.approx(2.0)
+        assert t.phase_seconds("train") == pytest.approx(2.0)
+
+    def test_batches_accumulate(self):
+        t = Timeline(1)
+        t.charge(0, "train", 1.0)
+        t.end_batch()
+        t.charge(0, "train", 2.0)
+        t.end_batch()
+        assert t.wall_seconds == pytest.approx(3.0)
+        assert t.num_batches == 2
+
+
+class TestOverlap:
+    def test_batch_costs_max_of_stages(self):
+        t = Timeline(1, overlap=True)
+        t.charge(0, "sample", 1.0)
+        t.charge(0, "load", 2.0)  # prep = 3
+        t.charge(0, "train", 4.0)  # compute = 4
+        assert t.end_batch() == pytest.approx(4.0)
+
+    def test_prep_bound_when_loading_dominates(self):
+        t = Timeline(1, overlap=True)
+        t.charge(0, "load", 5.0)
+        t.charge(0, "train", 1.0)
+        assert t.end_batch() == pytest.approx(5.0)
+
+    def test_overlap_never_exceeds_additive(self):
+        a = Timeline(2, overlap=False)
+        b = Timeline(2, overlap=True)
+        for tl in (a, b):
+            tl.charge(0, "sample", 1.0)
+            tl.charge(0, "train", 2.0)
+            tl.charge(1, "load", 3.0)
+            tl.charge(1, "shuffle", 1.0)
+            tl.end_batch()
+        assert b.wall_seconds <= a.wall_seconds
+
+    def test_per_device_barrier_still_applies(self):
+        t = Timeline(2, overlap=True)
+        t.charge(0, "train", 1.0)
+        t.charge(1, "train", 5.0)
+        assert t.end_batch() == pytest.approx(5.0)
+
+
+class TestChromeTrace:
+    def test_requires_trace_mode(self):
+        with pytest.raises(RuntimeError):
+            Timeline(1).to_chrome_trace()
+
+    def test_events_cover_charges(self):
+        t = Timeline(2, trace=True)
+        t.charge(0, "sample", 1.0)
+        t.charge(0, "train", 2.0)
+        t.charge(1, "load", 3.0)
+        t.end_batch()
+        t.charge(0, "train", 1.0)
+        t.end_batch()
+        events = t.to_chrome_trace()
+        assert len(events) == 4
+        total_us = sum(e["dur"] for e in events)
+        assert total_us == pytest.approx(7.0 * 1e6)
+
+    def test_phases_sequential_per_device(self):
+        t = Timeline(1, trace=True)
+        t.charge(0, "sample", 1.0)
+        t.charge(0, "load", 2.0)
+        t.end_batch()
+        ev = {e["name"]: e for e in t.to_chrome_trace()}
+        assert ev["load"]["ts"] == pytest.approx(ev["sample"]["ts"] + 1e6)
+
+    def test_batches_offset_by_barrier(self):
+        t = Timeline(2, trace=True)
+        t.charge(1, "train", 5.0)
+        t.end_batch()
+        t.charge(0, "train", 1.0)
+        t.end_batch()
+        events = t.to_chrome_trace()
+        second = [e for e in events if e["cat"] == "batch1"][0]
+        assert second["ts"] == pytest.approx(5.0 * 1e6)
+
+    def test_zero_duration_phases_skipped(self):
+        t = Timeline(1, trace=True)
+        t.charge(0, "train", 1.0)
+        t.end_batch()
+        assert len(t.to_chrome_trace()) == 1
+
+
+class TestReporting:
+    def test_breakdown_keys(self):
+        t = Timeline(1)
+        assert set(t.breakdown()) == {"sample", "load", "train", "shuffle"}
+
+    def test_paper_breakdown_grouping(self):
+        t = Timeline(1)
+        t.charge(0, "train", 1.0)
+        t.charge(0, "shuffle", 2.0)
+        t.charge(0, "sample", 0.5)
+        t.end_batch()
+        bd = t.paper_breakdown()
+        assert bd["training"] == pytest.approx(3.0)
+        assert bd["sampling"] == pytest.approx(0.5)
+        assert bd["loading"] == 0.0
+
+    def test_merged(self):
+        a, b = Timeline(2), Timeline(2)
+        a.charge(0, "load", 1.0)
+        a.end_batch()
+        b.charge(1, "load", 2.0)
+        b.end_batch()
+        m = a.merged(b)
+        assert m.wall_seconds == pytest.approx(3.0)
+        assert m.num_batches == 2
+
+    def test_merged_device_mismatch(self):
+        with pytest.raises(ValueError):
+            Timeline(2).merged(Timeline(3))

@@ -1,0 +1,66 @@
+"""Tests for the epoch-time prediction API and full-neighbor fanouts."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_machine_cluster
+from repro.core import APT, CostModel, DryRun
+from repro.graph.datasets import small_dataset
+from repro.graph.partition import metis_like_partition
+from repro.models import GraphSAGE
+from repro.sampling import NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1000, feature_dim=16, num_classes=4, seed=6)
+
+
+class TestEstimateEpochSeconds:
+    def test_adds_common_train_time(self, ds):
+        cluster = single_machine_cluster(2, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=0)
+        parts = metis_like_partition(ds.graph, 2, seed=0)
+        stats = DryRun(
+            ds, cluster, model, [4, 4], parts=parts, global_batch_size=256
+        ).run("gdp")
+        cm = CostModel(cluster, ds.feature_dim)
+        base = cm.estimate(stats).total
+        assert cm.estimate_epoch_seconds(stats, 0.5) == pytest.approx(base + 0.5)
+
+    def test_rejects_negative_train_time(self, ds):
+        cluster = single_machine_cluster(2)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=0)
+        stats = DryRun(ds, cluster, model, [4, 4], global_batch_size=256).run("gdp")
+        with pytest.raises(ValueError):
+            CostModel(cluster, ds.feature_dim).estimate_epoch_seconds(stats, -1.0)
+
+
+class TestFullNeighborFanout:
+    def test_minus_one_takes_all_neighbors(self, ds):
+        s = NeighborSampler(ds.graph, [-1], global_seed=0)
+        seeds = ds.train_seeds[:16]
+        b = s.sample(seeds).blocks[0]
+        for i, v in enumerate(b.dst_nodes):
+            expected = np.sort(
+                np.unique(np.append(ds.graph.neighbors(v), []))
+            ) if ds.graph.neighbors(v).size else np.array([v])
+            got = np.sort(b.src_nodes[b.edge_src[b.edge_dst == i]])
+            np.testing.assert_array_equal(got, np.unique(expected))
+
+    def test_mixed_full_and_sampled_layers(self, ds):
+        s = NeighborSampler(ds.graph, [-1, 3], global_seed=0)
+        mb = s.sample(ds.train_seeds[:8])
+        assert mb.blocks[1].degree_per_dst().max() <= 3
+        # The input layer took full neighbor lists (no fanout cap).
+        degs = ds.graph.in_degrees[mb.blocks[0].dst_nodes]
+        block_degs = mb.blocks[0].degree_per_dst()
+        np.testing.assert_array_equal(
+            block_degs[degs > 0], degs[degs > 0]
+        )
+
+    def test_zero_fanout_still_rejected(self, ds):
+        with pytest.raises(ValueError):
+            NeighborSampler(ds.graph, [0])
+        with pytest.raises(ValueError):
+            NeighborSampler(ds.graph, [-2])

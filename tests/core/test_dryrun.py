@@ -1,0 +1,86 @@
+"""Tests for the APT dry-run (§3.2 / Plan step)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_machine_cluster
+from repro.core import DryRun, access_frequency_census
+from repro.graph.datasets import small_dataset
+from repro.graph.partition import metis_like_partition
+from repro.models import GraphSAGE
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1500, feature_dim=16, num_classes=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def dryrun(ds):
+    cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+    model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=1)
+    parts = metis_like_partition(ds.graph, 4, seed=0)
+    return DryRun(
+        ds, cluster, model, [4, 4], parts=parts, global_batch_size=256
+    )
+
+
+class TestAccessFrequencyCensus:
+    def test_nonzero_total(self, ds):
+        freq = access_frequency_census(ds, [4, 4], 256)
+        assert freq.sum() > 0
+        assert freq.shape == (ds.num_nodes,)
+
+    def test_epoch_stability_on_skewed_graph(self):
+        """Paper: top-1% node overlap across epochs is ~95% on PS.  The
+        meaningful invariant is *access-mass* stability: the hot set found
+        in epoch 0 must keep absorbing a similar share of epoch 1's
+        accesses (that is what makes one dry-run epoch enough for cache
+        configuration)."""
+        from repro.graph import ps_like
+
+        skewed = ps_like(n=6000)
+        f0 = access_frequency_census(skewed, [5, 5], 512, epoch=0)
+        f1 = access_frequency_census(skewed, [5, 5], 512, epoch=1)
+        k = max(skewed.num_nodes // 10, 10)  # top 10%
+        hot0 = np.argsort(-f0)[:k]
+        coverage_self = f0[hot0].sum() / f0.sum()
+        coverage_next = f1[hot0].sum() / f1.sum()
+        assert coverage_next > 0.85 * coverage_self
+
+    def test_high_degree_nodes_accessed_more(self, ds):
+        freq = access_frequency_census(ds, [4, 4], 256)
+        deg = ds.graph.in_degrees
+        hot = np.argsort(-deg)[:50]
+        cold = np.argsort(deg)[:50]
+        assert freq[hot].mean() > freq[cold].mean()
+
+
+class TestDryRunStats:
+    def test_runs_all_strategies(self, dryrun):
+        stats = dryrun.run_all()
+        assert set(stats) == {"gdp", "nfp", "snp", "dnp"}
+
+    def test_gdp_has_no_shuffle_volume(self, dryrun):
+        stats = dryrun.run("gdp")
+        assert stats.recorder.total_hidden_bytes() == 0.0
+        assert stats.t_build > 0  # sampling time still counts
+
+    def test_nfp_largest_shuffle(self, dryrun):
+        stats = dryrun.run_all()
+        hid = {k: v.recorder.total_hidden_bytes() for k, v in stats.items()}
+        assert hid["nfp"] >= hid["snp"] >= hid["dnp"] >= hid["gdp"]
+
+    def test_dim_fraction_reported(self, dryrun):
+        stats = dryrun.run_all()
+        assert stats["nfp"].dim_fraction == pytest.approx(0.25)
+        assert stats["gdp"].dim_fraction == 1.0
+
+    def test_access_frequency_cached(self, dryrun):
+        f1 = dryrun.access_freq
+        f2 = dryrun.access_freq
+        assert f1 is f2
+
+    def test_num_batches(self, dryrun, ds):
+        stats = dryrun.run("gdp")
+        assert stats.num_batches == -(-ds.train_seeds.size // 256)

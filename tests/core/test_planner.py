@@ -1,0 +1,71 @@
+"""Tests for the APT planner and adapter."""
+
+import pytest
+
+from repro.cluster import single_machine_cluster
+from repro.core import CostEstimate, CostModel, Planner
+from repro.core.adapter import adapt_strategy
+from repro.core.dryrun import DryRunStats
+from repro.engine.context import ExecutionContext, VolumeRecorder
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+
+
+def fake_stats(name, t_build):
+    rec = VolumeRecorder(2)
+    return DryRunStats(
+        strategy=name, recorder=rec, t_build=t_build, dim_fraction=1.0, num_batches=1
+    )
+
+
+class TestPlanner:
+    def test_selects_minimum_total(self):
+        cluster = single_machine_cluster(2)
+        cm = CostModel(cluster, 16)
+        planner = Planner(cm)
+        stats = {
+            "gdp": fake_stats("gdp", 5.0),
+            "dnp": fake_stats("dnp", 1.0),
+        }
+        report = planner.select(stats)
+        assert report.chosen == "dnp"
+        assert report.ranking == ["dnp", "gdp"]
+
+    def test_empty_stats_rejected(self):
+        planner = Planner(CostModel(single_machine_cluster(2), 16))
+        with pytest.raises(ValueError):
+            planner.select({})
+
+    def test_summary_marks_choice(self):
+        cluster = single_machine_cluster(2)
+        planner = Planner(CostModel(cluster, 16))
+        report = planner.select({"gdp": fake_stats("gdp", 1.0)})
+        text = report.summary()
+        assert "gdp" in text and "*" in text
+
+
+class TestAdapter:
+    def test_adapt_prepares_strategy(self):
+        ds = small_dataset(n=500, feature_dim=16, num_classes=2)
+        cluster = single_machine_cluster(2, gpu_cache_bytes=ds.feature_bytes * 0.1)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=0)
+        ctx = ExecutionContext.build(ds, cluster, model, [3, 3])
+        strategy = adapt_strategy("gdp", ctx)
+        assert strategy.name == "gdp"
+        assert ctx.store.cached_node_count(0) > 0
+
+    def test_adapt_unknown_strategy(self):
+        ds = small_dataset(n=500, feature_dim=16, num_classes=2)
+        cluster = single_machine_cluster(2)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=0)
+        ctx = ExecutionContext.build(ds, cluster, model, [3, 3])
+        with pytest.raises(KeyError):
+            adapt_strategy("nope", ctx)
+
+
+class TestCostEstimate:
+    def test_as_dict(self):
+        e = CostEstimate("gdp", 1.0, 2.0, 3.0, 0.5)
+        d = e.as_dict()
+        assert d["total"] == 6.5
+        assert set(d) == {"t_build", "t_load", "t_shuffle", "t_skew", "total"}

@@ -1,0 +1,161 @@
+"""THE headline property (paper Fig. 6): all four strategies are
+semantically equivalent — identical losses and identical trained models.
+
+Because the sampler is counter-based and losses are weighted by the global
+batch size, equivalence here is *exact* (machine precision), not just
+statistical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.core import APT
+from repro.engine import STRATEGIES
+from repro.graph.datasets import small_dataset
+from repro.models import GAT, GCN, GraphSAGE
+
+TOL = 1e-9
+
+
+def train_all_strategies(ds, cluster, model_factory, fanouts, epochs=1):
+    """Train each strategy from identical init; return states and losses."""
+    states, losses = {}, {}
+    for name in STRATEGIES:
+        model = model_factory()
+        apt = APT(
+            ds, model, cluster, fanouts=fanouts, global_batch_size=256, seed=0
+        )
+        apt.prepare()
+        result = apt.run_strategy(name, epochs, lr=1e-2)
+        states[name] = model.state_dict()
+        losses[name] = [e.mean_loss for e in result.epochs]
+    return states, losses
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1500, feature_dim=16, num_classes=4, seed=7)
+
+
+class TestSAGEEquivalence:
+    @pytest.fixture(scope="class")
+    def trained(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        return train_all_strategies(
+            ds,
+            cluster,
+            lambda: GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3),
+            fanouts=[4, 4],
+        )
+
+    def test_losses_identical(self, trained):
+        _, losses = trained
+        ref = losses["gdp"]
+        for name, ls in losses.items():
+            np.testing.assert_allclose(ls, ref, rtol=TOL, err_msg=name)
+
+    def test_parameters_identical(self, trained):
+        states, _ = trained
+        ref = states["gdp"]
+        for name, state in states.items():
+            for key in ref:
+                np.testing.assert_allclose(
+                    state[key], ref[key], atol=TOL, err_msg=f"{name}:{key}"
+                )
+
+
+class TestGATEquivalence:
+    """Attention is the hard case: SNP/NFP must decompose the softmax."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        return train_all_strategies(
+            ds,
+            cluster,
+            lambda: GAT(ds.feature_dim, 4, ds.num_classes, 2, heads=2, seed=3),
+            fanouts=[4, 4],
+        )
+
+    def test_losses_identical(self, trained):
+        _, losses = trained
+        ref = losses["gdp"]
+        for name, ls in losses.items():
+            np.testing.assert_allclose(ls, ref, rtol=TOL, err_msg=name)
+
+    def test_parameters_identical(self, trained):
+        states, _ = trained
+        ref = states["gdp"]
+        for name, state in states.items():
+            for key in ref:
+                np.testing.assert_allclose(
+                    state[key], ref[key], atol=TOL, err_msg=f"{name}:{key}"
+                )
+
+
+class TestGCNEquivalence:
+    """GCN routes its self loop as an owner-side edge (no self term)."""
+
+    def test_losses_and_parameters_identical(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        states, losses = train_all_strategies(
+            ds,
+            cluster,
+            lambda: GCN(ds.feature_dim, 8, ds.num_classes, 2, seed=3),
+            fanouts=[4, 4],
+        )
+        ref_s, ref_l = states["gdp"], losses["gdp"]
+        for name in states:
+            np.testing.assert_allclose(losses[name], ref_l, rtol=TOL, err_msg=name)
+            for key in ref_s:
+                np.testing.assert_allclose(
+                    states[name][key], ref_s[key], atol=TOL, err_msg=f"{name}:{key}"
+                )
+
+
+class TestMultiMachineEquivalence:
+    def test_sage_two_machines(self, ds):
+        cluster = multi_machine_cluster(
+            2, 2, gpu_cache_bytes=ds.feature_bytes * 0.05
+        )
+        states, losses = train_all_strategies(
+            ds,
+            cluster,
+            lambda: GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=5),
+            fanouts=[4, 4],
+        )
+        ref_s, ref_l = states["gdp"], losses["gdp"]
+        for name in states:
+            np.testing.assert_allclose(losses[name], ref_l, rtol=TOL)
+            for key in ref_s:
+                np.testing.assert_allclose(states[name][key], ref_s[key], atol=TOL)
+
+
+class TestEquivalenceUnderRandomPartition:
+    """Fig. 11: random partitions change *time*, never *results*."""
+
+    def test_sage_random_partition(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        states = {}
+        for name in ("gdp", "snp", "dnp"):
+            model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
+            apt = APT(
+                ds,
+                model,
+                cluster,
+                fanouts=[4, 4],
+                global_batch_size=256,
+                seed=0,
+                partition="random",
+            )
+            apt.prepare()
+            apt.run_strategy(name, 1, lr=1e-2)
+            states[name] = model.state_dict()
+        for key in states["gdp"]:
+            np.testing.assert_allclose(
+                states["snp"][key], states["gdp"][key], atol=TOL
+            )
+            np.testing.assert_allclose(
+                states["dnp"][key], states["gdp"][key], atol=TOL
+            )

@@ -1,0 +1,68 @@
+"""Exhaustive equivalence matrix: every strategy x model x cluster combo.
+
+One global batch step per combination, compared against GDP's result on
+the same task — the strongest form of the paper's Fig. 6 claim, extended
+to the hybrid strategy and the GCN model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.core import APT
+from repro.graph.datasets import small_dataset
+from repro.models import GAT, GCN, GraphSAGE
+
+TOL = 1e-9
+
+MODELS = {
+    "sage": lambda ds: GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3),
+    "gcn": lambda ds: GCN(ds.feature_dim, 8, ds.num_classes, 2, seed=3),
+    "gat": lambda ds: GAT(ds.feature_dim, 4, ds.num_classes, 2, heads=2, seed=3),
+}
+CLUSTERS = {
+    "1x4": lambda cache: single_machine_cluster(4, gpu_cache_bytes=cache),
+    "2x2": lambda cache: multi_machine_cluster(2, 2, gpu_cache_bytes=cache),
+}
+STRATEGIES = ("nfp", "snp", "dnp", "hyb")
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1200, feature_dim=16, num_classes=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def references(ds):
+    """GDP result per (model, cluster) combo."""
+    refs = {}
+    for m_name, m_factory in MODELS.items():
+        for c_name, c_factory in CLUSTERS.items():
+            model = m_factory(ds)
+            cluster = c_factory(0.05 * ds.feature_bytes)
+            apt = APT(
+                ds, model, cluster, fanouts=[4, 4], global_batch_size=192, seed=0
+            )
+            apt.prepare()
+            result = apt.run_strategy("gdp", 1, lr=1e-2)
+            refs[(m_name, c_name)] = (
+                result.final_loss,
+                model.state_dict(),
+            )
+    return refs
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("model_name", list(MODELS))
+@pytest.mark.parametrize("cluster_name", list(CLUSTERS))
+def test_matches_gdp(ds, references, strategy, model_name, cluster_name):
+    ref_loss, ref_state = references[(model_name, cluster_name)]
+    model = MODELS[model_name](ds)
+    cluster = CLUSTERS[cluster_name](0.05 * ds.feature_bytes)
+    apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=192, seed=0)
+    apt.prepare()
+    result = apt.run_strategy(strategy, 1, lr=1e-2)
+    assert result.final_loss == pytest.approx(ref_loss, rel=TOL)
+    state = model.state_dict()
+    for key, ref in ref_state.items():
+        np.testing.assert_allclose(state[key], ref, atol=TOL, err_msg=key)

@@ -1,0 +1,69 @@
+"""Straggler modeling: a slow machine dominates bulk-synchronous epochs."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, DeviceSpec, MachineSpec
+from repro.core import APT
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+
+
+from repro.cluster import LinkSpec
+
+
+def cluster_with_straggler(slow_factor: float) -> ClusterSpec:
+    base = MachineSpec()
+    fast = MachineSpec(num_gpus=2)
+    slow = MachineSpec(
+        num_gpus=2,
+        device=DeviceSpec(
+            peak_flops=base.device.peak_flops / slow_factor,
+            sampling_edges_per_sec=base.device.sampling_edges_per_sec
+            / slow_factor,
+        ),
+        pcie=LinkSpec(
+            bandwidth=base.pcie.bandwidth / slow_factor,
+            latency=base.pcie.latency,
+        ),
+    )
+    return ClusterSpec(machines=(fast, slow), gpu_cache_bytes=0.0)
+
+
+class TestStraggler:
+    def test_slow_machine_slows_the_epoch(self):
+        ds = small_dataset(n=1000, feature_dim=16, num_classes=4, seed=2)
+        runs = {}
+        for factor in (1.0, 4.0):
+            cluster = cluster_with_straggler(factor)
+            model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
+            apt = APT(
+                ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
+            )
+            apt.prepare()
+            runs[factor] = apt.run_strategy("gdp", 1, numerics=False)
+        # The barrier makes the whole cluster wait for the straggler in the
+        # phases its slowdown touches (sampling throughput, PCIe loads)...
+        assert (
+            runs[4.0].breakdown["sampling"] > 3.0 * runs[1.0].breakdown["sampling"]
+        )
+        assert runs[4.0].breakdown["loading"] > runs[1.0].breakdown["loading"]
+        # ...so the epoch as a whole is strictly slower.
+        assert runs[4.0].epoch_seconds > runs[1.0].epoch_seconds
+
+    def test_results_unaffected_by_speed(self):
+        """Hardware speed changes time, never numerics."""
+        import numpy as np
+
+        ds = small_dataset(n=1000, feature_dim=16, num_classes=4, seed=2)
+        states = {}
+        for factor in (1.0, 4.0):
+            cluster = cluster_with_straggler(factor)
+            model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
+            apt = APT(
+                ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
+            )
+            apt.prepare()
+            apt.run_strategy("gdp", 1, lr=1e-2)
+            states[factor] = model.state_dict()
+        for key in states[1.0]:
+            np.testing.assert_array_equal(states[1.0][key], states[4.0][key])

@@ -1,0 +1,104 @@
+"""Property-based tests on strategy routing invariants.
+
+For random graphs, partitions, and seed sets, every strategy's Permute
+stage must conserve the sampled computation graph: each first-layer edge
+routed exactly once, each destination produced exactly once, everything
+within ownership constraints.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import single_machine_cluster
+from repro.engine import DNPStrategy, SNPStrategy
+from repro.engine.base import sample_batches
+from repro.engine.context import ExecutionContext
+from repro.graph import CSRGraph
+from repro.graph.partition import random_partition
+from repro.models import GraphSAGE
+
+
+def build_case(n, avg_deg, num_devices, seed):
+    rng = np.random.default_rng(seed)
+    m = max(int(n * avg_deg / 2), 1)
+    graph = CSRGraph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), n
+    )
+    from repro.graph.datasets import GraphDataset
+
+    feats = rng.normal(size=(n, 8))
+    ds = GraphDataset(
+        name="prop",
+        graph=graph,
+        features=feats,
+        labels=rng.integers(0, 3, n).astype(np.int64),
+        train_seeds=np.sort(rng.choice(n, size=max(n // 5, 4), replace=False)),
+        num_classes=3,
+    )
+    cluster = single_machine_cluster(num_devices, gpu_cache_bytes=0.0)
+    model = GraphSAGE(8, 4, 3, 2, seed=0)
+    parts = random_partition(n, num_devices, seed=seed)
+    ctx = ExecutionContext.build(
+        ds, cluster, model, [3, 3], parts=parts, global_batch_size=64
+    )
+    return ctx, parts
+
+
+case_params = (
+    st.integers(min_value=40, max_value=200),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@given(*case_params)
+@settings(max_examples=20, deadline=None)
+def test_snp_plan_invariants(n, num_devices, seed):
+    ctx, parts = build_case(n, 5, num_devices, seed)
+    strategy = SNPStrategy()
+    strategy.prepare(ctx)
+    gb = ctx.dataset.train_seeds[:64]
+    batches = sample_batches(ctx, strategy.assign_seeds(ctx, gb), 0)
+    plan = strategy.plan_batch(ctx, batches)
+
+    sampled_edges = sum(
+        mb.blocks[0].num_edges for mb in batches if mb is not None
+    )
+    routed = sum(t.edge_src.size for t in plan.tasks)
+    assert routed == sampled_edges  # every edge exactly once
+    for task in plan.tasks:
+        # sources owned by the server; vdst indices valid and aligned.
+        assert np.all(parts[task.edge_src] == task.server)
+        assert task.edge_dst.max(initial=-1) < task.vdst.size
+        block = batches[task.requester].blocks[0]
+        np.testing.assert_array_equal(
+            block.dst_nodes[task.vdst_req_idx], task.vdst
+        )
+
+
+@given(*case_params)
+@settings(max_examples=20, deadline=None)
+def test_dnp_plan_invariants(n, num_devices, seed):
+    ctx, parts = build_case(n, 5, num_devices, seed)
+    strategy = DNPStrategy()
+    strategy.prepare(ctx)
+    gb = ctx.dataset.train_seeds[:64]
+    batches = sample_batches(ctx, strategy.assign_seeds(ctx, gb), 0)
+    plan = strategy.plan_batch(ctx, batches)
+
+    # Per requester, every destination appears in exactly one task.
+    for r, mb in enumerate(batches):
+        if mb is None:
+            continue
+        seen = np.zeros(mb.blocks[0].num_dst)
+        for t in plan.tasks:
+            if t.requester == r:
+                np.add.at(seen, t.vdst_req_idx, 1)
+                assert np.all(parts[t.vdst] == t.owner)
+        np.testing.assert_array_equal(seen, 1.0)
+    # Edge conservation holds too.
+    sampled_edges = sum(
+        mb.blocks[0].num_edges for mb in batches if mb is not None
+    )
+    assert sum(t.edge_src.size for t in plan.tasks) == sampled_edges

@@ -1,0 +1,76 @@
+"""Timing-only mode must charge the exact same simulated time as numerics.
+
+This pins the two execution paths of every strategy together: any drift
+between the math path and the charge path fails here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.core import APT
+from repro.engine import STRATEGIES
+from repro.graph.datasets import small_dataset
+from repro.models import GAT, GraphSAGE
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1500, feature_dim=16, num_classes=4, seed=7)
+
+
+def compare_modes(ds, cluster, model_factory):
+    for name in STRATEGIES:  # includes the hybrid extension
+        model = model_factory()
+        apt = APT(
+            ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
+        )
+        apt.prepare()
+        a = apt.run_strategy(name, 1, numerics=True)
+        b = apt.run_strategy(name, 1, numerics=False)
+        assert a.epoch_seconds == pytest.approx(b.epoch_seconds, abs=1e-12), name
+        for phase in a.breakdown:
+            assert a.breakdown[phase] == pytest.approx(
+                b.breakdown[phase], abs=1e-12
+            ), f"{name}:{phase}"
+
+
+class TestTimingMode:
+    def test_sage_single_machine(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        compare_modes(
+            ds, cluster, lambda: GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
+        )
+
+    def test_gat_single_machine(self, ds):
+        cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        compare_modes(
+            ds,
+            cluster,
+            lambda: GAT(ds.feature_dim, 4, ds.num_classes, 2, heads=2, seed=3),
+        )
+
+    def test_sage_multi_machine(self, ds):
+        cluster = multi_machine_cluster(2, 2, gpu_cache_bytes=ds.feature_bytes * 0.05)
+        compare_modes(
+            ds, cluster, lambda: GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
+        )
+
+    def test_timing_mode_returns_nan_loss(self, ds):
+        cluster = single_machine_cluster(4)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
+        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0)
+        apt.prepare()
+        r = apt.run_strategy("gdp", 1, numerics=False)
+        assert np.isnan(r.final_loss)
+
+    def test_timing_mode_does_not_touch_model(self, ds):
+        cluster = single_machine_cluster(4)
+        model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
+        before = model.state_dict()
+        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0)
+        apt.prepare()
+        apt.run_strategy("snp", 1, numerics=False)
+        after = model.state_dict()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])

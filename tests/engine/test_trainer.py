@@ -1,0 +1,63 @@
+"""Tests for the parallel trainer and accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_machine_cluster
+from repro.engine import GDPStrategy, ParallelTrainer, evaluate_accuracy
+from repro.engine.context import ExecutionContext
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+from repro.tensor.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1200, feature_dim=16, num_classes=4, seed=2)
+
+
+def build(ds, batch=256):
+    cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+    model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=1)
+    ctx = ExecutionContext.build(
+        ds, cluster, model, [4, 4], global_batch_size=batch
+    )
+    return ctx, model
+
+
+class TestTrainer:
+    def test_epoch_covers_all_batches(self, ds):
+        ctx, model = build(ds)
+        trainer = ParallelTrainer(GDPStrategy(), ctx, Adam(model.parameters(), 1e-3))
+        res = trainer.train_epoch(0)
+        expected = -(-ds.train_seeds.size // 256)
+        assert res.num_batches == expected
+
+    def test_loss_decreases_over_epochs(self, ds):
+        ctx, model = build(ds)
+        trainer = ParallelTrainer(GDPStrategy(), ctx, Adam(model.parameters(), 5e-3))
+        results = trainer.train(4)
+        assert results[-1].mean_loss < results[0].mean_loss
+
+    def test_breakdown_sums_to_wall(self, ds):
+        ctx, model = build(ds)
+        trainer = ParallelTrainer(GDPStrategy(), ctx, Adam(model.parameters(), 1e-3))
+        res = trainer.train_epoch(0)
+        total = sum(res.breakdown.values())
+        # Phase-wise maxima can exceed the joint barrier slightly; they can
+        # never undershoot it.
+        assert total >= res.wall_seconds * 0.999
+        assert total <= res.wall_seconds * 1.5
+
+    def test_accuracy_improves_with_training(self, ds):
+        ctx, model = build(ds)
+        trainer = ParallelTrainer(GDPStrategy(), ctx, Adam(model.parameters(), 5e-3))
+        acc0 = evaluate_accuracy(ctx, seeds=np.arange(0, ds.num_nodes, 3))
+        trainer.train(5)
+        acc1 = evaluate_accuracy(ctx, seeds=np.arange(0, ds.num_nodes, 3))
+        assert acc1 > acc0 + 0.1
+
+    def test_accuracy_bounds(self, ds):
+        ctx, _ = build(ds)
+        acc = evaluate_accuracy(ctx, seeds=np.arange(100))
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,124 @@
+"""Tests for the per-strategy cache policies (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.featurestore import (
+    cache_capacity_nodes,
+    dnp_cache_nodes,
+    hot_cache_nodes,
+    snp_cache_nodes,
+    unified_cache_nodes,
+)
+from repro.graph import CSRGraph
+
+
+class TestCapacity:
+    def test_basic(self):
+        # 1000 bytes / (16 dims * 8 B) = 7 nodes
+        assert cache_capacity_nodes(1000, 16) == 7
+
+    def test_dim_fraction_multiplies_capacity(self):
+        full = cache_capacity_nodes(1024, 16, 1.0)
+        shard = cache_capacity_nodes(1024, 16, 0.25)
+        assert shard == 4 * full
+
+    def test_zero_budget(self):
+        assert cache_capacity_nodes(0, 16) == 0
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            cache_capacity_nodes(100, 0)
+
+
+class TestHotCache:
+    def test_picks_top_frequencies(self):
+        freq = np.array([5.0, 1.0, 9.0, 3.0])
+        np.testing.assert_array_equal(hot_cache_nodes(freq, 2), [0, 2])
+
+    def test_zero_capacity_empty(self):
+        assert hot_cache_nodes(np.ones(5), 0).size == 0
+
+    def test_capacity_beyond_n_clamped(self):
+        assert hot_cache_nodes(np.ones(5), 100).size == 5
+
+    def test_output_sorted(self):
+        freq = np.random.default_rng(0).random(100)
+        out = hot_cache_nodes(freq, 10)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestUnifiedCache:
+    def test_stripes_disjoint_sets(self):
+        freq = np.arange(100, 0, -1, dtype=float)
+        caches = unified_cache_nodes(freq, 10, 4)
+        assert len(caches) == 4
+        union = np.concatenate(caches)
+        assert len(np.unique(union)) == union.size  # no replication
+        assert union.size == 40
+
+    def test_union_covers_hottest(self):
+        freq = np.zeros(100)
+        freq[:20] = np.arange(20, 0, -1)
+        caches = unified_cache_nodes(freq, 5, 4)
+        union = set(np.concatenate(caches).tolist())
+        assert set(range(20)) <= union
+
+    def test_hottest_spread_across_devices(self):
+        """Rank striping puts one of the top-C nodes on each device."""
+        freq = np.arange(100, 0, -1, dtype=float)
+        caches = unified_cache_nodes(freq, 10, 4)
+        for d, nodes in enumerate(caches):
+            assert d in nodes  # node d has rank d
+
+    def test_capacity_zero_empty(self):
+        caches = unified_cache_nodes(np.ones(10), 0, 4)
+        assert all(c.size == 0 for c in caches)
+
+    def test_clamped_to_population(self):
+        caches = unified_cache_nodes(np.ones(6), 10, 4)
+        assert sum(c.size for c in caches) == 6
+
+
+class TestSNPCache:
+    def test_restricted_to_partition(self):
+        freq = np.array([10.0, 9.0, 8.0, 7.0])
+        parts = np.array([0, 1, 0, 1])
+        out = snp_cache_nodes(freq, parts, 1, 10)
+        np.testing.assert_array_equal(out, [1, 3])
+
+    def test_hottest_within_partition(self):
+        freq = np.array([1.0, 50.0, 2.0, 3.0])
+        parts = np.array([0, 0, 0, 1])
+        out = snp_cache_nodes(freq, parts, 0, 2)
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_empty_partition(self):
+        out = snp_cache_nodes(np.ones(4), np.zeros(4, dtype=int), 3, 5)
+        assert out.size == 0
+
+
+class TestDNPCache:
+    def test_includes_halo(self):
+        # path 0-1-2-3; partition {0,1} vs {2,3}
+        g = CSRGraph.from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+        parts = np.array([0, 0, 1, 1])
+        freq = np.array([1.0, 1.0, 1.0, 1.0])
+        out = dnp_cache_nodes(freq, parts, 0, g, 10)
+        # closure of {0,1} is {0,1,2}
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_capacity_limits_halo(self):
+        g = CSRGraph.from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+        parts = np.array([0, 0, 1, 1])
+        freq = np.array([1.0, 9.0, 5.0, 1.0])
+        out = dnp_cache_nodes(freq, parts, 0, g, 2)
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_superset_of_snp_candidates(self):
+        g = CSRGraph.from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+        parts = np.array([0, 0, 1, 1])
+        freq = np.ones(4)
+        snp = set(snp_cache_nodes(freq, parts, 0, 10).tolist())
+        dnp = set(dnp_cache_nodes(freq, parts, 0, g, 10).tolist())
+        assert snp <= dnp

@@ -1,0 +1,137 @@
+"""Tests for the unified feature store (tiering, accounting, charging)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    LinkSpec,
+    MachineSpec,
+    ClusterSpec,
+    Timeline,
+    multi_machine_cluster,
+    single_machine_cluster,
+)
+from repro.featurestore import Tier, UnifiedFeatureStore
+from repro.graph.datasets import small_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=400, feature_dim=8, num_classes=2)
+
+
+class TestClassification:
+    def test_gpu_cache_hit(self, ds):
+        cluster = single_machine_cluster(2)
+        store = UnifiedFeatureStore(ds, cluster)
+        store.configure_caches([np.array([1, 2, 3]), np.array([], dtype=np.int64)])
+        split = store.classify(0, np.array([1, 2, 50]))
+        np.testing.assert_array_equal(split[Tier.GPU_CACHE], [1, 2])
+        np.testing.assert_array_equal(split[Tier.LOCAL_CPU], [50])
+
+    def test_no_peer_tier_without_nvlink(self, ds):
+        """The T4 platform has no NVLink, so peer caches are unreachable."""
+        cluster = single_machine_cluster(2)
+        store = UnifiedFeatureStore(ds, cluster)
+        store.configure_caches([np.array([], dtype=np.int64), np.array([7])])
+        split = store.classify(0, np.array([7]))
+        assert split[Tier.PEER_GPU].size == 0
+        np.testing.assert_array_equal(split[Tier.LOCAL_CPU], [7])
+
+    def test_peer_tier_with_nvlink(self, ds):
+        nv = LinkSpec(bandwidth=300e9)
+        cluster = ClusterSpec(machines=(MachineSpec(num_gpus=2, nvlink=nv),))
+        store = UnifiedFeatureStore(ds, cluster)
+        store.configure_caches([np.array([], dtype=np.int64), np.array([7])])
+        split = store.classify(0, np.array([7]))
+        np.testing.assert_array_equal(split[Tier.PEER_GPU], [7])
+
+    def test_remote_cpu_tier(self, ds):
+        cluster = multi_machine_cluster(2, 1)
+        machine = np.zeros(ds.num_nodes, dtype=np.int64)
+        machine[100:] = 1
+        store = UnifiedFeatureStore(ds, cluster, node_machine=machine)
+        store.configure_caches([np.empty(0, np.int64)] * 2)
+        split = store.classify(0, np.array([5, 150]))
+        np.testing.assert_array_equal(split[Tier.LOCAL_CPU], [5])
+        np.testing.assert_array_equal(split[Tier.REMOTE_CPU], [150])
+
+
+class TestRead:
+    def test_returns_correct_rows(self, ds):
+        cluster = single_machine_cluster(1)
+        store = UnifiedFeatureStore(ds, cluster)
+        ids = np.array([3, 9, 3])
+        feats, report = store.read(0, ids)
+        np.testing.assert_array_equal(feats, ds.features[ids])
+        assert report.total_rows() == 3
+
+    def test_charges_timeline(self, ds):
+        cluster = single_machine_cluster(1)
+        store = UnifiedFeatureStore(ds, cluster)
+        t = Timeline(1)
+        store.read(0, np.arange(100), timeline=t)
+        assert t.device_phase_seconds(0, "load") > 0
+
+    def test_cache_hits_cheaper_than_cpu(self, ds):
+        cluster = single_machine_cluster(1)
+        store = UnifiedFeatureStore(ds, cluster)
+        _, cpu_report = store.read(0, np.arange(100))
+        store.configure_caches([np.arange(100)])
+        _, hit_report = store.read(0, np.arange(100))
+        assert hit_report.seconds < cpu_report.seconds / 10
+        assert hit_report.hit_rate() == 1.0
+
+    def test_remote_slower_than_local(self, ds):
+        cluster = multi_machine_cluster(2, 1)
+        machine = np.zeros(ds.num_nodes, dtype=np.int64)
+        store_local = UnifiedFeatureStore(ds, cluster, node_machine=machine)
+        store_remote = UnifiedFeatureStore(
+            ds, cluster, node_machine=np.ones_like(machine)
+        )
+        _, rl = store_local.read(0, np.arange(200))
+        _, rr = store_remote.read(0, np.arange(200))
+        assert rr.seconds > rl.seconds
+
+    def test_charge_load_matches_read(self, ds):
+        cluster = single_machine_cluster(1)
+        store = UnifiedFeatureStore(ds, cluster)
+        store.configure_caches([np.arange(50)])
+        ids = np.arange(120)
+        _, r1 = store.read(0, ids)
+        r2 = store.charge_load(0, ids)
+        assert r1.seconds == r2.seconds
+        assert r1.rows == r2.rows
+
+    def test_dim_fraction_scales_bytes(self, ds):
+        cluster = single_machine_cluster(2)
+        store = UnifiedFeatureStore(ds, cluster)
+        store.configure_caches([np.empty(0, np.int64)] * 2, dim_fraction=0.5)
+        _, r = store.read(0, np.arange(10))
+        assert r.bytes[Tier.LOCAL_CPU] == 10 * ds.feature_dim * 8 * 0.5
+
+
+class TestValidation:
+    def test_wrong_machine_assignment_rejected(self, ds):
+        cluster = single_machine_cluster(1)
+        with pytest.raises(ValueError):
+            UnifiedFeatureStore(
+                ds, cluster, node_machine=np.full(ds.num_nodes, 3)
+            )
+
+    def test_wrong_cache_count_rejected(self, ds):
+        store = UnifiedFeatureStore(ds, single_machine_cluster(2))
+        with pytest.raises(ValueError):
+            store.configure_caches([np.array([0])])
+
+    def test_bad_dim_fraction_rejected(self, ds):
+        store = UnifiedFeatureStore(ds, single_machine_cluster(1))
+        with pytest.raises(ValueError):
+            store.configure_caches([np.array([0])], dim_fraction=0.0)
+
+    def test_estimate_load_seconds(self, ds):
+        store = UnifiedFeatureStore(ds, single_machine_cluster(1))
+        est = store.estimate_load_seconds(
+            0, {Tier.LOCAL_CPU: 100, Tier.GPU_CACHE: 0}
+        )
+        assert est > 0

@@ -1,0 +1,95 @@
+"""Tests for the dataset analogs (Papers/Friendster/IGB scale models)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import fs_like, im_like, load_dataset, ps_like
+from repro.graph.datasets import GraphDataset, small_dataset
+
+
+class TestSmallDataset:
+    def test_shapes_consistent(self):
+        ds = small_dataset(n=500, feature_dim=8, num_classes=3)
+        assert ds.features.shape == (500, 8)
+        assert ds.labels.shape == (500,)
+        assert ds.num_classes == 3
+        assert ds.feature_dim == 8
+
+    def test_labels_match_communities(self):
+        ds = small_dataset(n=500)
+        np.testing.assert_array_equal(ds.labels, ds.communities)
+
+    def test_train_seeds_valid_and_unique(self):
+        ds = small_dataset(n=500)
+        assert len(np.unique(ds.train_seeds)) == len(ds.train_seeds)
+        assert ds.train_seeds.max() < ds.num_nodes
+
+    def test_features_carry_class_signal(self):
+        """Class centroids must be separable (labels are learnable)."""
+        ds = small_dataset(n=2000, feature_dim=16, num_classes=4)
+        centroids = np.stack(
+            [ds.features[ds.labels == c].mean(axis=0) for c in range(4)]
+        )
+        # Distances between centroids exceed within-class spread direction.
+        dists = np.linalg.norm(centroids[0] - centroids[1:], axis=1)
+        assert dists.min() > 1.0
+
+    def test_deterministic(self):
+        a = small_dataset(n=300, seed=9)
+        b = small_dataset(n=300, seed=9)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+
+
+class TestAnalogs:
+    @pytest.mark.parametrize(
+        "factory,name,dim", [(ps_like, "ps", 128), (fs_like, "fs", 256), (im_like, "im", 128)]
+    )
+    def test_names_and_dims(self, factory, name, dim):
+        ds = factory(n=3000)
+        assert ds.name == name
+        assert ds.feature_dim == dim
+
+    def test_ps_more_skewed_than_fs(self):
+        """Degree skew ordering mirrors the paper's access-skew ordering."""
+        ps = ps_like(n=8000)
+        fs = fs_like(n=8000)
+
+        def top1_degree_share(ds):
+            deg = np.sort(ds.graph.in_degrees)[::-1].astype(float)
+            return deg[: len(deg) // 100].sum() / deg.sum()
+
+        assert top1_degree_share(ps) > 2.0 * top1_degree_share(fs)
+
+    def test_load_dataset_registry(self):
+        ds = load_dataset("ps", n=2000)
+        assert ds.name == "ps"
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+
+class TestGraphDataset:
+    def test_feature_shape_validated(self):
+        ds = small_dataset(n=100)
+        with pytest.raises(ValueError):
+            GraphDataset(
+                name="bad",
+                graph=ds.graph,
+                features=ds.features[:50],
+                labels=ds.labels,
+                train_seeds=ds.train_seeds,
+                num_classes=ds.num_classes,
+            )
+
+    def test_with_features_swaps_matrix(self):
+        ds = small_dataset(n=100, feature_dim=8)
+        new = np.zeros((100, 32))
+        ds2 = ds.with_features(new)
+        assert ds2.feature_dim == 32
+        assert ds2.graph is ds.graph
+
+    def test_feature_bytes(self):
+        ds = small_dataset(n=100, feature_dim=8)
+        assert ds.feature_bytes == 100 * 8 * 8

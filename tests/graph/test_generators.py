@@ -1,0 +1,112 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import community_graph, power_law_graph, rmat_graph
+from repro.graph.generators import _power_law_degrees
+from repro.utils.random import rng_from
+
+
+class TestPowerLawDegrees:
+    def test_mean_near_target(self):
+        deg = _power_law_degrees(10_000, 20.0, 2.2, rng_from(0))
+        assert abs(deg.mean() - 20.0) / 20.0 < 0.15
+
+    def test_cap_respected(self):
+        deg = _power_law_degrees(10_000, 20.0, 1.8, rng_from(0), max_degree=100)
+        assert deg.max() <= 100
+
+    def test_minimum_one(self):
+        deg = _power_law_degrees(1000, 3.0, 3.0, rng_from(0))
+        assert deg.min() >= 1
+
+    def test_lower_exponent_more_skew(self):
+        heavy = _power_law_degrees(10_000, 20.0, 1.7, rng_from(0), max_degree=5000)
+        light = _power_law_degrees(10_000, 20.0, 3.5, rng_from(0), max_degree=5000)
+        # Share of degree mass in the top 1% of nodes.
+        def top_share(d):
+            s = np.sort(d)[::-1]
+            return s[: len(s) // 100].sum() / s.sum()
+        assert top_share(heavy) > top_share(light)
+
+    def test_rejects_exponent_below_one(self):
+        with pytest.raises(ValueError):
+            _power_law_degrees(100, 5.0, 0.9, rng_from(0))
+
+
+class TestPowerLawGraph:
+    def test_basic_properties(self):
+        g = power_law_graph(2000, 10.0, 2.2, seed=0)
+        assert g.num_nodes == 2000
+        assert g.num_edges > 0
+        # Symmetric: A == A^T.
+        a = g.to_scipy()
+        assert (a != a.T).nnz == 0
+
+    def test_deterministic(self):
+        g1 = power_law_graph(500, 6.0, 2.5, seed=3)
+        g2 = power_law_graph(500, 6.0, 2.5, seed=3)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_seed_changes_graph(self):
+        g1 = power_law_graph(500, 6.0, 2.5, seed=1)
+        g2 = power_law_graph(500, 6.0, 2.5, seed=2)
+        assert not (
+            g1.num_edges == g2.num_edges
+            and np.array_equal(g1.indices, g2.indices)
+        )
+
+    def test_no_self_loops(self):
+        g = power_law_graph(300, 8.0, 2.0, seed=0)
+        src = np.repeat(np.arange(g.num_nodes), np.diff(g.indptr))
+        assert not np.any(src == g.indices)
+
+
+class TestRMATGraph:
+    def test_shape_and_symmetry(self):
+        g = rmat_graph(1024, 8000, seed=0)
+        assert g.num_nodes == 1024
+        a = g.to_scipy()
+        assert (a != a.T).nnz == 0
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(2048, 30_000, seed=0)
+        deg = np.sort(g.in_degrees)[::-1]
+        assert deg[:20].sum() > 10 * deg[-20:].sum()
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(64, 100, a=0.5, b=0.4, c=0.3)
+
+    def test_non_power_of_two_nodes(self):
+        g = rmat_graph(1000, 5000, seed=1)
+        assert g.num_nodes == 1000
+
+
+class TestCommunityGraph:
+    def test_returns_communities(self):
+        g, comm = community_graph(
+            1000, 8.0, 4, 0.9, seed=0, return_communities=True
+        )
+        assert comm.shape == (1000,)
+        assert set(np.unique(comm)) <= set(range(4))
+
+    def test_intra_prob_controls_locality(self):
+        def intra_fraction(p):
+            g, comm = community_graph(
+                2000, 10.0, 8, p, seed=0, return_communities=True
+            )
+            src = np.repeat(np.arange(g.num_nodes), np.diff(g.indptr))
+            return (comm[src] == comm[g.indices]).mean()
+
+        assert intra_fraction(0.95) > intra_fraction(0.3) + 0.2
+
+    def test_deterministic(self):
+        g1 = community_graph(500, 6.0, 4, 0.8, seed=5)
+        g2 = community_graph(500, 6.0, 4, 0.8, seed=5)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_rejects_bad_intra_prob(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 5.0, 4, 1.5)

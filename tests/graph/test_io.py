@@ -1,0 +1,77 @@
+"""Tests for dataset/partition persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import small_dataset
+from repro.graph.io import (
+    load_dataset_file,
+    load_partition,
+    save_dataset,
+    save_partition,
+)
+from repro.graph.partition import metis_like_partition
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        ds = small_dataset(n=400, feature_dim=8, num_classes=3, seed=2)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == ds.name
+        assert loaded.num_classes == ds.num_classes
+        np.testing.assert_array_equal(loaded.graph.indptr, ds.graph.indptr)
+        np.testing.assert_array_equal(loaded.graph.indices, ds.graph.indices)
+        np.testing.assert_array_equal(loaded.features, ds.features)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        np.testing.assert_array_equal(loaded.train_seeds, ds.train_seeds)
+        np.testing.assert_array_equal(loaded.communities, ds.communities)
+
+    def test_loaded_dataset_is_usable(self, tmp_path):
+        from repro.sampling import NeighborSampler
+
+        ds = small_dataset(n=400, seed=2)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        mb = NeighborSampler(loaded.graph, [3], 0).sample(loaded.train_seeds[:8])
+        assert mb.blocks[0].num_dst > 0
+
+
+class TestEdgeList:
+    def test_read_simple_file(self, tmp_path):
+        from repro.graph.io import read_edgelist
+
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment line\n0 1\n1 2 99\n2 3\n")
+        g = read_edgelist(path)
+        assert g.num_nodes == 4
+        assert g.num_edges == 6  # symmetrized
+
+    def test_round_trip_via_edgelist(self, tmp_path):
+        from repro.graph.io import read_edgelist, write_edgelist
+
+        ds = small_dataset(n=200, seed=3)
+        path = tmp_path / "g.txt"
+        write_edgelist(ds.graph, path)
+        g2 = read_edgelist(path, num_nodes=ds.num_nodes, symmetrize=False)
+        np.testing.assert_array_equal(g2.indptr, ds.graph.indptr)
+        np.testing.assert_array_equal(g2.indices, ds.graph.indices)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.graph.io import read_edgelist
+
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+
+class TestPartitionRoundTrip:
+    def test_round_trip(self, tmp_path):
+        ds = small_dataset(n=400, seed=2)
+        parts = metis_like_partition(ds.graph, 4, seed=0)
+        path = tmp_path / "parts.npz"
+        save_partition(parts, path)
+        np.testing.assert_array_equal(load_partition(path), parts)

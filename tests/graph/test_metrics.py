@@ -1,0 +1,81 @@
+"""Tests for partition-quality and skewness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, edge_cut_fraction, partition_balance, replication_factor
+from repro.graph.metrics import access_skewness_table
+
+
+def square_graph():
+    """4-cycle: 0-1-2-3-0."""
+    return CSRGraph.from_edges(
+        np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]), 4
+    )
+
+
+class TestEdgeCut:
+    def test_no_cut_when_single_part(self):
+        assert edge_cut_fraction(square_graph(), np.zeros(4, dtype=int)) == 0.0
+
+    def test_full_cut_alternating(self):
+        g = square_graph()
+        assert edge_cut_fraction(g, np.array([0, 1, 0, 1])) == 1.0
+
+    def test_half_cut(self):
+        g = square_graph()
+        assert edge_cut_fraction(g, np.array([0, 0, 1, 1])) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            edge_cut_fraction(square_graph(), np.zeros(3, dtype=int))
+
+
+class TestBalance:
+    def test_perfect(self):
+        assert partition_balance(np.array([0, 1, 0, 1]), 2) == 1.0
+
+    def test_imbalanced(self):
+        assert partition_balance(np.array([0, 0, 0, 1]), 2) == 1.5
+
+
+class TestReplicationFactor:
+    def test_single_part_is_one(self):
+        g = square_graph()
+        assert replication_factor(g, np.zeros(4, dtype=int)) == 1.0
+
+    def test_alternating_is_two(self):
+        g = square_graph()
+        # Every node's neighbors are all in the other part.
+        assert replication_factor(g, np.array([0, 1, 0, 1])) == 2.0
+
+
+class TestAccessSkewnessTable:
+    def test_bands_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        freq = rng.pareto(1.5, size=10_000)
+        table = access_skewness_table(freq)
+        assert sum(table.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_paper_band_labels(self):
+        freq = np.ones(1000)
+        table = access_skewness_table(freq)
+        assert list(table) == [
+            "<1%", "1%~5%", "5%~10%", "10%~20%", "20%~50%", "50%~100%"
+        ]
+
+    def test_uniform_frequencies_proportional(self):
+        table = access_skewness_table(np.ones(10_000))
+        assert table["<1%"] == pytest.approx(0.01, abs=1e-3)
+        assert table["20%~50%"] == pytest.approx(0.30, abs=1e-3)
+
+    def test_extreme_skew_concentrates(self):
+        freq = np.zeros(1000)
+        freq[:5] = 1000.0
+        freq[5:] = 0.001
+        table = access_skewness_table(freq)
+        assert table["<1%"] > 0.99
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            access_skewness_table(np.zeros(10))

@@ -1,0 +1,77 @@
+"""Tests for the multilevel partitioner and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    community_graph,
+    edge_cut_fraction,
+    hash_partition,
+    metis_like_partition,
+    partition_balance,
+    random_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def comm_graph():
+    return community_graph(4000, 10.0, 8, 0.9, seed=1)
+
+
+class TestBaselines:
+    def test_random_partition_range(self):
+        p = random_partition(1000, 4, seed=0)
+        assert p.shape == (1000,)
+        assert set(np.unique(p)) <= set(range(4))
+
+    def test_random_partition_roughly_balanced(self):
+        p = random_partition(10_000, 4, seed=0)
+        assert partition_balance(p, 4) < 1.1
+
+    def test_hash_partition_deterministic_balance(self):
+        p = hash_partition(1000, 8)
+        counts = np.bincount(p)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestMetisLike:
+    def test_balance_within_tolerance(self, comm_graph):
+        parts = metis_like_partition(comm_graph, 8, seed=0, balance_tol=0.08)
+        assert partition_balance(parts, 8) <= 1.25
+
+    def test_all_parts_populated(self, comm_graph):
+        parts = metis_like_partition(comm_graph, 8, seed=0)
+        assert len(np.unique(parts)) == 8
+
+    def test_beats_random_cut_substantially(self, comm_graph):
+        metis = metis_like_partition(comm_graph, 8, seed=0)
+        rand = random_partition(comm_graph.num_nodes, 8, seed=0)
+        cut_m = edge_cut_fraction(comm_graph, metis)
+        cut_r = edge_cut_fraction(comm_graph, rand)
+        assert cut_m < 0.6 * cut_r
+
+    def test_single_part_trivial(self, comm_graph):
+        parts = metis_like_partition(comm_graph, 1)
+        assert np.all(parts == 0)
+
+    def test_deterministic(self, comm_graph):
+        a = metis_like_partition(comm_graph, 4, seed=5)
+        b = metis_like_partition(comm_graph, 4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_nonpositive_parts(self, comm_graph):
+        with pytest.raises(ValueError):
+            metis_like_partition(comm_graph, 0)
+
+    def test_recovers_planted_communities(self):
+        """With strong communities, most intra-community pairs co-locate."""
+        g, comm = community_graph(
+            2000, 12.0, 4, 0.95, seed=2, return_communities=True
+        )
+        parts = metis_like_partition(g, 4, seed=0)
+        # For each community, its nodes should concentrate in few parts.
+        agreement = 0
+        for c in range(4):
+            members = parts[comm == c]
+            agreement += np.bincount(members, minlength=4).max()
+        assert agreement / g.num_nodes > 0.6

@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) on partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    edge_cut_fraction,
+    metis_like_partition,
+    partition_balance,
+    random_partition,
+)
+
+
+def random_graph(n, avg_deg, seed):
+    rng = np.random.default_rng(seed)
+    m = max(int(n * avg_deg / 2), 1)
+    return CSRGraph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), n
+    )
+
+
+@given(
+    st.integers(min_value=64, max_value=400),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_partition_is_total_and_in_range(n, k, seed):
+    g = random_graph(n, 6, seed)
+    parts = metis_like_partition(g, k, seed=seed)
+    assert parts.shape == (n,)
+    assert parts.min() >= 0 and parts.max() < k
+
+
+@given(
+    st.integers(min_value=128, max_value=400),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_partition_balance_bounded(n, k, seed):
+    g = random_graph(n, 6, seed)
+    parts = metis_like_partition(g, k, seed=seed, balance_tol=0.08)
+    # Multilevel projection can drift past the tolerance on tiny graphs,
+    # but never wildly: max part stays within 2x of ideal.
+    assert partition_balance(parts, k) < 2.0
+
+
+@given(
+    st.integers(min_value=128, max_value=400),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_metis_never_worse_than_random_on_average(n, seed):
+    g = random_graph(n, 8, seed)
+    cut_m = edge_cut_fraction(g, metis_like_partition(g, 4, seed=seed))
+    cut_r = edge_cut_fraction(g, random_partition(n, 4, seed=seed))
+    # On structureless random graphs METIS can only match random's ~75%
+    # cut, never exceed it by much.
+    assert cut_m <= cut_r + 0.05
+
+
+@given(
+    st.integers(min_value=16, max_value=200),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_edge_cut_in_unit_interval(n, k, seed):
+    g = random_graph(n, 4, seed)
+    parts = random_partition(n, k, seed=seed)
+    cut = edge_cut_fraction(g, parts)
+    assert 0.0 <= cut <= 1.0

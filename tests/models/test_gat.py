@@ -1,0 +1,163 @@
+"""Tests for GAT: attention math, self-edges, and decomposed softmax."""
+
+import numpy as np
+import pytest
+
+from repro.models import GAT, GATLayer
+from repro.models.base import extend_with_self_edges
+from repro.sampling import NeighborSampler
+from repro.sampling.block import Block
+from repro.graph.datasets import small_dataset
+from repro.tensor import Tensor, functional as F
+from tests.tensor.test_autograd import numeric_grad
+
+
+@pytest.fixture(scope="module")
+def block():
+    return Block.from_global_edges(
+        np.array([10, 11, 12, 10]), np.array([5, 5, 6, 6])
+    )
+
+
+class TestSelfEdges:
+    def test_one_self_edge_per_dst(self, block):
+        es, ed = extend_with_self_edges(block)
+        assert es.size == block.num_edges + block.num_dst
+        # The appended tail maps each dst to itself.
+        tail_src = es[block.num_edges:]
+        np.testing.assert_array_equal(
+            block.src_nodes[tail_src], block.dst_nodes
+        )
+
+
+class TestGATLayer:
+    def test_forward_shape_concat(self, block):
+        layer = GATLayer(4, 3, heads=2, concat=True)
+        out = layer.full_forward(block, Tensor(np.random.default_rng(0).normal(size=(block.num_src, 4))))
+        assert out.shape == (block.num_dst, 6)
+        assert layer.out_dim == 6
+
+    def test_forward_shape_average(self, block):
+        layer = GATLayer(4, 5, heads=3, concat=False)
+        out = layer.full_forward(block, Tensor(np.random.default_rng(0).normal(size=(block.num_src, 4))))
+        assert out.shape == (block.num_dst, 5)
+
+    def test_attention_matches_manual_single_head(self):
+        """One dst, two srcs: verify against a hand-rolled computation."""
+        b = Block.from_global_edges(np.array([1, 2]), np.array([0, 0]))
+        layer = GATLayer(2, 3, heads=1, concat=True, rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).normal(size=(b.num_src, 2))
+        out = layer.full_forward(b, Tensor(x)).data
+
+        W, al, ar = layer.weight.data, layer.attn_l.data[0], layer.attn_r.data[0]
+        z = x @ W
+        i0 = b.dst_in_src[0]
+        srcs = list(b.edge_src) + [i0]  # neighbors + self
+        e = []
+        for s in srcs:
+            v = al @ z[s] + ar @ z[i0]
+            e.append(v if v > 0 else 0.2 * v)
+        e = np.array(e)
+        a = np.exp(e - e.max())
+        a /= a.sum()
+        expect = sum(a[k] * z[s] for k, s in enumerate(srcs)) + layer.bias.data
+        expect = np.where(expect > 0, expect, np.expm1(np.minimum(expect, 0)))
+        np.testing.assert_allclose(out[0], expect, atol=1e-10)
+
+    def test_gradient_numeric(self, block):
+        layer = GATLayer(3, 2, heads=2, rng=np.random.default_rng(3))
+        x0 = np.random.default_rng(4).normal(size=(block.num_src, 3))
+
+        x = Tensor(x0, requires_grad=True)
+        (layer.full_forward(block, x) ** 2).sum().backward()
+        num = numeric_grad(
+            lambda v: (layer.full_forward(block, Tensor(v)) ** 2).sum().item(), x0
+        )
+        np.testing.assert_allclose(x.grad, num, rtol=1e-5, atol=1e-7)
+
+    def test_attend_equals_full_forward(self, block):
+        layer = GATLayer(4, 3, heads=2, rng=np.random.default_rng(5))
+        x = Tensor(np.random.default_rng(6).normal(size=(block.num_src, 4)))
+        a = layer.full_forward(block, x).data
+        b = layer.attend(block, layer.project(x)).data
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_z_shape_validated(self, block):
+        layer = GATLayer(4, 3, heads=2)
+        with pytest.raises(ValueError):
+            layer.attend(block, Tensor(np.ones((block.num_src, 5))))
+
+
+class TestDecomposedAttention:
+    """SNP's (numerator, denominator) partials must be exact."""
+
+    def test_partials_reconstruct_full(self, block):
+        rng = np.random.default_rng(7)
+        layer = GATLayer(4, 3, heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(block.num_src, 4)))
+        full = layer.full_forward(block, x).data
+
+        z = layer.project(x)
+        s_l = layer.src_scores(z)
+        s_r_all = layer.dst_scores(z)
+        s_r_dst = s_r_all.index_rows(block.dst_in_src)
+        shift = s_r_dst.data.copy()
+
+        es, ed = extend_with_self_edges(block)
+        # Split edges across three "devices".
+        num_tot = np.zeros((block.num_dst, 2, 3))
+        den_tot = np.zeros((block.num_dst, 2))
+        for p in range(3):
+            mask = (es % 3) == p
+            num, den = layer.partial_attention(
+                z, s_l, s_r_dst, shift, es[mask], ed[mask], block.num_dst
+            )
+            num_tot += num.data
+            den_tot += den.data
+        recon = layer.combine_attention_partials(
+            Tensor(num_tot), Tensor(den_tot)
+        ).data
+        np.testing.assert_allclose(recon, full, atol=1e-10)
+
+
+class TestGATModel:
+    def test_layer_structure(self):
+        m = GAT(16, 8, 5, num_layers=3, heads=4)
+        assert m.layers[0].out_dim == 32
+        assert m.layers[1].in_dim == 32
+        assert m.layers[2].out_dim == 5
+        assert not m.layers[2].concat
+
+    def test_hidden_dim_property(self):
+        m = GAT(16, 8, 5, num_layers=3, heads=4)
+        assert m.hidden_dim == 32
+
+    def test_forward_on_sampled_batch(self):
+        ds = small_dataset(n=600, feature_dim=8, num_classes=3)
+        s = NeighborSampler(ds.graph, [3, 3], global_seed=0)
+        mb = s.sample(ds.train_seeds[:16])
+        m = GAT(8, 4, 3, num_layers=2, heads=2, seed=0)
+        out = m(mb, Tensor(ds.features[mb.input_nodes]))
+        assert out.shape == (mb.blocks[-1].num_dst, 3)
+
+    def test_training_reduces_loss(self):
+        from repro.tensor.optim import Adam
+
+        ds = small_dataset(n=800, feature_dim=8, num_classes=3)
+        s = NeighborSampler(ds.graph, [4, 4], global_seed=0)
+        m = GAT(8, 8, 3, num_layers=2, heads=2, seed=0)
+        opt = Adam(m.parameters(), lr=5e-3)
+        seeds = ds.train_seeds[:128]
+        losses = []
+        for step in range(30):
+            mb = s.sample(seeds, epoch=step)
+            out = m(mb, Tensor(ds.features[mb.input_nodes]))
+            loss = F.cross_entropy(out, ds.labels[mb.blocks[-1].dst_nodes])
+            m.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_is_attention_flag(self):
+        assert GAT(8, 4, 3, num_layers=2).layers[0].is_attention

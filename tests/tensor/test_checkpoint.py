@@ -1,0 +1,88 @@
+"""Tests for model/optimizer checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+from repro.sampling import NeighborSampler
+from repro.tensor import Tensor, functional as F
+from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.optim import SGD, Adam
+
+
+def train_steps(model, opt, ds, sampler, seeds, steps, start=0):
+    losses = []
+    for k in range(start, start + steps):
+        mb = sampler.sample(seeds, epoch=k)
+        out = model(mb, Tensor(ds.features[mb.input_nodes]))
+        loss = F.cross_entropy(out, ds.labels[mb.blocks[-1].dst_nodes])
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    return losses
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = small_dataset(n=600, feature_dim=8, num_classes=3, seed=4)
+    sampler = NeighborSampler(ds.graph, [4, 4], global_seed=0)
+    return ds, sampler, ds.train_seeds[:64]
+
+
+class TestParameterRoundTrip:
+    def test_parameters_restored(self, setup, tmp_path):
+        ds, sampler, seeds = setup
+        m1 = GraphSAGE(8, 16, 3, 2, seed=0)
+        train_steps(m1, Adam(m1.parameters(), 1e-2), ds, sampler, seeds, 3)
+        save_checkpoint(m1, tmp_path / "ckpt.npz")
+        m2 = GraphSAGE(8, 16, 3, 2, seed=99)
+        load_checkpoint(m2, tmp_path / "ckpt.npz")
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestResumeExactness:
+    @pytest.mark.parametrize("opt_cls", [Adam, SGD], ids=["adam", "sgd"])
+    def test_resume_matches_uninterrupted(self, setup, tmp_path, opt_cls):
+        """Checkpoint/restore mid-training must not perturb the trajectory."""
+        ds, sampler, seeds = setup
+
+        # Uninterrupted: 6 steps.
+        m_ref = GraphSAGE(8, 16, 3, 2, seed=0)
+        opt_ref = opt_cls(m_ref.parameters(), 1e-2)
+        ref_losses = train_steps(m_ref, opt_ref, ds, sampler, seeds, 6)
+
+        # Interrupted: 3 steps, checkpoint, fresh objects, 3 more steps.
+        m_a = GraphSAGE(8, 16, 3, 2, seed=0)
+        opt_a = opt_cls(m_a.parameters(), 1e-2)
+        train_steps(m_a, opt_a, ds, sampler, seeds, 3)
+        save_checkpoint(m_a, tmp_path / "mid.npz", opt_a)
+
+        m_b = GraphSAGE(8, 16, 3, 2, seed=123)
+        opt_b = opt_cls(m_b.parameters(), 1e-2)
+        load_checkpoint(m_b, tmp_path / "mid.npz", opt_b)
+        resumed = train_steps(m_b, opt_b, ds, sampler, seeds, 3, start=3)
+
+        np.testing.assert_allclose(resumed, ref_losses[3:], rtol=1e-12)
+        for (_, p1), (_, p2) in zip(m_ref.named_parameters(), m_b.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-12)
+
+
+class TestValidation:
+    def test_missing_optimizer_state(self, setup, tmp_path):
+        ds, sampler, seeds = setup
+        m = GraphSAGE(8, 16, 3, 2, seed=0)
+        save_checkpoint(m, tmp_path / "no_opt.npz")
+        with pytest.raises(KeyError, match="optimizer"):
+            load_checkpoint(
+                m, tmp_path / "no_opt.npz", Adam(m.parameters(), 1e-2)
+            )
+
+    def test_optimizer_kind_mismatch(self, setup, tmp_path):
+        ds, sampler, seeds = setup
+        m = GraphSAGE(8, 16, 3, 2, seed=0)
+        save_checkpoint(m, tmp_path / "adam.npz", Adam(m.parameters(), 1e-2))
+        with pytest.raises(TypeError, match="Adam"):
+            load_checkpoint(m, tmp_path / "adam.npz", SGD(m.parameters(), 1e-2))

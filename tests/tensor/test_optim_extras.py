@@ -1,0 +1,106 @@
+"""Tests for AdamW, gradient clipping, and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.module import Parameter
+from repro.tensor.optim import (
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    SGD,
+    StepLR,
+    clip_grad_norm,
+)
+
+
+class TestAdamW:
+    def test_decay_shrinks_weights_with_zero_grad_signal(self):
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_zero_decay_matches_adam(self):
+        p1, p2 = Parameter(np.array([2.0])), Parameter(np.array([2.0]))
+        a = Adam([p1], lr=0.01)
+        b = Adam([p2], lr=0.01, weight_decay=0.0)
+        for _ in range(5):
+            p1.grad = p1.data.copy()
+            p2.grad = p2.data.copy()
+            a.step()
+            b.step()
+        np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], weight_decay=-0.1)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 0.1)
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 3.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.ones(1)), Parameter(np.ones(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        assert clip_grad_norm([a, b], 100.0) == pytest.approx(5.0)
+
+    def test_none_grads_skipped(self):
+        p = Parameter(np.ones(2))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_rejects_nonpositive_max(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(0.1)
+        assert 0.1 < sched.lr_at(5) < 1.0
+
+    def test_cosine_clamps_beyond_t_max(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=4)
+        assert sched.lr_at(100) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scheduler_validation(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+
+    def test_scheduler_affects_updates(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.0)
+        sched.step()  # lr -> 0
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) on autograd and segment invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F, segment_mean, segment_softmax, segment_sum
+
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_add_commutes(x):
+    a, b = Tensor(x), Tensor(x * 0.5)
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_sum_matches_numpy(x):
+    np.testing.assert_allclose(Tensor(x).sum().item(), x.sum(), rtol=1e-10, atol=1e-10)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_linear_backward_is_linear_in_output_grad(x):
+    """backward(2g) accumulates exactly twice backward(g) for linear ops."""
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * 3.0).backward(np.ones_like(x))
+    t2 = Tensor(x, requires_grad=True)
+    (t2 * 3.0).backward(2.0 * np.ones_like(x))
+    np.testing.assert_allclose(t2.grad, 2.0 * t1.grad)
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_segment_sum_total_preserved(n_edges, n_segments, seed):
+    """Summing segment sums equals summing all values (mass conservation)."""
+    rng = np.random.default_rng(seed)
+    vals = rng.normal(size=(n_edges, 3))
+    seg = rng.integers(0, n_segments, size=n_edges)
+    out = segment_sum(Tensor(vals), seg, n_segments)
+    np.testing.assert_allclose(out.data.sum(axis=0), vals.sum(axis=0), atol=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_segment_softmax_is_distribution(n_edges, n_segments, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=n_edges) * 5
+    seg = rng.integers(0, n_segments, size=n_edges)
+    alpha = segment_softmax(Tensor(scores), seg, n_segments).data
+    assert np.all(alpha >= 0)
+    sums = np.bincount(seg, weights=alpha, minlength=n_segments)
+    occupied = np.bincount(seg, minlength=n_segments) > 0
+    np.testing.assert_allclose(sums[occupied], 1.0, atol=1e-9)
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_partial_sums_reconstruct_mean(n_edges, seed, n_parts):
+    """The SNP identity: sharded (sum, count) partials rebuild the mean."""
+    rng = np.random.default_rng(seed)
+    vals = rng.normal(size=(n_edges, 4))
+    seg = rng.integers(0, 3, size=n_edges)
+    owner = rng.integers(0, n_parts, size=n_edges)
+
+    full = segment_mean(Tensor(vals), seg, 3).data
+
+    psum = np.zeros((3, 4))
+    counts = np.zeros(3)
+    for p in range(n_parts):
+        m = owner == p
+        psum += segment_sum(Tensor(vals[m]), seg[m], 3).data
+        counts += np.bincount(seg[m], minlength=3)
+    recon = psum / np.maximum(counts, 1.0)[:, None]
+    np.testing.assert_allclose(recon, full, atol=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_partials_reconstruct(n_edges, seed):
+    """The GAT identity: shift-consistent (num, den) partials are exact."""
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=n_edges) * 3
+    vals = rng.normal(size=(n_edges, 2))
+    seg = np.zeros(n_edges, dtype=np.int64)
+    owner = rng.integers(0, 3, size=n_edges)
+
+    alpha = segment_softmax(Tensor(scores), seg, 1).data
+    full = (vals * alpha[:, None]).sum(axis=0)
+
+    shift = scores.max()  # any deterministic shared shift
+    num = np.zeros(2)
+    den = 0.0
+    for p in range(3):
+        m = owner == p
+        w = np.exp(scores[m] - shift)
+        num += (vals[m] * w[:, None]).sum(axis=0)
+        den += w.sum()
+    np.testing.assert_allclose(num / den, full, atol=1e-9)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_cross_entropy_nonnegative(x):
+    labels = np.zeros(x.shape[0], dtype=np.int64) % max(x.shape[1], 1)
+    loss = F.cross_entropy(Tensor(x), labels).item()
+    assert loss >= -1e-12

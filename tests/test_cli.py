@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.dataset == "fs"
+        assert args.machines == 1
+
+    def test_run_strategy_choices(self):
+        args = build_parser().parse_args(["run", "--strategy", "dnp"])
+        assert args.strategy == "dnp"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "bogus"])
+
+    def test_compare_flags(self):
+        args = build_parser().parse_args(["compare", "--hybrid", "--full"])
+        assert args.hybrid and args.full
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fanout_list(self):
+        args = build_parser().parse_args(["plan", "--fanout", "5", "5"])
+        assert args.fanout == [5, 5]
+
+
+class TestCommands:
+    """Smoke-run each command on a tiny analog."""
+
+    BASE = ["--dataset", "ps", "--nodes", "2500", "--layers", "2",
+            "--fanout", "4", "4", "--gpus", "4", "--batch-per-gpu", "64"]
+
+    def test_plan(self, capsys):
+        assert main(["plan"] + self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "APT selects:" in out
+        for s in ("gdp", "nfp", "snp", "dnp"):
+            assert s in out
+
+    def test_run_fixed_strategy(self, capsys):
+        assert main(["run", "--strategy", "gdp", "--epochs", "1"] + self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "ran 1 epoch(s) with gdp" in out
+        assert "loss=" in out
+
+    def test_run_with_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--strategy", "dnp", "--epochs", "1", "--trace",
+             str(trace_path)] + self.BASE
+        ) == 0
+        events = json.loads(trace_path.read_text())
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {e["name"] for e in events} <= {"sample", "load", "train", "shuffle"}
+
+    def test_compare_with_hybrid(self, capsys):
+        assert main(
+            ["compare", "--hybrid"] + self.BASE + ["--machines", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hyb" in out
+        assert "actual best:" in out

@@ -1,0 +1,36 @@
+"""Tests for the experiment-scale configuration helpers."""
+
+import pytest
+
+from repro.config import (
+    PAPER_CACHE_GB,
+    PAPER_FEATURE_GB,
+    scaled_gpu_cache_bytes,
+)
+from repro.graph.datasets import small_dataset
+from repro.graph import ps_like
+
+
+class TestScaledCache:
+    def test_paper_fraction_preserved(self):
+        ds = ps_like(n=2000)
+        cache = scaled_gpu_cache_bytes(ds)
+        fraction = cache / ds.feature_bytes
+        assert fraction == pytest.approx(PAPER_CACHE_GB / PAPER_FEATURE_GB["ps"])
+
+    def test_cache_gb_scales_linearly(self):
+        ds = ps_like(n=2000)
+        assert scaled_gpu_cache_bytes(ds, 8.0) == pytest.approx(
+            2.0 * scaled_gpu_cache_bytes(ds, 4.0)
+        )
+
+    def test_unknown_dataset_falls_back_to_ps_ratio(self):
+        ds = small_dataset(n=500)
+        cache = scaled_gpu_cache_bytes(ds)
+        assert cache / ds.feature_bytes == pytest.approx(
+            PAPER_CACHE_GB / PAPER_FEATURE_GB["ps"]
+        )
+
+    def test_feature_sizes_table(self):
+        assert set(PAPER_FEATURE_GB) == {"ps", "fs", "im"}
+        assert PAPER_FEATURE_GB["im"] > PAPER_FEATURE_GB["fs"] > PAPER_FEATURE_GB["ps"]

@@ -1,0 +1,31 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+from repro.utils.timing import WallTimer
+
+
+class TestWallTimer:
+    def test_accumulates_sections(self):
+        t = WallTimer()
+        with t.measure("a"):
+            time.sleep(0.01)
+        with t.measure("a"):
+            time.sleep(0.01)
+        assert t.total("a") >= 0.02
+
+    def test_unknown_label_is_zero(self):
+        assert WallTimer().total("nope") == 0.0
+
+    def test_manual_add(self):
+        t = WallTimer()
+        t.add("x", 1.5)
+        t.add("x", 0.5)
+        assert t.total("x") == 2.0
+
+    def test_totals_snapshot(self):
+        t = WallTimer()
+        t.add("x", 1.0)
+        snap = t.totals()
+        snap["x"] = 99.0
+        assert t.total("x") == 1.0
