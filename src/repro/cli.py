@@ -4,21 +4,28 @@ Commands mirror the APT workflow:
 
 ``plan``
     Dry-run the strategies on a dataset analog and print the cost-model
-    ranking (the paper's Plan step).
+    ranking (the paper's Plan step).  ``--json`` emits the full
+    :class:`~repro.core.report.RunReport` as JSON.
 ``run``
     Train with a chosen (or auto-selected) strategy and report simulated
-    epoch times and losses.
+    epoch times and losses.  ``--inject FILE`` applies a fault schedule
+    (see :mod:`repro.cluster.faults`); ``--replan`` turns on drift-
+    triggered re-planning with mid-run strategy switching.
+``trace``
+    Run one strategy with per-phase tracing and write a
+    ``chrome://tracing`` JSON of the simulated timeline.
 ``compare``
     Run every strategy from the same initial model and print the paper-
     style epoch-time table.
-
 ``report``
     Summarize saved benchmark results (``benchmarks/results/*.json``).
 
 Examples::
 
-    python -m repro plan --dataset fs --hidden 32
+    python -m repro plan --dataset fs --hidden 32 --json
     python -m repro run --dataset ps --strategy auto --epochs 3
+    python -m repro run --inject faults.json --replan --epochs 8 --json
+    python -m repro trace --strategy dnp --out trace.json
     python -m repro compare --dataset fs --machines 4 --gpus 16 --hybrid
     python -m repro report
 """
@@ -31,6 +38,7 @@ import pathlib
 from typing import Optional
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.cluster.faults import FaultSchedule
 from repro.config import PAPER_CACHE_GB, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import load_dataset
@@ -57,7 +65,7 @@ def _add_task_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
-def _build(args) -> APT:
+def _build(args, quiet: bool = False) -> APT:
     ds = load_dataset(args.dataset, n=args.nodes)
     cache = scaled_gpu_cache_bytes(ds, args.cache_gb) if args.cache_gb > 0 else 0.0
     if args.machines == 1:
@@ -83,65 +91,111 @@ def _build(args) -> APT:
         seed=args.seed,
     )
     apt.prepare()
-    print(
-        f"task: {args.dataset} ({ds.num_nodes} nodes, "
-        f"{ds.graph.num_edges} edges, d={ds.feature_dim}), "
-        f"{args.model} x{args.layers}, fanouts={fanouts}, "
-        f"{cluster.num_devices} GPUs on {cluster.num_machines} machine(s)"
-    )
+    if not quiet:
+        print(
+            f"task: {args.dataset} ({ds.num_nodes} nodes, "
+            f"{ds.graph.num_edges} edges, d={ds.feature_dim}), "
+            f"{args.model} x{args.layers}, fanouts={fanouts}, "
+            f"{cluster.num_devices} GPUs on {cluster.num_machines} machine(s)"
+        )
     return apt
 
 
+def _load_schedule(args) -> Optional[FaultSchedule]:
+    if getattr(args, "inject", None) is None:
+        return None
+    try:
+        return FaultSchedule.from_json(args.inject)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: bad fault schedule {args.inject!r}: {exc}")
+
+
 def cmd_plan(args) -> int:
-    apt = _build(args)
+    apt = _build(args, quiet=args.json)
     report = apt.plan()
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
     print("\ncost-model estimates (strategy-specific seconds per epoch):")
     print(report.summary())
     print(f"\nAPT selects: {report.chosen}")
     return 0
 
 
+def _traced_run(apt: APT, name: str, epochs: int, lr: float, trace_path: str):
+    """Run one strategy with a trace-enabled timeline; returns EpochResults."""
+    from repro.cluster import Communicator, Timeline
+    from repro.cluster.compute import ComputeCharger
+    from repro.engine import ParallelTrainer, make_strategy
+    from repro.tensor.optim import Adam
+
+    ctx = apt._build_context()
+    ctx.timeline = Timeline(
+        apt.cluster.num_devices, trace=True, telemetry=ctx.telemetry
+    )
+    ctx.comm = Communicator(apt.cluster, ctx.timeline)
+    ctx.charger = ComputeCharger(apt.cluster, ctx.timeline)
+    trainer = ParallelTrainer(
+        make_strategy(name), ctx, Adam(apt.model.parameters(), lr)
+    )
+    results = trainer.train(epochs)
+    with open(trace_path, "w") as fh:
+        json.dump(ctx.timeline.to_chrome_trace(), fh)
+    return results
+
+
 def cmd_run(args) -> int:
-    apt = _build(args)
+    apt = _build(args, quiet=args.json)
     strategy: Optional[str] = None if args.strategy == "auto" else args.strategy
     if args.trace:
-        # Trace-enabled run: drive the trainer directly so we own the
-        # timeline instance.
-        from repro.cluster import Timeline
-        from repro.engine import ParallelTrainer, make_strategy
-        from repro.engine.context import ExecutionContext
-        from repro.tensor.optim import Adam
-
         name = strategy or apt.plan().chosen
-        ctx = apt._build_context()
-        ctx.timeline = Timeline(apt.cluster.num_devices, trace=True)
-        from repro.cluster import Communicator
-        from repro.cluster.compute import ComputeCharger
-
-        ctx.comm = Communicator(apt.cluster, ctx.timeline)
-        ctx.charger = ComputeCharger(apt.cluster, ctx.timeline)
-        trainer = ParallelTrainer(
-            make_strategy(name), ctx, Adam(apt.model.parameters(), args.lr)
-        )
-        results = trainer.train(args.epochs)
-        with open(args.trace, "w") as fh:
-            json.dump(ctx.timeline.to_chrome_trace(), fh)
+        results = _traced_run(apt, name, args.epochs, args.lr, args.trace)
         print(f"ran {len(results)} epoch(s) with {name}; "
               f"chrome trace written to {args.trace}")
         for e in results:
             print(f"  epoch {e.epoch}: loss={e.mean_loss:.4f} "
                   f"simulated={e.wall_seconds * 1e3:.3f} ms")
         return 0
-    result = apt.run(num_epochs=args.epochs, strategy=strategy, lr=args.lr)
+    faults = _load_schedule(args)
+    report = apt.run(
+        num_epochs=args.epochs,
+        strategy=strategy,
+        lr=args.lr,
+        faults=faults,
+        replan=True if args.replan else None,
+    )
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    result = report.result
     print(f"\nran {len(result.epochs)} epoch(s) with {result.strategy}:")
     for e in result.epochs:
         print(
             f"  epoch {e.epoch}: loss={e.mean_loss:.4f} "
             f"simulated={e.wall_seconds * 1e3:.3f} ms "
-            f"({e.num_batches} batches)"
+            f"({e.num_batches} batches, {e.strategy})"
         )
     bd = result.breakdown
     print("breakdown:", {k: f"{v * 1e3:.3f}ms" for k, v in bd.items()})
+    for rp in report.replans:
+        verb = "switched to" if rp.switched else "re-planned, stayed on"
+        print(
+            f"re-plan after epoch {rp.epoch}: drift {rp.drift.max_abs:.2f} "
+            f"on {rp.drift.worst_term}; {verb} {rp.new_strategy}"
+        )
+    if faults is not None and not report.faults:
+        print("fault schedule supplied but no fault fired within the run")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    apt = _build(args)
+    name = args.strategy
+    if name == "auto":
+        name = apt.plan().chosen
+    results = _traced_run(apt, name, args.epochs, args.lr, args.out)
+    print(f"ran {len(results)} epoch(s) with {name}; "
+          f"chrome trace written to {args.out}")
     return 0
 
 
@@ -214,6 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plan = sub.add_parser("plan", help="dry-run strategies and rank them")
     _add_task_args(p_plan)
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the RunReport as JSON instead of a table")
     p_plan.set_defaults(func=cmd_plan)
 
     p_run = sub.add_parser("run", help="train with a strategy")
@@ -224,7 +280,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--lr", type=float, default=1e-3)
     p_run.add_argument("--trace", metavar="FILE", default=None,
                        help="write a chrome://tracing JSON of the run")
+    p_run.add_argument("--inject", metavar="FILE", default=None,
+                       help="JSON fault schedule to apply at epoch boundaries")
+    p_run.add_argument("--replan", action="store_true",
+                       help="re-plan (and possibly hot-switch strategy) when "
+                            "observed phase times drift from the estimates")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the RunReport as JSON instead of text")
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one strategy and write a chrome://tracing JSON"
+    )
+    _add_task_args(p_trace)
+    p_trace.add_argument("--strategy", default="auto",
+                         choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
+    p_trace.add_argument("--epochs", type=int, default=1)
+    p_trace.add_argument("--lr", type=float, default=1e-3)
+    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
+                         help="chrome trace output path")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare", help="epoch-time table for all strategies")
     _add_task_args(p_cmp)

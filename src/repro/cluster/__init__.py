@@ -19,6 +19,7 @@ from repro.cluster.spec import (
 )
 from repro.cluster.timeline import PHASES, Timeline
 from repro.cluster.comm import Communicator
+from repro.cluster.faults import FAULT_KINDS, FaultEvent, FaultSchedule
 
 __all__ = [
     "DeviceSpec",
@@ -30,4 +31,7 @@ __all__ = [
     "Timeline",
     "PHASES",
     "Communicator",
+    "FaultEvent",
+    "FaultSchedule",
+    "FAULT_KINDS",
 ]

@@ -78,6 +78,10 @@ class Communicator:
                 + n_msgs * peer.latency
             )
             self.timeline.charge(i, phase, secs)
+        telemetry = self.timeline.telemetry
+        if telemetry is not None:
+            telemetry.count("comm.pairwise_bytes", float(B.sum()), phase=phase)
+            telemetry.count("comm.collectives", phase=phase)
 
     def _ring_allreduce_seconds(self, nbytes: float) -> float:
         """Time of a ring allreduce of ``nbytes`` per device."""
@@ -217,3 +221,6 @@ class Communicator:
         secs = self._ring_allreduce_seconds(nbytes)
         if secs > 0.0:
             self.timeline.charge_all(phase, secs)
+        telemetry = self.timeline.telemetry
+        if telemetry is not None:
+            telemetry.count("comm.allreduce_bytes", float(nbytes), phase=phase)

@@ -1,0 +1,188 @@
+"""Deterministic fault injection over the simulated cluster.
+
+Faults are *spec transforms*: a :class:`FaultSchedule` maps an epoch index
+to the :class:`~repro.cluster.spec.ClusterSpec` in effect for that epoch,
+by cumulatively applying every :class:`FaultEvent` whose epoch has
+arrived.  The execution engine never knows a fault happened — it simply
+charges simulated time against the degraded spec — which is what lets the
+drift detector discover the change from telemetry alone, the way a real
+deployment would.
+
+Faults take effect at epoch boundaries only (the bulk-synchronous engine
+has no mid-epoch reconfiguration point, and the re-planner also operates
+between epochs).  Kinds:
+
+``link_degrade``
+    Scale the inter-machine network bandwidth by ``factor`` (< 1 degrades;
+    e.g. 0.125 models a 100 GbE link collapsing to ~12.5 Gbps).
+``straggler``
+    Scale one machine's GPU throughput (compute efficiency and sampling
+    rate) by ``factor``.
+``cache_shrink``
+    Scale the per-GPU feature-cache capacity by ``factor``.
+``recover``
+    Discard every earlier fault: the cluster returns to its base spec.
+
+Schedules are seeded: ``jitter`` perturbs each event's factor with a
+deterministic per-event draw, so two schedules with the same seed produce
+bit-identical degraded specs (and therefore identical re-plan epochs),
+while different seeds explore nearby severities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.cluster.spec import ClusterSpec, LinkSpec
+from repro.utils.random import rng_from
+
+FAULT_KINDS = ("link_degrade", "straggler", "cache_shrink", "recover")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, applied from ``epoch`` onwards.
+
+    ``factor`` multiplies the affected quantity; ``machine`` selects the
+    straggler target (required for ``straggler``, ignored otherwise).
+    """
+
+    epoch: int
+    kind: str
+    factor: float = 1.0
+    machine: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"fault epoch must be >= 0, got {self.epoch}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind != "recover" and not 0.0 < self.factor:
+            raise ValueError(f"fault factor must be positive, got {self.factor}")
+        if self.kind == "straggler" and self.machine is None:
+            raise ValueError("straggler faults need a target machine index")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"epoch": self.epoch, "kind": self.kind}
+        if self.kind != "recover":
+            out["factor"] = self.factor
+        if self.machine is not None:
+            out["machine"] = self.machine
+        return out
+
+    # ------------------------------------------------------------------ #
+    def apply(self, cluster: ClusterSpec, factor: float) -> ClusterSpec:
+        """Spec with this fault applied at the (possibly jittered) factor."""
+        if self.kind == "link_degrade":
+            net = cluster.network
+            return cluster.with_network(
+                LinkSpec(bandwidth=net.bandwidth * factor, latency=net.latency)
+            )
+        if self.kind == "straggler":
+            mspec = cluster.machines[self.machine]
+            dev = mspec.device
+            slow = dataclasses.replace(
+                dev,
+                compute_efficiency=dev.compute_efficiency * factor,
+                sampling_edges_per_sec=dev.sampling_edges_per_sec * factor,
+            )
+            return cluster.with_machine(
+                self.machine, dataclasses.replace(mspec, device=slow)
+            )
+        if self.kind == "cache_shrink":
+            return cluster.with_cache(cluster.gpu_cache_bytes * factor)
+        raise AssertionError(f"unhandled fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """An epoch-indexed, seeded sequence of cluster faults."""
+
+    def __init__(
+        self,
+        events: Sequence[FaultEvent] = (),
+        *,
+        seed: int = 0,
+        jitter: float = 0.0,
+    ):
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.epoch, e.kind, e.machine or 0)
+        )
+        self.seed = int(seed)
+        self.jitter = float(jitter)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------ #
+    def effective_factor(self, index: int) -> float:
+        """Event ``index``'s factor after the seeded jitter draw.
+
+        The draw depends only on ``(seed, index)`` — never on call order —
+        so any two walks of the schedule agree exactly.
+        """
+        event = self.events[index]
+        if self.jitter == 0.0 or event.kind == "recover":
+            return event.factor
+        rng = rng_from(self.seed, 0xFA17, index)
+        return event.factor * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+    def events_at(self, epoch: int) -> List[FaultEvent]:
+        """Events that newly take effect exactly at ``epoch``."""
+        return [e for e in self.events if e.epoch == epoch]
+
+    def cluster_at(self, base: ClusterSpec, epoch: int) -> ClusterSpec:
+        """The spec in effect for ``epoch``: all due faults, cumulatively.
+
+        A ``recover`` event resets to ``base`` before later faults apply.
+        """
+        cluster = base
+        for index, event in enumerate(self.events):
+            if event.epoch > epoch:
+                break
+            if event.kind == "recover":
+                cluster = base
+            else:
+                cluster = event.apply(cluster, self.effective_factor(index))
+        return cluster
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization — the CLI's ``--inject`` file format
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "jitter": self.jitter,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSchedule":
+        events = [FaultEvent(**entry) for entry in payload.get("events", ())]
+        return cls(
+            events,
+            seed=int(payload.get("seed", 0)),
+            jitter=float(payload.get("jitter", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, source: Union[str, os.PathLike]) -> "FaultSchedule":
+        """Parse a schedule from a JSON string or a file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            with open(text) as fh:
+                text = fh.read()
+        return cls.from_dict(json.loads(text))

@@ -134,6 +134,36 @@ class ClusterSpec:
             gpu_cache_bytes=gpu_cache_bytes,
         )
 
+    def with_network(self, network: LinkSpec) -> "ClusterSpec":
+        """Copy of the spec with a different inter-machine interconnect."""
+        return ClusterSpec(
+            machines=self.machines,
+            network=network,
+            gpu_cache_bytes=self.gpu_cache_bytes,
+        )
+
+    def with_machine(self, index: int, machine: MachineSpec) -> "ClusterSpec":
+        """Copy of the spec with machine ``index`` replaced.
+
+        The replacement must keep the GPU count (device ids are positional);
+        heterogeneous *performance* across machines is exactly what the
+        fault layer injects.
+        """
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine {index} out of range ({self.num_machines})")
+        if machine.num_gpus != self.machines[index].num_gpus:
+            raise ValueError(
+                "replacement machine must keep the GPU count "
+                f"({machine.num_gpus} != {self.machines[index].num_gpus})"
+            )
+        machines = list(self.machines)
+        machines[index] = machine
+        return ClusterSpec(
+            machines=tuple(machines),
+            network=self.network,
+            gpu_cache_bytes=self.gpu_cache_bytes,
+        )
+
 
 def single_machine_cluster(
     num_gpus: int = 8,

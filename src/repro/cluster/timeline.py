@@ -55,16 +55,25 @@ class Timeline:
     trace:
         Keep per-batch, per-device phase snapshots so the run can be
         exported with :meth:`to_chrome_trace`.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetryCollector` that each
+        barrier emits a ``batch`` event into.  Pure observation — the
+        collector never feeds back into any charged time.
     """
 
     def __init__(
-        self, num_devices: int, overlap: bool = False, trace: bool = False
+        self,
+        num_devices: int,
+        overlap: bool = False,
+        trace: bool = False,
+        telemetry=None,
     ):
         if num_devices <= 0:
             raise ValueError(f"num_devices must be positive, got {num_devices}")
         self.num_devices = int(num_devices)
         self.overlap = bool(overlap)
         self.trace = bool(trace)
+        self.telemetry = telemetry
         #: per-batch snapshots of the per-device phase deltas (trace mode)
         self._trace_batches: list = []
         # Whole-run phase totals per device.
@@ -114,6 +123,16 @@ class Timeline:
             batch_wall = float(np.maximum(prep, compute).max())
         else:
             batch_wall = float(self._batch_delta.sum(axis=1).max())
+        if self.telemetry is not None:
+            straggler = int(self._batch_delta.sum(axis=1).argmax())
+            self.telemetry.emit(
+                "batch",
+                sim_time=self._wall + batch_wall,
+                device=straggler,
+                batch=self._batches,
+                wall=batch_wall,
+            )
+            self.telemetry.count("batches")
         self._wall += batch_wall
         self._phase_wall += self._batch_delta.max(axis=0)
         self._batch_delta[:] = 0.0

@@ -1,15 +1,131 @@
-"""Experiment-scale configuration shared by benchmarks and examples.
+"""Task configuration (:class:`APTConfig`) plus experiment-scale constants.
 
-The analog datasets are ~1000x smaller than the paper's graphs, so byte
-budgets are expressed as *fractions of the dataset's feature matrix* using
-the paper's ratios: the default 4 GB per-GPU cache covers 7.6% / 6.4% /
-3.1% of the PS / FS / IM feature matrices (Table 2), and the same fraction
-of the analog's features reproduces the same cache-hit economics.
+:class:`APTConfig` is the validated home of everything that used to be a
+keyword argument of ``APT.__init__``: the sampling setup, the partition
+mode, the seeds, and the online-adaptivity knobs (telemetry, drift
+threshold, re-plan candidates).  ``APT(dataset, model, cluster, config)``
+is the supported surface; the old kwargs still work for one release behind
+a ``DeprecationWarning``.
+
+The experiment-scale constants below are shared by benchmarks and
+examples.  The analog datasets are ~1000x smaller than the paper's graphs,
+so byte budgets are expressed as *fractions of the dataset's feature
+matrix* using the paper's ratios: the default 4 GB per-GPU cache covers
+7.6% / 6.4% / 3.1% of the PS / FS / IM feature matrices (Table 2), and the
+same fraction of the analog's features reproduces the same cache-hit
+economics.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
 from repro.graph.datasets import GraphDataset
+
+#: Strategies the planner may choose from (paper's candidate set).
+PLAN_STRATEGIES = ("gdp", "nfp", "snp", "dnp")
+
+
+@dataclass
+class APTConfig:
+    """Validated configuration of one APT training task.
+
+    Groups the former ``APT.__init__`` kwargs (task shape, partitioning,
+    seeding, engine modes) with the online-adaptivity subsystem's knobs.
+    Validation happens at construction *and* can be re-run with
+    :meth:`validate` after field mutation (``APT`` re-validates before
+    every plan/run).
+    """
+
+    # ---- task shape -------------------------------------------------- #
+    #: node-wise sampling fanouts, input layer first
+    fanouts: Tuple[int, ...] = (10, 10, 10)
+    #: seeds per synchronized step, summed over GPUs
+    global_batch_size: int = 1024
+    #: ``"metis"``, ``"random"``, or an explicit node->device array
+    partition: Union[str, np.ndarray] = "metis"
+    seed: int = 0
+    #: relative measurement error of the bandwidth-profiling trials
+    bandwidth_noise: float = 0.02
+    # ---- engine modes ------------------------------------------------ #
+    cpu_sampling: bool = False
+    compute_skew: bool = True
+    overlap: bool = False
+    # ---- online adaptivity ------------------------------------------- #
+    #: attach a TelemetryCollector to every run (pure observation)
+    telemetry: bool = True
+    #: re-plan mid-run when observed phase times drift off the estimates
+    replan: bool = False
+    #: relative-error trigger of the drift detector (see repro.obs.drift)
+    drift_threshold: float = 0.35
+    #: candidate strategies for (re-)planning
+    strategies: Tuple[str, ...] = PLAN_STRATEGIES
+    #: epochs to wait after a re-plan before the detector may fire again
+    replan_cooldown: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "APTConfig":
+        """Check every field; returns self so calls chain."""
+        self.fanouts = tuple(int(f) for f in self.fanouts)
+        if not self.fanouts or any(f <= 0 for f in self.fanouts):
+            raise ValueError(f"fanouts must be positive ints, got {self.fanouts}")
+        if int(self.global_batch_size) <= 0:
+            raise ValueError(
+                f"global_batch_size must be positive, got {self.global_batch_size}"
+            )
+        self.global_batch_size = int(self.global_batch_size)
+        if isinstance(self.partition, str):
+            if self.partition not in ("metis", "random"):
+                raise ValueError(
+                    f"partition must be 'metis', 'random', or an explicit "
+                    f"node->device array, got {self.partition!r}"
+                )
+        else:
+            self.partition = np.asarray(self.partition, dtype=np.int64)
+            if self.partition.ndim != 1:
+                raise ValueError("explicit partition must be a 1-D node->device array")
+        self.seed = int(self.seed)
+        if not 0.0 <= float(self.bandwidth_noise) < 0.5:
+            raise ValueError(
+                f"bandwidth_noise must be in [0, 0.5), got {self.bandwidth_noise}"
+            )
+        if float(self.drift_threshold) <= 0.0:
+            raise ValueError(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        self.strategies = tuple(str(s).lower() for s in self.strategies)
+        unknown = [s for s in self.strategies if s not in PLAN_STRATEGIES + ("hyb",)]
+        if not self.strategies or unknown:
+            raise ValueError(
+                f"strategies must be a non-empty subset of "
+                f"{PLAN_STRATEGIES + ('hyb',)}, got {self.strategies}"
+            )
+        if int(self.replan_cooldown) < 0:
+            raise ValueError(
+                f"replan_cooldown must be >= 0, got {self.replan_cooldown}"
+            )
+        self.replan_cooldown = int(self.replan_cooldown)
+        return self
+
+    def replace(self, **changes: Any) -> "APTConfig":
+        """Validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (explicit partitions summarized, not embedded)."""
+        out = dataclasses.asdict(self)
+        if isinstance(self.partition, np.ndarray):
+            out["partition"] = f"<explicit:{self.partition.size} nodes>"
+        out["fanouts"] = list(self.fanouts)
+        out["strategies"] = list(self.strategies)
+        return out
 
 #: Feature-matrix sizes of the paper's datasets (Table 2), in GB.
 PAPER_FEATURE_GB = {"ps": 52.9, "fs": 62.6, "im": 128.0}

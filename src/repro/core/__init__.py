@@ -19,6 +19,7 @@ from repro.core.apt import APT, APTRunResult
 from repro.core.costmodel import CostEstimate, CostModel
 from repro.core.dryrun import DryRun, DryRunStats, access_frequency_census
 from repro.core.planner import Planner, PlanReport
+from repro.core.report import ReplanEvent, RunReport
 from repro.core.adapter import adapt_strategy
 
 __all__ = [
@@ -31,5 +32,7 @@ __all__ = [
     "CostEstimate",
     "Planner",
     "PlanReport",
+    "RunReport",
+    "ReplanEvent",
     "adapt_strategy",
 ]

@@ -1,60 +1,72 @@
-"""The APT facade: Prepare -> Plan -> Adapt -> Run (paper Fig. 4).
+"""The APT facade: Prepare -> Plan -> Adapt -> Run (paper Fig. 4), plus the
+online-adaptivity loop (telemetry -> drift detection -> re-planning).
 
 Typical use::
 
-    apt = APT(dataset, model, cluster, fanouts=[10, 10, 10])
-    apt.prepare()                  # partition graph, place features, profile
-    report = apt.plan()            # dry-run all strategies, pick the best
-    result = apt.run(num_epochs=5) # execute the chosen strategy
+    config = APTConfig(fanouts=(10, 10, 10), replan=True)
+    apt = APT(dataset, model, cluster, config)
+    apt.prepare()                    # partition graph, place features, profile
+    report = apt.plan()              # dry-run all strategies, pick the best
+    report = apt.run(num_epochs=5)   # execute; re-plans if phase times drift
+    print(report.to_json(indent=2))  # plan + epochs + telemetry + re-plans
+
+Every entry point returns a :class:`~repro.core.report.RunReport`; the old
+kwargs surface (``APT(ds, model, cluster, fanouts=[...], seed=...)``) still
+works behind a ``DeprecationWarning``, and the report delegates the legacy
+attributes (``chosen``, ``epochs``, ``epoch_seconds``, ...), so
+pre-redesign call sites run unchanged.
 
 ``run_strategy`` executes a *fixed* strategy from the same initial model
 state — the benchmarks use it to produce the per-strategy epoch times the
-paper's figures compare against APT's automatic choice.
+paper's figures compare against APT's automatic choice.  Both ``run`` and
+``run_strategy`` accept a :class:`~repro.cluster.faults.FaultSchedule`:
+faults degrade the simulated cluster at epoch boundaries, and (with
+``replan`` enabled) the drift detector notices the observed/estimated gap
+and hot-switches the strategy between epochs.  Model and optimizer state
+carry over across a switch, and the engine's semantic-equivalence property
+(all strategies apply identical updates) makes the switch loss-transparent
+— pinned by ``tests/core/test_replan.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.faults import FaultSchedule
 from repro.cluster.spec import ClusterSpec
+from repro.config import APTConfig
 from repro.core.adapter import adapt_strategy
-from repro.core.costmodel import CostModel
+from repro.core.apt_result import APTRunResult
+from repro.core.costmodel import CostEstimate, CostModel
 from repro.core.dryrun import DryRun, DryRunStats
 from repro.core.planner import Planner, PlanReport
+from repro.core.report import ReplanEvent, RunReport
 from repro.engine import STRATEGIES
-from repro.engine.context import ExecutionContext, VolumeRecorder
-from repro.engine.trainer import EpochResult, ParallelTrainer
+from repro.engine.context import ExecutionContext
+from repro.engine.trainer import ParallelTrainer
 from repro.graph.datasets import GraphDataset
 from repro.graph.partition import metis_like_partition, random_partition
 from repro.models.base import GNNModel
+from repro.obs.drift import DriftDetector
+from repro.obs.telemetry import TelemetryCollector
 from repro.tensor.optim import Adam
 
+__all__ = ["APT", "APTRunResult"]
 
-@dataclass
-class APTRunResult:
-    """Outcome of executing one strategy for some epochs."""
-
-    strategy: str
-    epochs: List[EpochResult]
-    recorder: VolumeRecorder
-    #: the paper's stacked breakdown summed over the run
-    breakdown: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def wall_seconds(self) -> float:
-        return sum(e.wall_seconds for e in self.epochs)
-
-    @property
-    def epoch_seconds(self) -> float:
-        """Average simulated epoch time (the paper's main metric)."""
-        return self.wall_seconds / max(len(self.epochs), 1)
-
-    @property
-    def final_loss(self) -> float:
-        return self.epochs[-1].mean_loss if self.epochs else float("nan")
+#: legacy ``APT.__init__`` kwargs and the config fields they map to
+_LEGACY_KWARGS = (
+    "fanouts",
+    "global_batch_size",
+    "partition",
+    "seed",
+    "bandwidth_noise",
+    "cpu_sampling",
+    "compute_skew",
+    "overlap",
+)
 
 
 class APT:
@@ -64,15 +76,11 @@ class APT:
     ----------
     dataset / model / cluster:
         The GNN training task (paper "Prepare" inputs).
-    fanouts:
-        Node-wise sampling fanouts, input layer first (default [10,10,10]).
-    global_batch_size:
-        Seeds per synchronized step, summed over GPUs (paper: 1024/GPU).
-    partition:
-        ``"metis"`` (default), ``"random"`` (Fig. 11's baseline), or an
-        explicit node->device array.
-    bandwidth_noise:
-        Relative measurement error of the bandwidth-profiling trials.
+    config:
+        An :class:`~repro.config.APTConfig`.  The pre-redesign kwargs
+        (``fanouts=...``, ``seed=...``, ...) are still accepted — they are
+        folded into a config with a ``DeprecationWarning`` — but cannot be
+        mixed with an explicit ``config``.
     """
 
     def __init__(
@@ -80,32 +88,41 @@ class APT:
         dataset: GraphDataset,
         model: GNNModel,
         cluster: ClusterSpec,
-        fanouts: Sequence[int] = (10, 10, 10),
-        *,
-        global_batch_size: int = 1024,
-        partition: Union[str, np.ndarray] = "metis",
-        seed: int = 0,
-        bandwidth_noise: float = 0.02,
-        cpu_sampling: bool = False,
-        compute_skew: bool = True,
-        overlap: bool = False,
+        config: Optional[Union[APTConfig, Sequence[int]]] = None,
+        **legacy: object,
     ):
-        if model.num_layers != len(fanouts):
+        if config is not None and not isinstance(config, APTConfig):
+            # Pre-redesign signature: 4th positional argument was `fanouts`.
+            legacy = dict(legacy)
+            if "fanouts" in legacy:
+                raise TypeError("fanouts passed both positionally and by keyword")
+            legacy["fanouts"] = config
+            config = None
+        unknown = set(legacy) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(f"unexpected APT keyword arguments: {sorted(unknown)}")
+        if legacy and config is not None:
+            raise ValueError(
+                "pass either an APTConfig or the deprecated kwargs, not both"
+            )
+        if legacy:
+            warnings.warn(
+                "APT(dataset, model, cluster, fanouts=..., ...) is deprecated; "
+                "pass APT(dataset, model, cluster, APTConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = APTConfig(**legacy)
+        self.config = config if config is not None else APTConfig()
+
+        if model.num_layers != len(self.config.fanouts):
             raise ValueError(
                 f"model has {model.num_layers} layers but fanouts has "
-                f"{len(fanouts)} entries"
+                f"{len(self.config.fanouts)} entries"
             )
         self.dataset = dataset
         self.model = model
         self.cluster = cluster
-        self.fanouts = list(fanouts)
-        self.global_batch_size = int(global_batch_size)
-        self.partition = partition
-        self.seed = int(seed)
-        self.bandwidth_noise = float(bandwidth_noise)
-        self.cpu_sampling = bool(cpu_sampling)
-        self.compute_skew = bool(compute_skew)
-        self.overlap = bool(overlap)
 
         self._initial_state = model.state_dict()
         self.parts: Optional[np.ndarray] = None
@@ -113,6 +130,54 @@ class APT:
         self.dryrun: Optional[DryRun] = None
         self.dryrun_stats: Dict[str, DryRunStats] = {}
         self.plan_report: Optional[PlanReport] = None
+
+    # ------------------------------------------------------------------ #
+    # config delegation (kept as attributes for source compatibility)
+    # ------------------------------------------------------------------ #
+    @property
+    def fanouts(self) -> List[int]:
+        return list(self.config.fanouts)
+
+    @fanouts.setter
+    def fanouts(self, value) -> None:
+        self.config.fanouts = tuple(value)
+
+    @property
+    def global_batch_size(self) -> int:
+        return self.config.global_batch_size
+
+    @global_batch_size.setter
+    def global_batch_size(self, value) -> None:
+        self.config.global_batch_size = int(value)
+
+    @property
+    def partition(self):
+        return self.config.partition
+
+    @partition.setter
+    def partition(self, value) -> None:
+        # No eager validation: prepare() reports bad modes (legacy behavior).
+        self.config.partition = value
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def bandwidth_noise(self) -> float:
+        return self.config.bandwidth_noise
+
+    @property
+    def cpu_sampling(self) -> bool:
+        return self.config.cpu_sampling
+
+    @property
+    def compute_skew(self) -> bool:
+        return self.config.compute_skew
+
+    @property
+    def overlap(self) -> bool:
+        return self.config.overlap
 
     # ------------------------------------------------------------------ #
     # Prepare
@@ -124,26 +189,30 @@ class APT:
         machine yields the feature placement every strategy shares (the
         paper partitions features across machines without overlap).
         """
-        if isinstance(self.partition, np.ndarray):
-            self.parts = np.asarray(self.partition, dtype=np.int64)
-        elif self.partition == "metis":
+        partition = self.config.partition
+        if isinstance(partition, np.ndarray):
+            self.parts = np.asarray(partition, dtype=np.int64)
+        elif partition == "metis":
             self.parts = metis_like_partition(
                 self.dataset.graph, self.cluster.num_devices, seed=self.seed
             )
-        elif self.partition == "random":
+        elif partition == "random":
             self.parts = random_partition(
                 self.dataset.num_nodes, self.cluster.num_devices, seed=self.seed
             )
         else:
-            raise ValueError(f"unknown partition mode {self.partition!r}")
+            raise ValueError(f"unknown partition mode {partition!r}")
         machine_of_device = np.array(
             [self.cluster.machine_of(d) for d in range(self.cluster.num_devices)],
             dtype=np.int64,
         )
         self.node_machine = machine_of_device[self.parts]
-        self.dryrun = DryRun(
+        self.dryrun = self._make_dryrun(self.cluster)
+
+    def _make_dryrun(self, cluster: ClusterSpec) -> DryRun:
+        return DryRun(
             self.dataset,
-            self.cluster,
+            cluster,
             self.model,
             self.fanouts,
             parts=self.parts,
@@ -160,27 +229,56 @@ class APT:
     # ------------------------------------------------------------------ #
     # Plan
     # ------------------------------------------------------------------ #
-    def plan(self, strategies: Sequence[str] = ("gdp", "nfp", "snp", "dnp")) -> PlanReport:
-        """Dry-run the candidate strategies and select the cheapest."""
-        self._require_prepared()
-        self.dryrun_stats = {s: self.dryrun.run(s) for s in strategies}
-        cost_model = CostModel(
-            self.cluster,
+    def _cost_model(self, cluster: ClusterSpec) -> CostModel:
+        """Profile ``cluster``'s operator bandwidths (the Prepare trials).
+
+        Re-planning calls this against the *currently effective* (possibly
+        degraded) cluster — profiling measures whatever the hardware does
+        now, which is exactly how drift gets absorbed into fresh estimates.
+        """
+        return CostModel(
+            cluster,
             self.dataset.feature_dim,
             bandwidth_noise=self.bandwidth_noise,
             noise_seed=self.seed,
             include_compute_skew=self.compute_skew,
         )
-        self.plan_report = Planner(cost_model).select(self.dryrun_stats)
-        return self.plan_report
+
+    def plan(self, strategies: Optional[Sequence[str]] = None) -> RunReport:
+        """Dry-run the candidate strategies and select the cheapest."""
+        self.config.validate()
+        self._require_prepared()
+        strategies = tuple(strategies if strategies is not None else self.config.strategies)
+        self.dryrun_stats = {s: self.dryrun.run(s) for s in strategies}
+        self.plan_report = Planner(self._cost_model(self.cluster)).select(
+            self.dryrun_stats
+        )
+        return RunReport(plan=self.plan_report, config=self.config.to_dict())
+
+    def _replan(
+        self, cluster: ClusterSpec, strategies: Tuple[str, ...]
+    ) -> PlanReport:
+        """Fresh dry-run + profiling against the currently effective spec."""
+        dryrun = self._make_dryrun(cluster)
+        # The access census depends only on the sampler, not the hardware —
+        # reuse it instead of re-counting.
+        if self.dryrun is not None:
+            dryrun._access_freq = self.dryrun.access_freq
+        stats = {s: dryrun.run(s) for s in strategies}
+        return Planner(self._cost_model(cluster)).select(stats)
 
     # ------------------------------------------------------------------ #
     # Adapt + Run
     # ------------------------------------------------------------------ #
-    def _build_context(self, numerics: bool = True) -> ExecutionContext:
+    def _build_context(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        numerics: bool = True,
+        telemetry: Optional[TelemetryCollector] = None,
+    ) -> ExecutionContext:
         return ExecutionContext.build(
             self.dataset,
-            self.cluster,
+            cluster if cluster is not None else self.cluster,
             self.model,
             self.fanouts,
             parts=self.parts,
@@ -192,7 +290,19 @@ class APT:
             cpu_sampling=self.cpu_sampling,
             numerics=numerics,
             overlap=self.overlap,
+            telemetry=telemetry,
         )
+
+    def _make_trainer(
+        self,
+        strategy_name: str,
+        cluster: ClusterSpec,
+        optimizer,
+        numerics: bool,
+        telemetry: Optional[TelemetryCollector],
+    ) -> ParallelTrainer:
+        ctx = self._build_context(cluster, numerics=numerics, telemetry=telemetry)
+        return ParallelTrainer(adapt_strategy(strategy_name, ctx), ctx, optimizer)
 
     def run_strategy(
         self,
@@ -202,29 +312,29 @@ class APT:
         lr: float = 1e-3,
         reset_model: bool = True,
         numerics: bool = True,
-    ) -> APTRunResult:
+        faults: Optional[FaultSchedule] = None,
+        replan: bool = False,
+    ) -> RunReport:
         """Execute a fixed strategy for ``num_epochs`` simulated epochs.
 
         ``numerics=False`` runs in timing-only mode: the identical simulated
         time is charged but tensor math is skipped (use for performance
-        sweeps; losses come back NaN).
+        sweeps; losses come back NaN).  ``faults`` degrades the simulated
+        cluster at epoch boundaries; with ``replan=True`` the run behaves
+        like :meth:`run` and may hot-switch away from ``name``.
         """
         if name not in STRATEGIES:
             raise KeyError(f"unknown strategy {name!r}")
+        self.config.validate()
         self._require_prepared()
-        if reset_model:
-            self.model.load_state_dict(self._initial_state)
-        ctx = self._build_context(numerics=numerics)
-        strategy = adapt_strategy(name, ctx)
-        trainer = ParallelTrainer(
-            strategy, ctx, Adam(self.model.parameters(), lr=lr)
-        )
-        epochs = trainer.train(num_epochs)
-        return APTRunResult(
-            strategy=name,
-            epochs=epochs,
-            recorder=ctx.recorder,
-            breakdown=ctx.timeline.paper_breakdown(),
+        return self._run_loop(
+            name,
+            num_epochs,
+            lr=lr,
+            reset_model=reset_model,
+            numerics=numerics,
+            faults=faults,
+            replan=replan,
         )
 
     def run(
@@ -233,13 +343,148 @@ class APT:
         *,
         strategy: Optional[str] = None,
         lr: float = 1e-3,
-    ) -> APTRunResult:
-        """Adapt to the planned (or given) strategy and train."""
+        faults: Optional[FaultSchedule] = None,
+        replan: Optional[bool] = None,
+        numerics: bool = True,
+    ) -> RunReport:
+        """Adapt to the planned (or given) strategy and train.
+
+        ``replan`` defaults to ``config.replan``; when enabled, each epoch's
+        observed T_build/T_load/T_shuffle are compared against the active
+        estimate and the planner re-runs past ``config.drift_threshold``.
+        """
         if strategy is None:
             if self.plan_report is None:
                 self.plan()
             strategy = self.plan_report.chosen
-        return self.run_strategy(strategy, num_epochs, lr=lr)
+        if replan is None:
+            replan = self.config.replan
+        return self.run_strategy(
+            strategy,
+            num_epochs,
+            lr=lr,
+            faults=faults,
+            replan=bool(replan),
+            numerics=numerics,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _active_estimate(
+        self, strategy: str, replan: bool
+    ) -> Optional[CostEstimate]:
+        """The estimate the drift detector trusts at run start."""
+        if not replan:
+            return None
+        if self.plan_report is not None and strategy in self.plan_report.estimates:
+            return self.plan_report.estimates[strategy]
+        stats = self.dryrun.run(strategy)
+        return self._cost_model(self.cluster).estimate(stats)
+
+    def _run_loop(
+        self,
+        strategy_name: str,
+        num_epochs: int,
+        *,
+        lr: float,
+        reset_model: bool,
+        numerics: bool,
+        faults: Optional[FaultSchedule],
+        replan: bool,
+    ) -> RunReport:
+        """The shared epoch loop: faults in, telemetry out, drift-replans."""
+        if reset_model:
+            self.model.load_state_dict(self._initial_state)
+        collector = TelemetryCollector() if self.config.telemetry else None
+        optimizer = Adam(self.model.parameters(), lr=lr)
+        detector = DriftDetector(threshold=self.config.drift_threshold)
+        estimate = self._active_estimate(strategy_name, replan)
+
+        report = RunReport(plan=self.plan_report, config=self.config.to_dict())
+        base_cluster = self.cluster
+        current_cluster: Optional[ClusterSpec] = None
+        current_strategy = strategy_name
+        trainer: Optional[ParallelTrainer] = None
+        epochs = []
+        breakdown: Dict[str, float] = {}
+        cooldown = 0
+
+        for epoch in range(num_epochs):
+            cluster_e = (
+                faults.cluster_at(base_cluster, epoch) if faults else base_cluster
+            )
+            if faults is not None:
+                for event in faults.events_at(epoch):
+                    record = event.to_dict()
+                    report.faults.append({"epoch": epoch, "fault": record})
+                    if collector is not None:
+                        collector.emit("fault", epoch=epoch, fault=record)
+            if trainer is None or cluster_e != current_cluster:
+                # (Re)build the engine on the currently effective hardware;
+                # model and optimizer state carry over untouched.
+                current_cluster = cluster_e
+                trainer = self._make_trainer(
+                    current_strategy, current_cluster, optimizer, numerics, collector
+                )
+
+            result = trainer.train_epoch(epoch)
+            epochs.append(result)
+            report.strategy_by_epoch.append(current_strategy)
+            for key, value in result.breakdown.items():
+                breakdown[key] = breakdown.get(key, 0.0) + value
+
+            if not (replan and estimate is not None and epoch < num_epochs - 1):
+                continue
+            if cooldown > 0:
+                cooldown -= 1
+                continue
+            reading = detector.reading(epoch, estimate, result.phases)
+            if not reading.exceeded:
+                continue
+            # Drift: re-profile and re-plan against the *current* cluster.
+            new_plan = self._replan(current_cluster, self.config.strategies)
+            event = ReplanEvent(
+                epoch=epoch,
+                drift=reading,
+                old_strategy=current_strategy,
+                new_strategy=new_plan.chosen,
+                estimates={n: e.total for n, e in new_plan.estimates.items()},
+            )
+            report.replans.append(event)
+            estimate = new_plan.estimates[new_plan.chosen]
+            cooldown = self.config.replan_cooldown
+            if collector is not None:
+                collector.emit(
+                    "replan",
+                    sim_time=trainer.ctx.timeline.wall_seconds,
+                    epoch=epoch,
+                    drift=reading.max_abs,
+                    worst_term=reading.worst_term,
+                    chosen=new_plan.chosen,
+                )
+            if new_plan.chosen != current_strategy:
+                if collector is not None:
+                    collector.emit(
+                        "switch",
+                        sim_time=trainer.ctx.timeline.wall_seconds,
+                        epoch=epoch,
+                        old=current_strategy,
+                        new=new_plan.chosen,
+                    )
+                current_strategy = new_plan.chosen
+                trainer = self._make_trainer(
+                    current_strategy, current_cluster, optimizer, numerics, collector
+                )
+
+        report.result = APTRunResult(
+            strategy=current_strategy,
+            epochs=epochs,
+            recorder=trainer.ctx.recorder,
+            breakdown=breakdown,
+        )
+        if collector is not None:
+            report.telemetry = collector.summary()
+            report.collector = collector
+        return report
 
     # ------------------------------------------------------------------ #
     def compare_all(
@@ -248,14 +493,21 @@ class APT:
         *,
         lr: float = 1e-3,
         numerics: bool = True,
-        strategies: Sequence[str] = ("gdp", "nfp", "snp", "dnp"),
-    ) -> Dict[str, APTRunResult]:
+        strategies: Optional[Sequence[str]] = None,
+        faults: Optional[FaultSchedule] = None,
+    ) -> Dict[str, RunReport]:
         """Execute the given strategies from identical initial state.
 
         Defaults to the paper's four; pass ``strategies=(..., "hyb")`` to
-        include the future-work hybrid.
+        include the future-work hybrid.  A ``faults`` schedule applies
+        identically to every strategy — the baseline mode of
+        ``benchmarks/bench_online_replan.py``.
         """
+        if strategies is None:
+            strategies = ("gdp", "nfp", "snp", "dnp")
         return {
-            name: self.run_strategy(name, num_epochs, lr=lr, numerics=numerics)
+            name: self.run_strategy(
+                name, num_epochs, lr=lr, numerics=numerics, faults=faults
+            )
             for name in strategies
         }

@@ -1,0 +1,39 @@
+"""The executed-epochs result record shared by APT entry points.
+
+Lives in its own module (rather than ``repro.core.apt``) so that
+:mod:`repro.core.report` can nest it inside :class:`RunReport` without a
+circular import; ``repro.core`` re-exports it from the old location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.engine.context import VolumeRecorder
+from repro.engine.trainer import EpochResult
+
+
+@dataclass
+class APTRunResult:
+    """Outcome of executing one (or, after hot switches, several)
+    strategies for some epochs."""
+
+    strategy: str
+    epochs: List[EpochResult]
+    recorder: VolumeRecorder
+    #: the paper's stacked breakdown summed over the run
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(e.wall_seconds for e in self.epochs)
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Average simulated epoch time (the paper's main metric)."""
+        return self.wall_seconds / max(len(self.epochs), 1)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].mean_loss if self.epochs else float("nan")

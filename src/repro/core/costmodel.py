@@ -120,7 +120,7 @@ class CostModel:
 
         m0 = cluster.machines[0]
         d0 = m0.device
-        #: profiled operator bandwidths (bytes/s) and per-message latency,
+        #: profiled operator bandwidths (bytes/s) and per-message latencies,
         #: one trial each
         self.profile: Dict[str, float] = {
             "hbm": measured(d0.mem_bandwidth),
@@ -132,12 +132,38 @@ class CostModel:
             "msg_latency": measured(m0.gpu_peer_link().latency)
             if m0.gpu_peer_link().latency > 0
             else 0.0,
+            "pcie_latency": measured(m0.pcie.latency) if m0.pcie.latency > 0 else 0.0,
+            "net_latency": measured(cluster.network.latency)
+            if cluster.network.latency > 0
+            else 0.0,
         }
 
     # ------------------------------------------------------------------ #
+    def load_latency_seconds(self, stats: DryRunStats) -> float:
+        """Per-message latency share of T_load.
+
+        The feature store issues one bulk transfer per tier per batch, so a
+        tier that sees any traffic pays its link's setup latency once per
+        batch.  Mirrors that with the profiled latencies (GPU-cache hits are
+        plain memory reads and carry none); slowest device governs, like the
+        bandwidth term.
+        """
+        tier_latency = {
+            Tier.PEER_GPU: self.profile["msg_latency"],
+            Tier.LOCAL_CPU: self.profile["pcie_latency"],
+            Tier.REMOTE_CPU: self.profile["net_latency"],
+        }
+        per_device = []
+        for rows in stats.recorder.load_rows:
+            per_device.append(
+                stats.num_batches
+                * sum(lat for t, lat in tier_latency.items() if rows[t] > 0)
+            )
+        return float(max(per_device)) if per_device else 0.0
+
     def load_seconds(self, stats: DryRunStats) -> float:
         """T_load: the slowest device's per-tier load volume at profiled
-        bandwidths."""
+        bandwidths, plus the per-batch message latencies."""
         row_bytes = self.feature_dim * 8.0 * stats.dim_fraction
         tier_bw = {
             Tier.GPU_CACHE: self.profile["hbm"],
@@ -145,10 +171,19 @@ class CostModel:
             Tier.LOCAL_CPU: self.profile["pcie"],
             Tier.REMOTE_CPU: self.profile["net_per_gpu"],
         }
+        tier_latency = {
+            Tier.PEER_GPU: self.profile["msg_latency"],
+            Tier.LOCAL_CPU: self.profile["pcie_latency"],
+            Tier.REMOTE_CPU: self.profile["net_latency"],
+        }
         per_device = []
         for rows in stats.recorder.load_rows:
             per_device.append(
                 sum(rows[t] * row_bytes / tier_bw[t] for t in Tier)
+                + stats.num_batches
+                * sum(
+                    lat for t, lat in tier_latency.items() if rows[t] > 0
+                )
             )
         return float(max(per_device)) if per_device else 0.0
 

@@ -1,0 +1,190 @@
+"""The unified :class:`RunReport` returned by every APT entry point.
+
+``plan()``, ``run()``, and ``run_strategy()`` used to return three
+different shapes (``PlanReport``, ``APTRunResult``, ``APTRunResult``);
+benchmarks and the CLI had to know which was which.  A :class:`RunReport`
+nests them all:
+
+* ``plan``      — the (last) planner outcome, when planning happened;
+* ``result``    — the executed epochs, when training happened;
+* ``replans``   — every drift-triggered re-plan, including hot switches;
+* ``faults``    — injected faults that took effect during the run;
+* ``telemetry`` — the telemetry summary (counters + event counts);
+* ``config``    — the :class:`~repro.config.APTConfig` snapshot.
+
+For source compatibility the report *delegates* the frequently used
+attributes of both legacy types (``chosen``, ``ranking``, ``estimates``,
+``summary()`` / ``strategy``, ``epochs``, ``epoch_seconds``, ...), raising
+a descriptive error when the nested part is absent — so pre-redesign call
+sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.apt_result import APTRunResult
+from repro.core.planner import PlanReport
+from repro.obs.drift import DriftReading
+
+
+@dataclass
+class ReplanEvent:
+    """One drift-triggered planner invocation (switch or confirmation)."""
+
+    #: epoch *after* which the re-plan ran (the switch takes effect at
+    #: ``epoch + 1``)
+    epoch: int
+    #: the drift reading that crossed the threshold
+    drift: DriftReading
+    old_strategy: str
+    new_strategy: str
+    #: fresh per-strategy estimate totals from the re-profiled cost model
+    estimates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def switched(self) -> bool:
+        return self.new_strategy != self.old_strategy
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "old_strategy": self.old_strategy,
+            "new_strategy": self.new_strategy,
+            "switched": self.switched,
+            "drift": self.drift.to_dict(),
+            "estimates": dict(self.estimates),
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything one APT invocation produced.  See the module docstring."""
+
+    plan: Optional[PlanReport] = None
+    result: Optional[APTRunResult] = None
+    replans: List[ReplanEvent] = field(default_factory=list)
+    #: injected-fault records: ``{"epoch": int, "fault": {...}}``
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: :meth:`TelemetryCollector.summary` of the run (None when disabled)
+    telemetry: Optional[Dict[str, Any]] = None
+    #: JSON-safe snapshot of the APTConfig that produced the run
+    config: Optional[Dict[str, Any]] = None
+    #: strategy that executed each epoch, in order (shows hot switches)
+    strategy_by_epoch: List[str] = field(default_factory=list)
+    #: the live TelemetryCollector (full event stream; not serialized)
+    collector: Optional[Any] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # delegation: PlanReport surface
+    # ------------------------------------------------------------------ #
+    def _require(self, part: str):
+        value = getattr(self, part)
+        if value is None:
+            raise AttributeError(
+                f"this RunReport has no {part!r} section — it came from "
+                f"{'plan()' if part == 'result' else 'a run without planning'}"
+            )
+        return value
+
+    @property
+    def chosen(self) -> str:
+        return self._require("plan").chosen
+
+    @property
+    def ranking(self) -> List[str]:
+        return self._require("plan").ranking
+
+    @property
+    def estimates(self):
+        return self._require("plan").estimates
+
+    def summary(self) -> str:
+        """Human-readable planner table (PlanReport delegation)."""
+        return self._require("plan").summary()
+
+    # ------------------------------------------------------------------ #
+    # delegation: APTRunResult surface
+    # ------------------------------------------------------------------ #
+    @property
+    def strategy(self) -> str:
+        return self._require("result").strategy
+
+    @property
+    def epochs(self):
+        return self._require("result").epochs
+
+    @property
+    def recorder(self):
+        return self._require("result").recorder
+
+    @property
+    def breakdown(self) -> Dict[str, float]:
+        return self._require("result").breakdown
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._require("result").wall_seconds
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self._require("result").epoch_seconds
+
+    @property
+    def final_loss(self) -> float:
+        return self._require("result").final_loss
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_replans(self) -> int:
+        return len(self.replans)
+
+    @property
+    def switch_epochs(self) -> List[int]:
+        """Epochs after which the running strategy actually changed."""
+        return [r.epoch for r in self.replans if r.switched]
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.plan is not None:
+            out["plan"] = {
+                "chosen": self.plan.chosen,
+                "ranking": list(self.plan.ranking),
+                "estimates": {
+                    name: est.as_dict() for name, est in self.plan.estimates.items()
+                },
+            }
+        if self.result is not None:
+            out["result"] = {
+                "strategy": self.result.strategy,
+                "wall_seconds": self.result.wall_seconds,
+                "epoch_seconds": self.result.epoch_seconds,
+                "final_loss": self.result.final_loss,
+                "breakdown": dict(self.result.breakdown),
+                "epochs": [
+                    {
+                        "epoch": e.epoch,
+                        "strategy": e.strategy,
+                        "mean_loss": e.mean_loss,
+                        "wall_seconds": e.wall_seconds,
+                        "num_batches": e.num_batches,
+                        "phases": dict(e.phases),
+                    }
+                    for e in self.result.epochs
+                ],
+            }
+        if self.strategy_by_epoch:
+            out["strategy_by_epoch"] = list(self.strategy_by_epoch)
+        out["replans"] = [r.to_dict() for r in self.replans]
+        out["faults"] = list(self.faults)
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        if self.config is not None:
+            out["config"] = self.config
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

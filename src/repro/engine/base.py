@@ -147,6 +147,7 @@ def sample_batches(
             ctx.charger.cpu_sampling(d, mb.total_edges())
         else:
             ctx.charger.gpu_sampling(d, mb.total_edges())
+        ctx.count("sampled_edges", mb.total_edges(), device=d, phase="sample")
         batches.append(mb)
     return batches
 

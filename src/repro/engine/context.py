@@ -140,10 +140,19 @@ class ExecutionContext:
     #: ``tests/engine/test_timing_mode.py`` pins that both modes charge
     #: identical timelines).
     numerics: bool = True
+    #: Optional :class:`~repro.obs.telemetry.TelemetryCollector`; the
+    #: timeline, communicator, and strategy executors emit into it.  Pure
+    #: observation — never charges simulated time (see tests/obs).
+    telemetry: Optional[object] = None
 
     @property
     def num_devices(self) -> int:
         return self.cluster.num_devices
+
+    def count(self, name: str, value: float = 1.0, *, device=None, phase=None) -> None:
+        """Accumulate a telemetry counter; no-op without a collector."""
+        if self.telemetry is not None:
+            self.telemetry.count(name, value, device=device, phase=phase)
 
     @classmethod
     def build(
@@ -162,9 +171,10 @@ class ExecutionContext:
         cpu_sampling: bool = False,
         numerics: bool = True,
         overlap: bool = False,
+        telemetry=None,
     ) -> "ExecutionContext":
         """Assemble a fresh context with new ledgers."""
-        timeline = Timeline(cluster.num_devices, overlap=overlap)
+        timeline = Timeline(cluster.num_devices, overlap=overlap, telemetry=telemetry)
         store = UnifiedFeatureStore(dataset, cluster, node_machine=node_machine)
         return cls(
             dataset=dataset,
@@ -183,4 +193,5 @@ class ExecutionContext:
             cpu_sampling=cpu_sampling,
             numerics=numerics,
             overlap=overlap,
+            telemetry=telemetry,
         )

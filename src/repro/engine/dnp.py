@@ -159,6 +159,10 @@ class DNPStrategy(Strategy):
                 ctx.recorder.record_load(
                     o, {t: ids.size for t, ids in split.items()}
                 )
+                for t, ids in split.items():
+                    ctx.count(
+                        f"load_rows.{t.value}", ids.size, device=o, phase="load"
+                    )
         return plan
 
     # ------------------------------------------------------------------ #

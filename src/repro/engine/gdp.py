@@ -76,6 +76,8 @@ class GDPStrategy(Strategy):
             nodes = mb.input_nodes
             split = ctx.store.classify(d, nodes)
             ctx.recorder.record_load(d, {t: ids.size for t, ids in split.items()})
+            for t, ids in split.items():
+                ctx.count(f"load_rows.{t.value}", ids.size, device=d, phase="load")
             ctx.recorder.n_dst += mb.blocks[0].num_dst
             ctx.recorder.record_layer1_flops(
                 d, ctx.model.first_layer.forward_flops(mb.blocks[0])

@@ -122,6 +122,8 @@ class NFPStrategy(Strategy):
         for dev in range(C):
             split = ctx.store.classify(dev, union)
             ctx.recorder.record_load(dev, {t: ids.size for t, ids in split.items()})
+            for t, ids in split.items():
+                ctx.count(f"load_rows.{t.value}", ids.size, device=dev, phase="load")
 
         # Hidden-embedding reduce volumes: every non-owner contributor ships
         # one d'-vector per destination (SAGE) or per source (GAT).

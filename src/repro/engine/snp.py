@@ -218,6 +218,10 @@ class SNPStrategy(Strategy):
                 ctx.recorder.record_load(
                     p, {t: ids.size for t, ids in split.items()}
                 )
+                for t, ids in split.items():
+                    ctx.count(
+                        f"load_rows.{t.value}", ids.size, device=p, phase="load"
+                    )
                 ctx.recorder.record_layer1_flops(
                     p, 2.0 * nodes.size * layer.in_dim * d_hidden
                 )

@@ -44,6 +44,11 @@ class EpochResult:
     #: the paper's stacked breakdown: sampling / loading / training seconds
     breakdown: Dict[str, float] = field(default_factory=dict)
     num_batches: int = 0
+    #: raw four-phase split (sample / load / train / shuffle seconds) — the
+    #: drift detector compares these against the cost model's estimates
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: strategy that executed this epoch (mid-run switches make this vary)
+    strategy: str = ""
 
 
 class ParallelTrainer:
@@ -107,11 +112,13 @@ class ParallelTrainer:
         ctx = self.ctx
         wall_before = ctx.timeline.wall_seconds
         phases_before = ctx.timeline.paper_breakdown()
+        raw_before = ctx.timeline.breakdown()
         batch_losses = []
         for global_batch in self._iterator.epoch_batches(epoch):
             batch_losses.append(self.run_global_batch(global_batch, epoch))
         phases_after = ctx.timeline.paper_breakdown()
-        return EpochResult(
+        raw_after = ctx.timeline.breakdown()
+        result = EpochResult(
             epoch=epoch,
             mean_loss=float(np.mean(batch_losses)),
             wall_seconds=ctx.timeline.wall_seconds - wall_before,
@@ -119,7 +126,21 @@ class ParallelTrainer:
                 k: phases_after[k] - phases_before[k] for k in phases_after
             },
             num_batches=len(batch_losses),
+            phases={k: raw_after[k] - raw_before[k] for k in raw_after},
+            strategy=self.strategy.name,
         )
+        if ctx.telemetry is not None:
+            ctx.telemetry.emit(
+                "epoch",
+                sim_time=ctx.timeline.wall_seconds,
+                epoch=epoch,
+                strategy=self.strategy.name,
+                mean_loss=result.mean_loss,
+                wall_seconds=result.wall_seconds,
+                phases=dict(result.phases),
+                num_batches=result.num_batches,
+            )
+        return result
 
     def train(self, num_epochs: int) -> List[EpochResult]:
         return [self.train_epoch(e) for e in range(num_epochs)]

@@ -1,0 +1,27 @@
+"""Observability: runtime telemetry and cost-model drift detection.
+
+The online-adaptivity loop (DESIGN.md §5) is built from three pieces:
+
+* :mod:`~repro.obs.telemetry` — a structured, typed event stream plus
+  per-device/per-phase counters that the :class:`~repro.cluster.timeline.
+  Timeline`, the :class:`~repro.cluster.comm.Communicator`, and the four
+  strategy executors emit into.  Telemetry is pure observation: it never
+  charges simulated seconds, so enabling it cannot change epoch times;
+* :mod:`~repro.obs.drift` — compares the per-epoch *observed* phase times
+  (T_build / T_load / T_shuffle) against the cost model's estimates and
+  flags when the relative error crosses a threshold, which is the signal
+  :meth:`repro.core.apt.APT.run` uses to re-trigger the planner mid-run;
+* :mod:`repro.cluster.faults` — the deterministic fault-injection layer
+  that exercises the detector (it lives in ``repro.cluster`` because it
+  transforms :class:`~repro.cluster.spec.ClusterSpec` objects).
+"""
+
+from repro.obs.telemetry import TelemetryCollector, TelemetryEvent
+from repro.obs.drift import DriftDetector, DriftReading
+
+__all__ = [
+    "TelemetryCollector",
+    "TelemetryEvent",
+    "DriftDetector",
+    "DriftReading",
+]

@@ -1,0 +1,167 @@
+"""Cost-model drift detection for online re-planning.
+
+APT plans once from dry-run statistics, but the quantities the cost model
+consumed — link bandwidths, cache hit rates, access skew — can change
+mid-run (a degraded Ethernet link, a straggling device, a shrunken cache).
+The :class:`DriftDetector` watches the per-epoch *observed* strategy-
+specific phase times and compares them against the planner's estimate for
+the running strategy:
+
+* ``t_build``   vs the timeline's ``sample`` phase (sampling + structure
+  shuffling);
+* ``t_load``    vs the ``load`` phase (feature reads);
+* ``t_shuffle`` vs the ``shuffle`` phase (hidden-embedding exchange).
+
+Each phase's error is normalized by the estimated *epoch* time — the
+strategy-specific estimate total plus the observed common train phase —
+not by the phase's own estimate: GDP's ``t_shuffle`` is exactly zero, and
+a per-phase (or strategy-specific-only) denominator either divides by
+zero or over-triggers on phases too small to matter once a large cache
+shrinks them below the epoch-to-epoch sampling wobble.  A reading whose
+worst normalized error exceeds ``threshold`` signals the planner to
+re-run (with freshly profiled bandwidths) at the next epoch boundary.
+
+The cost model itself is ~5%-accurate under stable conditions (Fig. 12),
+and the timeline's per-batch barrier makes observed phase walls slightly
+pessimistic versus the model's per-epoch maxima, so thresholds below ~0.15
+risk spurious re-plans; the default 0.35 leaves a comfortable no-fault
+margin while any realistic injected fault (2x or worse on a loaded link)
+lands far above it.
+
+Detection is *one-sided* by default: only phases running **slower** than
+promised trigger a re-plan.  Running faster than the estimate is the
+steady state on cache-heavy configurations (the dry-run profiles a cold
+cache; the real run warms it), and a re-plan can never make a
+faster-than-predicted run better — the planner would just re-confirm the
+winner.  Pass ``one_sided=False`` to also trigger on improvements (e.g.
+to switch back after a link recovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+#: timeline phase -> cost-model term observed against it
+PHASE_TO_TERM = {
+    "sample": "t_build",
+    "load": "t_load",
+    "shuffle": "t_shuffle",
+}
+
+
+@dataclass(frozen=True)
+class DriftReading:
+    """One epoch's observed-vs-estimated comparison."""
+
+    epoch: int
+    #: signed per-term error normalized by the total estimated time:
+    #: ``(observed - estimated) / max(sum(estimates), floor)``
+    per_term: Dict[str, float]
+    observed: Dict[str, float]
+    estimated: Dict[str, float]
+    threshold: float
+    max_abs: float = 0.0
+    #: largest *positive* (slower-than-promised) normalized error
+    max_over: float = 0.0
+    worst_term: str = ""
+    one_sided: bool = True
+
+    @property
+    def exceeded(self) -> bool:
+        trigger = self.max_over if self.one_sided else self.max_abs
+        return trigger > self.threshold
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "per_term": dict(self.per_term),
+            "observed": dict(self.observed),
+            "estimated": dict(self.estimated),
+            "threshold": self.threshold,
+            "max_abs": self.max_abs,
+            "max_over": self.max_over,
+            "worst_term": self.worst_term,
+            "one_sided": self.one_sided,
+            "exceeded": self.exceeded,
+        }
+
+
+@dataclass
+class DriftDetector:
+    """Flags epochs whose phase times left the cost model's trust region.
+
+    Parameters
+    ----------
+    threshold:
+        Relative-error trigger; see the module docstring for calibration.
+    floor_seconds:
+        Lower bound on the normalizing denominator, guarding degenerate
+        estimates (e.g. a strategy whose every term rounds to zero at tiny
+        scale) from producing infinite drift.
+    one_sided:
+        When true (default), only slower-than-estimated phases trigger;
+        see the module docstring.
+    """
+
+    threshold: float = 0.35
+    floor_seconds: float = 1e-12
+    one_sided: bool = True
+    #: every reading taken, in order (observability into the detector)
+    history: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {self.threshold}")
+        if self.floor_seconds <= 0.0:
+            raise ValueError(
+                f"floor_seconds must be positive, got {self.floor_seconds}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def reading(
+        self,
+        epoch: int,
+        estimate: Any,
+        observed_phases: Mapping[str, float],
+    ) -> DriftReading:
+        """Compare one epoch against the active estimate.
+
+        ``estimate`` is a :class:`~repro.core.costmodel.CostEstimate` (or
+        anything exposing ``t_build`` / ``t_load`` / ``t_shuffle``);
+        ``observed_phases`` maps timeline phase names to that epoch's
+        synchronized seconds (:meth:`Timeline.breakdown` deltas).
+        """
+        estimated = {
+            term: float(getattr(estimate, term))
+            for term in PHASE_TO_TERM.values()
+        }
+        observed = {
+            PHASE_TO_TERM[phase]: float(observed_phases.get(phase, 0.0))
+            for phase in PHASE_TO_TERM
+        }
+        # Normalize by the epoch, not just the strategy-specific terms:
+        # the common train phase is observed, never estimated (the planner
+        # excludes it), so fold the observation into the denominator.
+        t_train = float(observed_phases.get("train", 0.0))
+        denom = max(sum(estimated.values()) + t_train, self.floor_seconds)
+        per_term = {
+            term: (observed[term] - estimated[term]) / denom
+            for term in estimated
+        }
+        worst_abs = max(per_term, key=lambda t: abs(per_term[t]))
+        worst_over = max(per_term, key=lambda t: per_term[t])
+        worst = worst_over if self.one_sided else worst_abs
+        out = DriftReading(
+            epoch=epoch,
+            per_term=per_term,
+            observed=observed,
+            estimated=estimated,
+            threshold=self.threshold,
+            max_abs=abs(per_term[worst_abs]),
+            max_over=max(per_term[worst_over], 0.0),
+            worst_term=worst,
+            one_sided=self.one_sided,
+        )
+        self.history.append(out)
+        return out

@@ -1,0 +1,129 @@
+"""Tests for the fault-injection layer (repro.cluster.faults)."""
+
+import pytest
+
+from repro.cluster import multi_machine_cluster
+from repro.cluster.faults import FAULT_KINDS, FaultEvent, FaultSchedule
+
+
+@pytest.fixture
+def base():
+    return multi_machine_cluster(2, 2, gpu_cache_bytes=1e6)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=-1, kind="link_degrade")
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=0, kind="meteor_strike")
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=0, kind="link_degrade", factor=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=0, kind="straggler", factor=0.5)  # no machine
+
+    def test_link_degrade_scales_network_only(self, base):
+        deg = FaultEvent(epoch=0, kind="link_degrade", factor=0.1).apply(base, 0.1)
+        assert deg.network.bandwidth == pytest.approx(base.network.bandwidth * 0.1)
+        assert deg.network.latency == base.network.latency
+        assert deg.machines == base.machines
+        assert deg.gpu_cache_bytes == base.gpu_cache_bytes
+
+    def test_straggler_slows_one_machine(self, base):
+        slow = FaultEvent(
+            epoch=0, kind="straggler", factor=0.5, machine=1
+        ).apply(base, 0.5)
+        d0, d1 = slow.machines[0].device, slow.machines[1].device
+        b1 = base.machines[1].device
+        assert d1.compute_efficiency == pytest.approx(b1.compute_efficiency * 0.5)
+        assert d1.sampling_edges_per_sec == pytest.approx(
+            b1.sampling_edges_per_sec * 0.5
+        )
+        assert d0 == base.machines[0].device
+        assert slow.num_devices == base.num_devices
+
+    def test_cache_shrink(self, base):
+        small = FaultEvent(epoch=0, kind="cache_shrink", factor=0.25).apply(
+            base, 0.25
+        )
+        assert small.gpu_cache_bytes == pytest.approx(base.gpu_cache_bytes * 0.25)
+
+    def test_to_dict_roundtrips_through_schedule(self):
+        e = FaultEvent(epoch=2, kind="straggler", factor=0.5, machine=1)
+        assert FaultEvent(**e.to_dict()) == e
+
+
+class TestFaultSchedule:
+    def test_cluster_at_is_cumulative(self, base):
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=1, kind="link_degrade", factor=0.5),
+                FaultEvent(epoch=3, kind="cache_shrink", factor=0.5),
+            ]
+        )
+        assert sched.cluster_at(base, 0) == base
+        e1 = sched.cluster_at(base, 1)
+        assert e1.network.bandwidth == pytest.approx(base.network.bandwidth * 0.5)
+        e3 = sched.cluster_at(base, 4)
+        assert e3.network.bandwidth == pytest.approx(base.network.bandwidth * 0.5)
+        assert e3.gpu_cache_bytes == pytest.approx(base.gpu_cache_bytes * 0.5)
+
+    def test_recover_resets_to_base(self, base):
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=1, kind="link_degrade", factor=0.1),
+                FaultEvent(epoch=2, kind="recover"),
+            ]
+        )
+        assert sched.cluster_at(base, 1) != base
+        assert sched.cluster_at(base, 2) == base
+
+    def test_events_at(self, base):
+        e = FaultEvent(epoch=2, kind="link_degrade", factor=0.5)
+        sched = FaultSchedule([e])
+        assert sched.events_at(2) == [e]
+        assert sched.events_at(1) == [] and sched.events_at(3) == []
+
+    def test_same_seed_same_jittered_factors(self):
+        events = [FaultEvent(epoch=1, kind="link_degrade", factor=0.5)]
+        a = FaultSchedule(events, seed=7, jitter=0.2)
+        b = FaultSchedule(events, seed=7, jitter=0.2)
+        c = FaultSchedule(events, seed=8, jitter=0.2)
+        assert a.effective_factor(0) == b.effective_factor(0)
+        assert a.effective_factor(0) != c.effective_factor(0)
+        # Jitter stays bounded around the nominal factor.
+        assert abs(a.effective_factor(0) / 0.5 - 1.0) <= 0.2
+
+    def test_jitter_is_call_order_independent(self, base):
+        events = [
+            FaultEvent(epoch=1, kind="link_degrade", factor=0.5),
+            FaultEvent(epoch=2, kind="cache_shrink", factor=0.5),
+        ]
+        a = FaultSchedule(events, seed=3, jitter=0.1)
+        b = FaultSchedule(events, seed=3, jitter=0.1)
+        # Walk a forwards and b backwards; the degraded specs must agree.
+        specs_a = [a.cluster_at(base, e) for e in (0, 1, 2)]
+        specs_b = [b.cluster_at(base, e) for e in (2, 1, 0)][::-1]
+        assert specs_a == specs_b
+
+    def test_json_roundtrip_string_and_file(self, tmp_path):
+        sched = FaultSchedule(
+            [FaultEvent(epoch=4, kind="straggler", factor=0.5, machine=0)],
+            seed=11,
+            jitter=0.05,
+        )
+        back = FaultSchedule.from_json(sched.to_json())
+        assert back.to_dict() == sched.to_dict()
+        path = tmp_path / "faults.json"
+        path.write_text(sched.to_json())
+        from_file = FaultSchedule.from_json(path)
+        assert from_file.to_dict() == sched.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([], jitter=1.5)
+
+    def test_kinds_constant(self):
+        assert set(FAULT_KINDS) == {
+            "link_degrade", "straggler", "cache_shrink", "recover"
+        }

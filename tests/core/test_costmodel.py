@@ -96,13 +96,32 @@ class TestCostModel:
         ds, cluster, _, stats = setup
         cm = CostModel(cluster, ds.feature_dim)
         nfp = stats["nfp"]
-        # Same stats with full rows must cost C times more.
+        # Same stats with full rows must cost C times more in the
+        # bandwidth term (the per-batch latency term is volume-independent).
         import dataclasses
 
         full = dataclasses.replace(nfp, dim_fraction=1.0)
-        assert cm.load_seconds(full) == pytest.approx(
-            4.0 * cm.load_seconds(nfp)
+        lat = cm.load_latency_seconds(nfp)
+        assert cm.load_latency_seconds(full) == pytest.approx(lat)
+        assert cm.load_seconds(full) - lat == pytest.approx(
+            4.0 * (cm.load_seconds(nfp) - lat)
         )
+
+    def test_load_latency_counts_nonempty_tiers_per_batch(self, setup):
+        """Tiers with traffic pay one message latency per batch; GPU-cache
+        hits pay none."""
+        ds, cluster, _, stats = setup
+        cm = CostModel(cluster, ds.feature_dim)
+        nfp = stats["nfp"]
+        lat = cm.load_latency_seconds(nfp)
+        assert lat > 0.0
+        # Bounded by every latency tier firing every batch.
+        ceiling = nfp.num_batches * (
+            cm.profile["msg_latency"]
+            + cm.profile["pcie_latency"]
+            + cm.profile["net_latency"]
+        )
+        assert lat <= ceiling + 1e-18
 
     def test_estimates_track_simulated_strategy_costs(self, setup):
         """Fig. 12's premise: per-strategy estimates track the simulated
@@ -123,7 +142,7 @@ class TestCostModel:
             lower = run.breakdown["sampling"] + run.breakdown["loading"]
             upper = sum(run.breakdown.values())
             assert est.total <= upper * 1.5, name
-            # The planner deliberately ignores per-message latency and
-            # barrier effects, so it may undershoot — but not collapse.
+            # The planner deliberately ignores per-batch barrier effects,
+            # so it may undershoot — but not collapse.
             # (bench_fig12 validates tight accuracy at realistic scale.)
             assert est.total >= lower * 0.2, name

@@ -1,0 +1,85 @@
+"""Tests for the drift detector (repro.obs.drift)."""
+
+import pytest
+
+from repro.core.costmodel import CostEstimate
+from repro.obs import DriftDetector, DriftReading
+
+
+def est(t_build=0.1, t_load=0.3, t_shuffle=0.1):
+    return CostEstimate(
+        strategy="gdp", t_build=t_build, t_load=t_load, t_shuffle=t_shuffle
+    )
+
+
+class TestReading:
+    def test_matching_phases_produce_no_drift(self):
+        d = DriftDetector(threshold=0.35)
+        r = d.reading(0, est(), {"sample": 0.1, "load": 0.3, "shuffle": 0.1})
+        assert not r.exceeded
+        assert r.max_abs == pytest.approx(0.0)
+        assert d.history == [r]
+
+    def test_normalizes_by_epoch_including_observed_train(self):
+        # load runs 0.25s over; estimate total is 0.5s and the observed
+        # common train phase adds another 0.5s -> error = 0.25 / 1.0.
+        d = DriftDetector(threshold=0.35)
+        r = d.reading(
+            1, est(), {"sample": 0.1, "load": 0.55, "shuffle": 0.1, "train": 0.5}
+        )
+        assert r.per_term["t_load"] == pytest.approx(0.25)
+        assert r.worst_term == "t_load"
+        assert not r.exceeded  # 0.25 < 0.35
+        # Without the train phase the same gap normalizes to 0.5 and fires.
+        r2 = d.reading(2, est(), {"sample": 0.1, "load": 0.55, "shuffle": 0.1})
+        assert r2.per_term["t_load"] == pytest.approx(0.5)
+        assert r2.exceeded
+
+    def test_gdp_zero_shuffle_estimate_is_safe(self):
+        # A per-phase denominator would divide by zero on t_shuffle = 0.
+        d = DriftDetector(threshold=0.35)
+        r = d.reading(
+            0,
+            est(t_shuffle=0.0),
+            {"sample": 0.1, "load": 0.3, "shuffle": 0.01},
+        )
+        assert r.per_term["t_shuffle"] == pytest.approx(0.01 / 0.4)
+        assert not r.exceeded
+
+    def test_one_sided_default_ignores_improvements(self):
+        # Running *faster* than promised (warm cache) must not trigger.
+        d = DriftDetector(threshold=0.2)
+        r = d.reading(0, est(), {"sample": 0.1, "load": 0.05, "shuffle": 0.1})
+        assert r.max_abs > 0.2          # the abs error is large ...
+        assert r.max_over == 0.0        # ... but nothing ran slower
+        assert not r.exceeded
+
+    def test_two_sided_triggers_on_improvement(self):
+        d = DriftDetector(threshold=0.2, one_sided=False)
+        r = d.reading(0, est(), {"sample": 0.1, "load": 0.05, "shuffle": 0.1})
+        assert r.exceeded
+        assert r.worst_term == "t_load"
+
+    def test_floor_guards_degenerate_estimates(self):
+        d = DriftDetector(threshold=0.35, floor_seconds=1.0)
+        r = d.reading(0, est(0.0, 0.0, 0.0), {"load": 0.1})
+        assert r.per_term["t_load"] == pytest.approx(0.1)
+
+    def test_to_dict_is_json_safe(self):
+        d = DriftDetector()
+        r = d.reading(3, est(), {"sample": 0.2, "load": 0.3, "shuffle": 0.1})
+        out = r.to_dict()
+        assert out["epoch"] == 3
+        assert out["one_sided"] is True
+        assert set(out["per_term"]) == {"t_build", "t_load", "t_shuffle"}
+        assert out["exceeded"] == r.exceeded
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DriftDetector(floor_seconds=0.0)
