@@ -1,0 +1,368 @@
+"""Hot-path microbenchmarks and the perf-regression harness.
+
+Times the wall-clock hot paths of the simulator — the neighbor sampler,
+the segment kernels, SpMM, feature-store reads, the planner dry-run with
+and without sampled-epoch reuse, and one end-to-end planner run — and
+writes the results to ``BENCH_hotpaths.json`` at the repository root.
+
+Where an operation was rewritten for speed, the *previous* implementation
+(``np.add.at`` / ``np.maximum.at`` kernels, eager CSR transpose, dry-runs
+without the sample cache) is timed in-process as the ``before`` number, so
+the JSON records honest before/after deltas on the same machine.  Every
+"after" path is bit-identical to its "before" path by construction —
+``tests/tensor/test_segment_kernels.py`` and ``tests/sampling/test_cache.py``
+pin that equivalence; this file only measures time.
+
+Usage::
+
+    python benchmarks/bench_micro.py                # full run, update JSON
+    python benchmarks/bench_micro.py --quick        # fewer repetitions
+    python benchmarks/bench_micro.py --quick --check  # CI: fail on >2x
+                                                      # regression vs the
+                                                      # committed baseline
+
+``--check`` compares each tracked op's measured seconds against the
+committed ``BENCH_hotpaths.json`` and exits non-zero if any op regressed
+more than ``--threshold`` (default 2.0x — loose enough for machine-to-
+machine variation, tight enough to catch an accidentally quadratic loop).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster.spec import single_machine_cluster
+from repro.core.dryrun import DryRun
+from repro.graph.datasets import ps_like
+from repro.graph.partition import metis_like_partition
+from repro.featurestore.store import UnifiedFeatureStore
+from repro.models.sage import GraphSAGE
+from repro.sampling.neighbor import NeighborSampler
+from repro.tensor.sparse import CSRMatrix, segment_softmax, segment_sum, spmm
+from repro.tensor.tensor import Tensor
+from repro.utils.profile import profile_totals, profiled, reset_profile
+
+import scipy.sparse as sp
+
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+
+#: shared workload shapes (identical in --quick mode so that CI numbers
+#: stay comparable with the committed full-run baseline)
+SEG_E, SEG_S, SEG_D = 200_000, 8_000, 32
+SMX_E, SMX_S, SMX_H = 200_000, 8_000, 4
+FANOUTS = (10, 10, 10)
+BATCH = 1024
+
+
+# ---------------------------------------------------------------------- #
+# previous implementations, timed as the "before" numbers
+# ---------------------------------------------------------------------- #
+def _old_segment_sum(values: Tensor, segment_ids, num_segments) -> Tensor:
+    out = np.zeros(
+        (num_segments,) + values.data.shape[1:], dtype=values.data.dtype
+    )
+    np.add.at(out, segment_ids, values.data)
+
+    def backward_fn(g):
+        if values.requires_grad:
+            values._accumulate(g[segment_ids])
+
+    return Tensor._make(out, (values,), backward_fn, "segment_sum")
+
+
+def _old_segment_softmax(scores: Tensor, segment_ids, num_segments) -> Tensor:
+    maxes = np.full(
+        (num_segments,) + scores.data.shape[1:], -np.inf, dtype=np.float64
+    )
+    np.maximum.at(maxes, segment_ids, scores.data)
+    shift = Tensor(maxes[segment_ids])
+    expd = (scores - shift).exp()
+    denom = _old_segment_sum(expd, segment_ids, num_segments)
+    return expd / denom.index_rows(segment_ids)
+
+
+# ---------------------------------------------------------------------- #
+# measurement helpers
+# ---------------------------------------------------------------------- #
+def _best_of(fn: Callable[[], object], reps: int, label: str) -> float:
+    """Best wall-clock seconds over ``reps`` runs (recorded via profiled)."""
+    best = float("inf")
+    for _ in range(reps):
+        with profiled(label):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _op(
+    results: Dict[str, dict],
+    name: str,
+    seconds: float,
+    before: Optional[float] = None,
+    **meta,
+) -> None:
+    entry: dict = {"seconds": seconds}
+    if before is not None:
+        entry["before_seconds"] = before
+        entry["speedup"] = before / seconds if seconds > 0 else float("inf")
+    if meta:
+        entry["meta"] = meta
+    results[name] = entry
+    delta = f"  before {before * 1e3:9.2f}ms  {entry['speedup']:5.2f}x" if before else ""
+    print(f"  {name:<28} {seconds * 1e3:9.2f}ms{delta}")
+
+
+# ---------------------------------------------------------------------- #
+# benchmarks
+# ---------------------------------------------------------------------- #
+def bench_sampler(results, reps):
+    ds = ps_like()
+    sampler = NeighborSampler(ds.graph, list(FANOUTS), global_seed=0)
+    seeds = ds.train_seeds[:BATCH]
+    sampler.sample(seeds, epoch=0)  # warm
+    t = _best_of(lambda: sampler.sample(seeds, epoch=0), reps, "sampler")
+    _op(results, "sampler_batch", t, fanouts=list(FANOUTS), batch=BATCH)
+
+
+def bench_segment_ops(results, reps):
+    rng = np.random.default_rng(0)
+    sids_sorted = np.sort(rng.integers(0, SEG_S, SEG_E))
+    data = Tensor(rng.standard_normal((SEG_E, SEG_D)))
+    assert np.array_equal(
+        _old_segment_sum(data, sids_sorted, SEG_S).data,
+        segment_sum(data, sids_sorted, SEG_S).data,
+    )
+    t_old = _best_of(
+        lambda: _old_segment_sum(data, sids_sorted, SEG_S), reps, "segment_sum.old"
+    )
+    t_new = _best_of(
+        lambda: segment_sum(data, sids_sorted, SEG_S), reps, "segment_sum"
+    )
+    _op(
+        results, "segment_sum", t_new, t_old,
+        E=SEG_E, segments=SEG_S, dim=SEG_D, layout="sorted",
+    )
+
+    sids = rng.integers(0, SMX_S, SMX_E)
+    scores = Tensor(rng.standard_normal((SMX_E, SMX_H)))
+    assert np.array_equal(
+        _old_segment_softmax(scores, sids, SMX_S).data,
+        segment_softmax(scores, sids, SMX_S).data,
+    )
+    t_old = _best_of(
+        lambda: _old_segment_softmax(scores, sids, SMX_S),
+        reps,
+        "segment_softmax.old",
+    )
+    t_new = _best_of(
+        lambda: segment_softmax(scores, sids, SMX_S), reps, "segment_softmax"
+    )
+    _op(
+        results, "segment_softmax", t_new, t_old,
+        E=SMX_E, segments=SMX_S, heads=SMX_H, layout="unsorted",
+    )
+
+
+def bench_spmm(results, reps):
+    rng = np.random.default_rng(1)
+    n_dst, n_src, nnz, d = 8_000, 20_000, 200_000, 64
+    mat = sp.csr_matrix(
+        (
+            np.ones(nnz),
+            (rng.integers(0, n_dst, nnz), rng.integers(0, n_src, nnz)),
+        ),
+        shape=(n_dst, n_src),
+    )
+    x = Tensor(rng.standard_normal((n_src, d)))
+
+    def build_eager():
+        adj = CSRMatrix(mat)
+        adj.mat_t  # what the old constructor always paid for
+        return adj
+
+    t_old = _best_of(build_eager, reps, "csr_build.eager")
+    t_new = _best_of(lambda: CSRMatrix(mat), reps, "csr_build")
+    _op(results, "csr_build", t_new, t_old, nnz=nnz, note="lazy transpose")
+
+    adj = CSRMatrix(mat)
+    t = _best_of(lambda: spmm(adj, x), reps, "spmm")
+    _op(results, "spmm_forward", t, nnz=nnz, dim=d)
+
+
+def bench_feature_store(results, reps):
+    ds = ps_like()
+    cluster = single_machine_cluster(num_gpus=8, gpu_cache_bytes=64 * 1024)
+    store = UnifiedFeatureStore(ds, cluster)
+    rng = np.random.default_rng(2)
+    caches = [
+        rng.choice(ds.num_nodes, 500, replace=False) for _ in range(8)
+    ]
+    store.configure_caches(caches)
+    ids = rng.integers(0, ds.num_nodes, 50_000)
+    t = _best_of(lambda: store.charge_load(0, ids), reps, "feature_store")
+    _op(results, "feature_store_read", t, rows=int(ids.size))
+
+
+def bench_dryrun(results, reps):
+    # Task construction (dataset analog, partition, model) happens once —
+    # the timed region is the planner dry-run itself, with a cold sample
+    # cache per repetition.
+    ds = ps_like()
+    cluster = single_machine_cluster(num_gpus=8, gpu_cache_bytes=64 * 1024)
+    model = GraphSAGE(ds.feature_dim, 32, ds.num_classes, 3, seed=1)
+    parts = metis_like_partition(ds.graph, cluster.num_devices, seed=0)
+
+    def run_once(reuse: bool):
+        DryRun(
+            ds, cluster, model, list(FANOUTS), parts=parts, reuse_samples=reuse
+        ).run_all()
+
+    run_once(True)  # warm numpy/scipy code paths outside timing
+    t_off = _best_of(
+        lambda: run_once(False), reps, "dryrun_run_all.nocache"
+    )
+    t_on = _best_of(lambda: run_once(True), reps, "dryrun_run_all")
+    _op(
+        results, "dryrun_run_all", t_on, t_off,
+        strategies=4, fanouts=list(FANOUTS), note="sampled-epoch reuse",
+    )
+
+
+def bench_planner(results, reps):
+    from repro.config import APTConfig
+    from repro.core.apt import APT
+
+    ds = ps_like()
+    cluster = single_machine_cluster(num_gpus=8, gpu_cache_bytes=64 * 1024)
+
+    def plan_once():
+        model = GraphSAGE(ds.feature_dim, 32, ds.num_classes, 3, seed=1)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=FANOUTS))
+        apt.prepare()
+        return apt.plan()
+
+    plan_once()  # warm
+    t = _best_of(plan_once, max(1, reps // 2), "planner")
+    _op(results, "planner_end_to_end", t, fanouts=list(FANOUTS))
+
+
+BENCHES = (
+    bench_sampler,
+    bench_segment_ops,
+    bench_spmm,
+    bench_feature_store,
+    bench_dryrun,
+    bench_planner,
+)
+
+
+# ---------------------------------------------------------------------- #
+# harness
+# ---------------------------------------------------------------------- #
+def run_all(reps: int) -> dict:
+    reset_profile()
+    results: Dict[str, dict] = {}
+    for bench in BENCHES:
+        bench(results, reps)
+    return {
+        "schema": 1,
+        "reps": reps,
+        "ops": results,
+        "profile": profile_totals(),
+    }
+
+
+#: ops faster than this are pure noise at best-of-N resolution; ratios on
+#: them would fail CI spuriously, so the check compares against the floor
+_CHECK_FLOOR_SECONDS = 1e-4
+
+
+def check_regressions(measured: dict, baseline: dict, threshold: float) -> int:
+    """Return the number of ops slower than ``threshold`` x the baseline."""
+    failures = 0
+    for name, base in baseline.get("ops", {}).items():
+        cur = measured["ops"].get(name)
+        if cur is None:
+            print(f"  {name:<28} MISSING from this run")
+            failures += 1
+            continue
+        floor = max(base["seconds"], _CHECK_FLOOR_SECONDS)
+        ratio = max(cur["seconds"], _CHECK_FLOOR_SECONDS) / floor
+        flag = "REGRESSED" if ratio > threshold else "ok"
+        print(
+            f"  {name:<28} {cur['seconds'] * 1e3:9.2f}ms vs baseline "
+            f"{base['seconds'] * 1e3:9.2f}ms  ({ratio:4.2f}x) {flag}"
+        )
+        failures += ratio > threshold
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions (same workload sizes, comparable numbers)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="regression factor that fails --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=BASELINE_PATH,
+        help="baseline JSON for --check (default: repo BENCH_hotpaths.json)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="where to write measured JSON (default: the baseline path; "
+        "in --check mode nothing is written unless --output is given)",
+    )
+    args = parser.parse_args(argv)
+
+    reps = 2 if args.quick else 5
+    print(f"hot-path microbenchmarks ({'quick' if args.quick else 'full'}, "
+          f"best of {reps})")
+    measured = run_all(reps)
+
+    out_path = args.output
+    if out_path is None and not args.check:
+        out_path = BASELINE_PATH
+    if out_path is not None:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(out_path, "w") as fh:
+            json.dump(measured, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; nothing to check against")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        print(f"\nregression check vs {args.baseline} (>{args.threshold}x fails)")
+        failures = check_regressions(measured, baseline, args.threshold)
+        if failures:
+            print(f"{failures} op(s) regressed")
+            return 1
+        print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

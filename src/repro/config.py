@@ -55,6 +55,10 @@ class APTConfig:
     cpu_sampling: bool = False
     compute_skew: bool = True
     overlap: bool = False
+    #: byte budget (MiB) of the sampled-epoch reuse cache shared by the
+    #: dry-runs, census, and training runs; 0 disables reuse entirely.
+    #: Wall-clock only — cached batches are bit-identical to fresh ones.
+    sample_cache_mb: int = 256
     # ---- online adaptivity ------------------------------------------- #
     #: attach a TelemetryCollector to every run (pure observation)
     telemetry: bool = True
@@ -112,6 +116,12 @@ class APTConfig:
                 f"replan_cooldown must be >= 0, got {self.replan_cooldown}"
             )
         self.replan_cooldown = int(self.replan_cooldown)
+        if int(self.sample_cache_mb) < 0:
+            raise ValueError(
+                f"sample_cache_mb must be >= 0 (0 disables reuse), got "
+                f"{self.sample_cache_mb}"
+            )
+        self.sample_cache_mb = int(self.sample_cache_mb)
         return self
 
     def replace(self, **changes: Any) -> "APTConfig":

@@ -52,6 +52,7 @@ from repro.graph.partition import metis_like_partition, random_partition
 from repro.models.base import GNNModel
 from repro.obs.drift import DriftDetector
 from repro.obs.telemetry import TelemetryCollector
+from repro.sampling.cache import SampleCache
 from repro.tensor.optim import Adam
 
 __all__ = ["APT", "APTRunResult"]
@@ -130,6 +131,14 @@ class APT:
         self.dryrun: Optional[DryRun] = None
         self.dryrun_stats: Dict[str, DryRunStats] = {}
         self.plan_report: Optional[PlanReport] = None
+        #: one sampled-epoch cache shared by every dry-run, census, and
+        #: training context of this task (same graph, fanouts, and seed —
+        #: the planner's 4 strategy dry-runs re-visit identical epochs)
+        self.sample_cache: Optional[SampleCache] = (
+            SampleCache(max_bytes=self.config.sample_cache_mb * 1024 * 1024)
+            if self.config.sample_cache_mb > 0
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # config delegation (kept as attributes for source compatibility)
@@ -220,6 +229,8 @@ class APT:
             global_batch_size=self.global_batch_size,
             sampler_seed=self.seed,
             shuffle_seed=self.seed,
+            sample_cache=self.sample_cache,
+            reuse_samples=self.sample_cache is not None,
         )
 
     def _require_prepared(self) -> None:
@@ -291,6 +302,7 @@ class APT:
             numerics=numerics,
             overlap=self.overlap,
             telemetry=telemetry,
+            sample_cache=self.sample_cache,
         )
 
     def _make_trainer(

@@ -27,6 +27,7 @@ from repro.engine.context import ExecutionContext, VolumeRecorder
 from repro.graph.datasets import GraphDataset
 from repro.models.base import GNNModel
 from repro.sampling.batching import EpochIterator
+from repro.sampling.cache import SampleCache
 from repro.sampling.neighbor import NeighborSampler
 
 
@@ -38,6 +39,7 @@ def access_frequency_census(
     sampler_seed: int = 0,
     shuffle_seed: int = 0,
     epoch: int = 0,
+    sample_cache: Optional[SampleCache] = None,
 ) -> np.ndarray:
     """Count how often each node's feature would be loaded in one epoch.
 
@@ -48,16 +50,25 @@ def access_frequency_census(
     cache policies rank by, and what paper Table 3 tabulates.  The paper
     observes that one epoch suffices (94.77% top-1% overlap across epochs
     on PS); :mod:`tests.core.test_dryrun` re-checks that stability.
+
+    With a ``sample_cache``, the whole-batch blocks the census walks are
+    memoized, and the per-strategy dry-runs that follow derive their
+    per-device batches from them by restriction instead of re-sampling —
+    the census itself is then the *only* sampling pass of the Plan step.
     """
     sampler = NeighborSampler(dataset.graph, fanouts, global_seed=sampler_seed)
     freq = np.zeros(dataset.num_nodes, dtype=np.int64)
+    n = dataset.num_nodes
     iterator = EpochIterator(dataset.train_seeds, global_batch_size, shuffle_seed)
     for batch in iterator.epoch_batches(epoch):
-        mb = sampler.sample(batch, epoch=epoch)
+        if sample_cache is not None:
+            mb = sample_cache.sample(sampler, batch, epoch=epoch)
+        else:
+            mb = sampler.sample(batch, epoch=epoch)
         block = mb.blocks[0]
-        np.add.at(freq, block.src_nodes[block.edge_src], 1)
+        freq += np.bincount(block.src_nodes[block.edge_src], minlength=n)
         # Destinations read their own feature too (self term / self edge).
-        np.add.at(freq, block.dst_nodes, 1)
+        freq += np.bincount(block.dst_nodes, minlength=n)
     return freq.astype(np.float64)
 
 
@@ -89,6 +100,8 @@ class DryRun:
         global_batch_size: int = 1024,
         sampler_seed: int = 0,
         shuffle_seed: int = 0,
+        sample_cache: Optional[SampleCache] = None,
+        reuse_samples: bool = True,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -100,6 +113,14 @@ class DryRun:
         self.sampler_seed = int(sampler_seed)
         self.shuffle_seed = int(shuffle_seed)
         self._access_freq: Optional[np.ndarray] = None
+        # One cache shared by the census and every strategy's context: the
+        # census samples each whole global batch once, and the per-strategy
+        # seed chunks are then derived by restriction (never re-sampled).
+        # ``reuse_samples=False`` turns reuse off — the perf-regression
+        # benchmark uses it to measure the cache's wall-clock win.
+        if sample_cache is None and reuse_samples:
+            sample_cache = SampleCache()
+        self.sample_cache = sample_cache
 
     # ------------------------------------------------------------------ #
     @property
@@ -112,6 +133,7 @@ class DryRun:
                 self.global_batch_size,
                 sampler_seed=self.sampler_seed,
                 shuffle_seed=self.shuffle_seed,
+                sample_cache=self.sample_cache,
             )
         return self._access_freq
 
@@ -129,6 +151,7 @@ class DryRun:
             global_batch_size=self.global_batch_size,
             sampler_seed=self.sampler_seed,
             shuffle_seed=self.shuffle_seed,
+            sample_cache=self.sample_cache,
         )
         report = strategy.prepare(ctx)
         iterator = EpochIterator(

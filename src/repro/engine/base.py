@@ -136,13 +136,22 @@ def sample_batches(
     seeds_per_device: List[Optional[np.ndarray]],
     epoch: int,
 ) -> List[Optional[MiniBatch]]:
-    """Sample per-device minibatches, charging simulated sampling time."""
+    """Sample per-device minibatches, charging simulated sampling time.
+
+    When the context carries a :class:`~repro.sampling.cache.SampleCache`,
+    previously sampled (or restrictable) seed sets skip the sampling pass —
+    the returned batches are bit-identical either way, so the simulated
+    time charged below is unaffected by cache hits.
+    """
     batches: List[Optional[MiniBatch]] = []
     for d, seeds in enumerate(seeds_per_device):
         if seeds is None or len(seeds) == 0:
             batches.append(None)
             continue
-        mb = ctx.sampler.sample(seeds, epoch=epoch)
+        if ctx.sample_cache is not None:
+            mb = ctx.sample_cache.sample(ctx.sampler, seeds, epoch=epoch)
+        else:
+            mb = ctx.sampler.sample(seeds, epoch=epoch)
         if ctx.cpu_sampling:
             ctx.charger.cpu_sampling(d, mb.total_edges())
         else:

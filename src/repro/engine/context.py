@@ -26,6 +26,7 @@ from repro.cluster.timeline import Timeline
 from repro.featurestore.store import Tier, UnifiedFeatureStore
 from repro.graph.datasets import GraphDataset
 from repro.models.base import GNNModel
+from repro.sampling.cache import SampleCache
 from repro.sampling.neighbor import NeighborSampler
 
 
@@ -144,6 +145,10 @@ class ExecutionContext:
     #: timeline, communicator, and strategy executors emit into it.  Pure
     #: observation — never charges simulated time (see tests/obs).
     telemetry: Optional[object] = None
+    #: Optional :class:`~repro.sampling.cache.SampleCache` reusing sampled
+    #: epochs across strategies/runs.  Wall-clock only: cached batches are
+    #: bit-identical to fresh ones, so charged sampling time is unchanged.
+    sample_cache: Optional[SampleCache] = None
 
     @property
     def num_devices(self) -> int:
@@ -172,6 +177,7 @@ class ExecutionContext:
         numerics: bool = True,
         overlap: bool = False,
         telemetry=None,
+        sample_cache: Optional[SampleCache] = None,
     ) -> "ExecutionContext":
         """Assemble a fresh context with new ledgers."""
         timeline = Timeline(cluster.num_devices, overlap=overlap, telemetry=telemetry)
@@ -194,4 +200,5 @@ class ExecutionContext:
             numerics=numerics,
             overlap=overlap,
             telemetry=telemetry,
+            sample_cache=sample_cache,
         )

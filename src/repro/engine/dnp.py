@@ -104,29 +104,38 @@ class DNPStrategy(Strategy):
             block = mb.blocks[0]
             ctx.recorder.n_dst += block.num_dst
             src_g = block.src_nodes[block.edge_src]
-            dst_owner_per_edge = parts[block.dst_nodes[block.edge_dst]]
             dst_owner = parts[block.dst_nodes]
+            dst_owner_per_edge = dst_owner[block.edge_dst]
+            # Block-local dst index -> position within its owner's vdst
+            # list; valid wherever the owner matches, which is the only
+            # place it is read.  Replaces a per-owner sorted-id lookup.
+            inv = np.empty(block.num_dst, dtype=np.int64)
+            # Distinct sources per owner in one pass over (owner, src)
+            # keys — same counts as a per-owner ``np.unique(e_src).size``.
+            n_nodes = np.int64(ctx.dataset.num_nodes)
+            uniq_keys = np.unique(dst_owner_per_edge * n_nodes + src_g)
+            src_uniq = np.bincount(uniq_keys // n_nodes, minlength=C)
             for o in range(C):
-                sel = dst_owner == o
-                if not sel.any():
+                sel_idx = np.flatnonzero(dst_owner == o)
+                if sel_idx.size == 0:
                     continue
-                vdst = block.dst_nodes[sel]
+                vdst = block.dst_nodes[sel_idx]
+                inv[sel_idx] = np.arange(sel_idx.size, dtype=np.int64)
                 e_mask = dst_owner_per_edge == o
                 e_src = src_g[e_mask]
-                e_dst_g = block.dst_nodes[block.edge_dst[e_mask]]
                 task = DNPTask(
                     requester=r,
                     owner=o,
                     vdst=vdst,
-                    vdst_req_idx=np.nonzero(sel)[0],
+                    vdst_req_idx=sel_idx,
                     edge_src=e_src,
-                    edge_dst=local_index_of(vdst, e_dst_g),
+                    edge_dst=inv[block.edge_dst[e_mask]],
                 )
                 plan.tasks.append(task)
                 need[o].append(e_src)
                 need[o].append(vdst)
                 # Owner-side full layer-1 work estimate.
-                n_src = np.unique(e_src).size + vdst.size
+                n_src = int(src_uniq[o]) + vdst.size
                 if layer.is_attention:
                     flops = (
                         2.0 * n_src * layer.in_dim * layer.heads * layer.head_dim
@@ -151,9 +160,15 @@ class DNPStrategy(Strategy):
         # One hidden-embedding alltoall per batch along the task pattern.
         ctx.recorder.record_message_pattern(struct_bytes, calls=1)
 
+        # Per-owner union of feature reads via a presence mask — same
+        # sorted-unique ids as unique(concatenate(...)), fewer sorts.
+        node_mask = np.empty(ctx.dataset.num_nodes, dtype=bool)
         for o in range(C):
             if need[o]:
-                nodes = np.unique(np.concatenate(need[o]))
+                node_mask[:] = False
+                for ids in need[o]:
+                    node_mask[ids] = True
+                nodes = np.flatnonzero(node_mask)
                 plan.owner_nodes[o] = nodes
                 split = ctx.store.classify(o, nodes)
                 ctx.recorder.record_load(

@@ -131,28 +131,39 @@ class SNPStrategy(Strategy):
             block = mb.blocks[0]
             ctx.recorder.n_dst += block.num_dst
             src_g = block.src_nodes[block.edge_src]
-            dst_g = block.dst_nodes[block.edge_dst]
             edge_owner = self.server_of_nodes(src_g, r)
             dst_owner = self.server_of_nodes(block.dst_nodes, r)
+            # Scratch arrays reused across servers: virtual destinations are
+            # tracked as *block-local* dst indices, so the per-server unique
+            # and id lookups collapse to boolean-mask bookkeeping.
+            present = np.empty(block.num_dst, dtype=bool)
+            inv = np.empty(block.num_dst, dtype=np.int64)
             for p in range(C):
                 e_mask = edge_owner == p
-                owned = block.dst_nodes[dst_owner == p]
-                e_src, e_dst_g = src_g[e_mask], dst_g[e_mask]
-                if self_as_edge and owned.size:
+                owned_l = np.flatnonzero(dst_owner == p)
+                owned = block.dst_nodes[owned_l]
+                e_src = src_g[e_mask]
+                ldst = block.edge_dst[e_mask]
+                if self_as_edge and owned_l.size:
                     # Owners also hold the self edges (v, v) of their nodes.
                     e_src = np.concatenate([e_src, owned])
-                    e_dst_g = np.concatenate([e_dst_g, owned])
-                if e_src.size == 0 and owned.size == 0:
+                    ldst = np.concatenate([ldst, owned_l])
+                if e_src.size == 0 and owned_l.size == 0:
                     continue
-                vdst = np.unique(np.concatenate([e_dst_g, owned]))
+                present[:] = False
+                present[ldst] = True
+                present[owned_l] = True
+                vdst_l = np.flatnonzero(present)
+                inv[vdst_l] = np.arange(vdst_l.size, dtype=np.int64)
+                vdst = block.dst_nodes[vdst_l]
                 task = SNPTask(
                     requester=r,
                     server=p,
                     vdst=vdst,
-                    vdst_req_idx=local_index_of(block.dst_nodes, vdst),
+                    vdst_req_idx=vdst_l,
                     edge_src=e_src,
-                    edge_dst=local_index_of(vdst, e_dst_g),
-                    self_mask=self.server_of_nodes(vdst, r) == p,
+                    edge_dst=inv[ldst],
+                    self_mask=dst_owner[vdst_l] == p,
                 )
                 plan.tasks.append(task)
                 need[p].append(e_src)
@@ -210,9 +221,15 @@ class SNPStrategy(Strategy):
             # fused (psum, self) exchange plus the counts exchange.
             ctx.recorder.record_message_pattern(struct_bytes, calls=2)
 
+        # Per-server union of feature reads: a presence mask over the node
+        # space replaces unique(concatenate(...)) — same sorted-unique ids.
+        node_mask = np.empty(ctx.dataset.num_nodes, dtype=bool)
         for p in range(C):
             if need[p]:
-                nodes = np.unique(np.concatenate(need[p]))
+                node_mask[:] = False
+                for ids in need[p]:
+                    node_mask[ids] = True
+                nodes = np.flatnonzero(node_mask)
                 plan.server_nodes[p] = nodes
                 split = ctx.store.classify(p, nodes)
                 ctx.recorder.record_load(

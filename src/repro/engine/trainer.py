@@ -166,7 +166,12 @@ def evaluate_accuracy(
     with no_grad():
         for i in range(0, len(seeds), batch_size):
             chunk = np.asarray(seeds[i : i + batch_size], dtype=np.int64)
-            mb = sampler.sample(chunk, epoch=epoch)
+            if ctx.sample_cache is not None:
+                # Repeated evaluations over the same seeds (accuracy curves)
+                # reuse the sampled structures; contents are bit-identical.
+                mb = ctx.sample_cache.sample(sampler, chunk, epoch=epoch)
+            else:
+                mb = sampler.sample(chunk, epoch=epoch)
             x = Tensor(ds.features[mb.input_nodes])
             logits = ctx.model.forward(mb, x)
             pred = logits.data.argmax(axis=1)

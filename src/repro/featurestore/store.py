@@ -138,7 +138,9 @@ class UnifiedFeatureStore:
                 if d != device
             ]
             if peers:
-                peer_hit = self._cached[peers][:, rest].any(axis=0)
+                # np.ix_ gathers only the (peers, rest) submatrix; chained
+                # indexing would copy every peer's full cache row first.
+                peer_hit = self._cached[np.ix_(peers, rest)].any(axis=0)
             else:
                 peer_hit = np.zeros(rest.size, dtype=bool)
             out[Tier.PEER_GPU] = rest[peer_hit]

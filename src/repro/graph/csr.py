@@ -143,7 +143,12 @@ class CSRGraph:
         offsets = np.cumsum(lens) - lens
         flat = np.repeat(starts - offsets, lens) + np.arange(total)
         halo = self.indices[flat]
-        return np.unique(np.concatenate([nodes, halo]))
+        # Presence mask over the node space: same sorted-unique result as
+        # unique(concatenate(...)) without sorting the (large) halo.
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[nodes] = True
+        mask[halo] = True
+        return np.flatnonzero(mask)
 
     def topology_bytes(self) -> int:
         """Size of the CSR arrays in bytes (feeds the data-layout model)."""

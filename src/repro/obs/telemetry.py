@@ -28,6 +28,7 @@ EVENT_KINDS = (
     "replan",     # APT: drift crossed the threshold, planner re-ran
     "switch",     # APT: the running strategy was hot-swapped
     "fault",      # fault-injection layer: a scheduled fault took effect
+    "profile",    # repro.utils.profile: one host wall-clock span closed
 )
 
 

@@ -12,6 +12,7 @@ splitmix64 hash instead of a sequential RNG.  Two consequences matter:
 """
 
 from repro.sampling.block import Block, MiniBatch
+from repro.sampling.cache import SampleCache, SampleCacheStats
 from repro.sampling.neighbor import NeighborSampler
 from repro.sampling.layerwise import LayerWiseSampler
 from repro.sampling.batching import EpochIterator, iter_epoch_batches
@@ -21,6 +22,8 @@ __all__ = [
     "MiniBatch",
     "NeighborSampler",
     "LayerWiseSampler",
+    "SampleCache",
+    "SampleCacheStats",
     "EpochIterator",
     "iter_epoch_batches",
 ]

@@ -10,12 +10,16 @@ currency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
 from repro.tensor.sparse import CSRMatrix
+
+
+def _is_nondecreasing(a: np.ndarray) -> bool:
+    return a.shape[0] < 2 or bool(np.all(a[1:] >= a[:-1]))
 
 
 @dataclass
@@ -44,6 +48,10 @@ class Block:
     dst_in_src: np.ndarray
     edge_src: np.ndarray
     edge_dst: np.ndarray
+    # Derived structures, built on first use and reused for the lifetime of
+    # the block (blocks are immutable once constructed).
+    _adj: Optional[CSRMatrix] = field(default=None, repr=False, compare=False)
+    _dst_ptr: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if self.dst_in_src.shape != self.dst_nodes.shape:
@@ -65,9 +73,42 @@ class Block:
         return int(self.edge_src.shape[0])
 
     def adjacency(self) -> CSRMatrix:
-        """``(num_dst, num_src)`` unweighted adjacency for SpMM kernels."""
-        return CSRMatrix.from_edges(
-            self.edge_dst, self.edge_src, (self.num_dst, self.num_src)
+        """``(num_dst, num_src)`` unweighted adjacency for SpMM kernels.
+
+        Built once per block and cached — strategies ask for the same
+        adjacency per layer per device per batch, and the CSR build is the
+        expensive part.
+        """
+        if self._adj is None:
+            self._adj = CSRMatrix.from_edges(
+                self.edge_dst, self.edge_src, (self.num_dst, self.num_src)
+            )
+        return self._adj
+
+    def dst_edge_ptr(self) -> np.ndarray:
+        """``(num_dst + 1,)`` CSR-style pointer into the dst-sorted edges.
+
+        ``edge_*[ptr[i]:ptr[i+1]]`` are exactly destination ``i``'s in-edges
+        (edges are sorted by ``edge_dst``).  Cached: the sample-cache
+        restriction path slices many seed subsets out of one block.
+        """
+        if self._dst_ptr is None:
+            ptr = np.zeros(self.num_dst + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self.edge_dst, minlength=self.num_dst),
+                out=ptr[1:],
+            )
+            self._dst_ptr = ptr
+        return self._dst_ptr
+
+    def nbytes(self) -> int:
+        """Resident bytes of the index arrays (sample-cache accounting)."""
+        return int(
+            self.src_nodes.nbytes
+            + self.dst_nodes.nbytes
+            + self.dst_in_src.nbytes
+            + self.edge_src.nbytes
+            + self.edge_dst.nbytes
         )
 
     def structure_bytes(self) -> int:
@@ -99,16 +140,27 @@ class Block:
         edge_dst_global = np.asarray(edge_dst_global, dtype=np.int64)
         dst_nodes = np.unique(edge_dst_global)
         src_nodes = np.unique(np.concatenate([edge_src_global, dst_nodes]))
-        edge_src = np.searchsorted(src_nodes, edge_src_global)
+        # One merged lookup serves both the per-edge sources and the
+        # dst-within-src positions.
+        ne = edge_src_global.shape[0]
+        pos = np.searchsorted(
+            src_nodes, np.concatenate([edge_src_global, dst_nodes])
+        )
+        edge_src = pos[:ne]
+        dst_in_src = pos[ne:]
         edge_dst = np.searchsorted(dst_nodes, edge_dst_global)
-        order = np.argsort(edge_dst, kind="stable")
-        dst_in_src = np.searchsorted(src_nodes, dst_nodes)
+        if not _is_nondecreasing(edge_dst_global):
+            # Only permute when the input isn't already dst-sorted — the
+            # full-neighbor sampling path emits sorted runs.
+            order = np.argsort(edge_dst, kind="stable")
+            edge_src = edge_src[order]
+            edge_dst = edge_dst[order]
         return cls(
             src_nodes=src_nodes,
             dst_nodes=dst_nodes,
             dst_in_src=dst_in_src,
-            edge_src=edge_src[order],
-            edge_dst=edge_dst[order],
+            edge_src=edge_src,
+            edge_dst=edge_dst,
         )
 
 
@@ -135,3 +187,7 @@ class MiniBatch:
 
     def total_edges(self) -> int:
         return sum(b.num_edges for b in self.blocks)
+
+    def nbytes(self) -> int:
+        """Resident bytes of all index arrays (sample-cache accounting)."""
+        return int(self.seeds.nbytes) + sum(b.nbytes() for b in self.blocks)

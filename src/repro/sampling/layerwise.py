@@ -46,6 +46,11 @@ class LayerWiseSampler:
         ``"degree"`` (LADIES' squared-norm proxy) or ``"uniform"``.
     """
 
+    #: Draws are keyed on the whole seed *set* (one budget per layer), so a
+    #: subset's minibatch cannot be derived from a superset's — the sample
+    #: cache may memoize exact repeats but must never restrict.
+    per_node_deterministic = False
+
     def __init__(
         self,
         graph: CSRGraph,

@@ -63,6 +63,13 @@ class NeighborSampler:
         Base seed of the counter-based hash.
     """
 
+    #: Draws for node ``v`` at layer ``k`` of epoch ``e`` depend only on
+    #: ``(global_seed, e, k, v)`` — never on the rest of the frontier.  This
+    #: is what lets :class:`~repro.sampling.cache.SampleCache` derive a seed
+    #: subset's minibatch by *restricting* a cached superset batch instead
+    #: of re-sampling.
+    per_node_deterministic = True
+
     def __init__(self, graph: CSRGraph, fanouts: Sequence[int], global_seed: int = 0):
         if not fanouts:
             raise ValueError("fanouts must be non-empty")

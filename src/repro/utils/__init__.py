@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG helpers, validation, and lightweight timers."""
 
+from repro.utils.profile import profile, profile_totals, profiled, reset_profile
 from repro.utils.random import rng_from, seed_for_node, spawn_rngs
 from repro.utils.timing import WallTimer
 from repro.utils.validation import (
@@ -14,6 +15,10 @@ __all__ = [
     "seed_for_node",
     "spawn_rngs",
     "WallTimer",
+    "profile",
+    "profiled",
+    "profile_totals",
+    "reset_profile",
     "check_dim",
     "check_index_array",
     "check_positive",

@@ -1,0 +1,77 @@
+"""Lightweight wall-clock profiling hooks for the perf-regression harness.
+
+``profiled("label")`` (context manager) and ``@profile("label")``
+(decorator) measure *host* wall-clock seconds — unlike everything in
+:mod:`repro.cluster.timeline`, nothing here touches simulated time.  Spans
+accumulate into a module-level registry (``profile_totals`` /
+``reset_profile``), and optionally feed a
+:class:`~repro.obs.telemetry.TelemetryCollector` as ``"profile"`` events so
+host-side hot-spot data interleaves with the simulated event stream.
+
+``benchmarks/bench_micro.py`` builds its op timings on these hooks; they
+are cheap enough (~1 µs per span) to leave in diagnostic call sites.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["profile", "profiled", "profile_totals", "reset_profile"]
+
+#: label -> [accumulated seconds, call count]
+_totals: Dict[str, list] = {}
+
+
+def reset_profile() -> None:
+    """Drop all accumulated spans."""
+    _totals.clear()
+
+
+def profile_totals() -> Dict[str, Dict[str, float]]:
+    """Snapshot of accumulated spans: ``label -> {seconds, calls}``."""
+    return {
+        label: {"seconds": sec, "calls": float(calls)}
+        for label, (sec, calls) in sorted(_totals.items())
+    }
+
+
+@contextmanager
+def profiled(label: str, telemetry: Optional[Any] = None):
+    """Measure the wrapped block's wall-clock time under ``label``.
+
+    The span lands in the module registry; with a ``telemetry`` collector
+    it is also emitted as a ``"profile"`` event and accumulated under the
+    ``profile.<label>`` counter.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        entry = _totals.setdefault(label, [0.0, 0])
+        entry[0] += elapsed
+        entry[1] += 1
+        if telemetry is not None:
+            telemetry.emit("profile", label=label, seconds=elapsed)
+            telemetry.count(f"profile.{label}", elapsed)
+
+
+def profile(
+    label: Optional[str] = None, telemetry: Optional[Any] = None
+) -> Callable:
+    """Decorator form of :func:`profiled`; defaults to the qualname."""
+
+    def decorate(fn: Callable) -> Callable:
+        span = label if label is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with profiled(span, telemetry=telemetry):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

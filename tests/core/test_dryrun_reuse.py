@@ -1,0 +1,116 @@
+"""Determinism and sample-once guarantees of dry-run epoch reuse.
+
+With a :class:`~repro.sampling.cache.SampleCache` (the default), the Plan
+step must (a) run the real sampler exactly once per whole epoch batch —
+during the census — and serve every per-strategy, per-device seed chunk by
+cache hit or restriction, and (b) produce *bit-identical* plans and
+simulated timelines to a cache-less run: the cache is a wall-clock
+optimization only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_machine_cluster
+from repro.core import DryRun
+from repro.graph.datasets import small_dataset
+from repro.graph.partition import metis_like_partition
+from repro.models import GraphSAGE
+from repro.sampling.batching import EpochIterator
+from repro.sampling.neighbor import NeighborSampler
+
+BATCH = 256
+FANOUTS = [4, 4]
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1200, feature_dim=12, num_classes=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def task(ds):
+    cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
+    model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=1)
+    parts = metis_like_partition(ds.graph, 4, seed=0)
+    return ds, cluster, model, parts
+
+
+def make_dryrun(task, **kw):
+    ds, cluster, model, parts = task
+    return DryRun(
+        ds, cluster, model, FANOUTS, parts=parts, global_batch_size=BATCH, **kw
+    )
+
+
+def test_each_epoch_batch_sampled_exactly_once(task, monkeypatch):
+    """Census + all four strategy dry-runs trigger one real sampling pass
+    per whole epoch batch; every per-device chunk is derived from it."""
+    ds = task[0]
+    calls = []
+    real_sample = NeighborSampler.sample
+
+    def counting_sample(self, seeds, epoch=0):
+        calls.append(np.sort(np.asarray(seeds, dtype=np.int64)))
+        return real_sample(self, seeds, epoch=epoch)
+
+    monkeypatch.setattr(NeighborSampler, "sample", counting_sample)
+
+    dr = make_dryrun(task)
+    assert dr.sample_cache is not None  # reuse is the default
+    dr.run_all()
+
+    whole_batches = EpochIterator(ds.train_seeds, BATCH, 0).epoch_batches(0)
+    assert len(calls) == len(whole_batches)
+    for got, want in zip(calls, whole_batches):
+        assert np.array_equal(got, np.sort(want))
+
+    stats = dr.sample_cache.stats
+    assert stats.misses == len(whole_batches)
+    # 4 strategies x batches x (up to 4 device chunks), all served from cache
+    assert stats.hits + stats.restrictions > 0
+    assert stats.requests == stats.misses + stats.hits + stats.restrictions
+
+
+def test_reuse_off_resamples_every_chunk(task, monkeypatch):
+    count = {"n": 0}
+    real_sample = NeighborSampler.sample
+
+    def counting_sample(self, seeds, epoch=0):
+        count["n"] += 1
+        return real_sample(self, seeds, epoch=epoch)
+
+    monkeypatch.setattr(NeighborSampler, "sample", counting_sample)
+
+    dr = make_dryrun(task, reuse_samples=False)
+    assert dr.sample_cache is None
+    dr.run_all()
+    ds = task[0]
+    num_batches = len(EpochIterator(ds.train_seeds, BATCH, 0).epoch_batches(0))
+    # census resamples, and so does every strategy's every device chunk
+    assert count["n"] > num_batches
+
+
+def test_timeline_and_plan_identical_with_and_without_cache(task):
+    """The cache must not move a single simulated second or byte."""
+    with_cache = make_dryrun(task).run_all()
+    without = make_dryrun(task, reuse_samples=False).run_all()
+    for name in ("gdp", "nfp", "snp", "dnp"):
+        a, b = with_cache[name], without[name]
+        assert a.t_build == b.t_build  # exact float equality, not approx
+        assert a.num_batches == b.num_batches
+        assert a.dim_fraction == b.dim_fraction
+        ra, rb = a.recorder, b.recorder
+        assert np.array_equal(ra.hidden_bytes, rb.hidden_bytes)
+        assert np.array_equal(ra.structure_send_bytes, rb.structure_send_bytes)
+        assert np.array_equal(ra.shuffle_messages, rb.shuffle_messages)
+        assert np.array_equal(ra.peak_intermediate_bytes, rb.peak_intermediate_bytes)
+        assert np.array_equal(ra.layer1_flops, rb.layer1_flops)
+        assert (ra.n_dst, ra.n_virtual) == (rb.n_dst, rb.n_virtual)
+        assert ra.load_rows == rb.load_rows
+
+
+def test_census_identical_with_and_without_cache(task):
+    freq_cached = make_dryrun(task).access_freq
+    freq_plain = make_dryrun(task, reuse_samples=False).access_freq
+    assert np.array_equal(freq_cached, freq_plain)

@@ -135,3 +135,79 @@ class TestValidation:
             0, {Tier.LOCAL_CPU: 100, Tier.GPU_CACHE: 0}
         )
         assert est > 0
+
+
+class TestClassifyPeerGather:
+    """Regression pin for the ``np.ix_`` peer-cache gather in ``classify``.
+
+    The optimized lookup reads only the ``(peers, rest)`` submatrix; the
+    original chained indexing (``self._cached[peers][:, rest]``) copied
+    every peer's full cache row first.  Both must agree exactly — order,
+    duplicates, and all four tiers — under NVLink with multiple peers.
+    """
+
+    def _reference_classify(self, store, device, node_ids):
+        """The pre-optimization tier split, chained indexing and all."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        out = {}
+        own_hit = store._cached[device, node_ids]
+        out[Tier.GPU_CACHE] = node_ids[own_hit]
+        rest = node_ids[~own_hit]
+        machine = store.cluster.machine_of(device)
+        mspec = store.cluster.machine_spec(device)
+        if mspec.nvlink is not None and rest.size:
+            peers = [
+                d
+                for d in store.cluster.devices_of_machine(machine)
+                if d != device
+            ]
+            if peers:
+                peer_hit = store._cached[peers][:, rest].any(axis=0)
+            else:
+                peer_hit = np.zeros(rest.size, dtype=bool)
+            out[Tier.PEER_GPU] = rest[peer_hit]
+            rest = rest[~peer_hit]
+        else:
+            out[Tier.PEER_GPU] = np.empty(0, dtype=np.int64)
+        local = store.node_machine[rest] == machine
+        out[Tier.LOCAL_CPU] = rest[local]
+        out[Tier.REMOTE_CPU] = rest[~local]
+        return out
+
+    def test_matches_chained_indexing_reference(self, ds):
+        nv = LinkSpec(bandwidth=300e9)
+        cluster = ClusterSpec(machines=(MachineSpec(num_gpus=4, nvlink=nv),))
+        store = UnifiedFeatureStore(ds, cluster)
+        rng = np.random.default_rng(0)
+        store.configure_caches(
+            [rng.choice(ds.num_nodes, size=60, replace=False) for _ in range(4)]
+        )
+        for device in range(4):
+            ids = rng.integers(0, ds.num_nodes, size=500)  # with duplicates
+            got = store.classify(device, ids)
+            want = self._reference_classify(store, device, ids)
+            assert set(got) == set(want) == set(Tier)
+            for tier in Tier:
+                np.testing.assert_array_equal(got[tier], want[tier])
+
+    def test_matches_reference_multi_machine_nvlink(self, ds):
+        nv = LinkSpec(bandwidth=300e9)
+        cluster = ClusterSpec(
+            machines=(
+                MachineSpec(num_gpus=2, nvlink=nv),
+                MachineSpec(num_gpus=2, nvlink=nv),
+            )
+        )
+        machine = np.zeros(ds.num_nodes, dtype=np.int64)
+        machine[ds.num_nodes // 2 :] = 1
+        store = UnifiedFeatureStore(ds, cluster, node_machine=machine)
+        rng = np.random.default_rng(1)
+        store.configure_caches(
+            [rng.choice(ds.num_nodes, size=40, replace=False) for _ in range(4)]
+        )
+        for device in range(4):
+            ids = rng.integers(0, ds.num_nodes, size=300)
+            got = store.classify(device, ids)
+            want = self._reference_classify(store, device, ids)
+            for tier in Tier:
+                np.testing.assert_array_equal(got[tier], want[tier])

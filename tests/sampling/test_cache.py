@@ -1,0 +1,159 @@
+"""Tests for sampled-epoch reuse (:mod:`repro.sampling.cache`).
+
+The cache's contract is strict: every batch it returns — exact hit,
+superset restriction, or fresh miss — must be **bit-identical** to what
+``sampler.sample(seeds, epoch=epoch)`` would have produced.  These tests
+pin that contract, the LRU byte budget, and the scope isolation of the
+cache key.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sampling import LayerWiseSampler, NeighborSampler
+from repro.sampling.cache import SampleCache, _sorted_unique
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_dataset):
+    return tiny_dataset.graph
+
+
+@pytest.fixture
+def sampler(graph):
+    return NeighborSampler(graph, fanouts=[3, 5], global_seed=11)
+
+
+def assert_batches_identical(a, b):
+    assert np.array_equal(a.seeds, b.seeds)
+    assert len(a.blocks) == len(b.blocks)
+    for ba, bb in zip(a.blocks, b.blocks):
+        assert np.array_equal(ba.src_nodes, bb.src_nodes)
+        assert np.array_equal(ba.dst_nodes, bb.dst_nodes)
+        assert np.array_equal(ba.dst_in_src, bb.dst_in_src)
+        assert np.array_equal(ba.edge_src, bb.edge_src)
+        assert np.array_equal(ba.edge_dst, bb.edge_dst)
+
+
+class TestLookupPaths:
+    def test_exact_hit_returns_identical_batch(self, sampler):
+        cache = SampleCache()
+        seeds = np.arange(0, 200, 2)
+        first = cache.sample(sampler, seeds, epoch=0)
+        again = cache.sample(sampler, seeds, epoch=0)
+        assert again is first
+        assert cache.stats.to_dict() == {
+            "hits": 1, "restrictions": 0, "misses": 1, "evictions": 0,
+        }
+        assert_batches_identical(first, sampler.sample(seeds, epoch=0))
+
+    def test_hit_ignores_seed_order_and_duplicates(self, sampler):
+        cache = SampleCache()
+        cache.sample(sampler, np.array([5, 9, 40, 77]), epoch=0)
+        again = cache.sample(sampler, np.array([77, 9, 5, 40, 9]), epoch=0)
+        assert cache.stats.hits == 1
+        assert_batches_identical(
+            again, sampler.sample(np.array([5, 9, 40, 77]), epoch=0)
+        )
+
+    def test_restriction_bitwise_equals_direct_sampling(self, sampler):
+        """A subset derived from a cached superset == sampling it directly."""
+        cache = SampleCache()
+        whole = np.arange(0, 600, 3)
+        cache.sample(sampler, whole, epoch=2)
+        rng = np.random.default_rng(0)
+        for k in (1, 7, 60, whole.size):
+            subset = rng.choice(whole, size=k, replace=False)
+            restricted = cache.sample(sampler, subset, epoch=2)
+            assert_batches_identical(
+                restricted, sampler.sample(np.unique(subset), epoch=2)
+            )
+        assert cache.stats.misses == 1
+        # the full seed set round-trips as a hit, not a restriction
+        assert cache.stats.hits == 1
+        assert cache.stats.restrictions == 3
+
+    def test_no_restriction_for_layerwise_sampler(self, graph):
+        """LADIES draws depend on the whole frontier — restriction is unsound
+        and must not trigger (``per_node_deterministic = False``)."""
+        lw = LayerWiseSampler(graph, layer_budgets=[30, 20], global_seed=5)
+        cache = SampleCache()
+        whole = np.arange(80)
+        cache.sample(lw, whole, epoch=0)
+        sub = np.arange(40)
+        got = cache.sample(lw, sub, epoch=0)
+        assert cache.stats.misses == 2 and cache.stats.restrictions == 0
+        assert_batches_identical(got, lw.sample(sub, epoch=0))
+
+    def test_scope_isolation(self, graph, sampler):
+        """Any change to epoch, seed, or fanouts must miss."""
+        cache = SampleCache()
+        seeds = np.arange(50)
+        cache.sample(sampler, seeds, epoch=0)
+        cache.sample(sampler, seeds, epoch=1)  # different epoch
+        other_seed = NeighborSampler(graph, fanouts=[3, 5], global_seed=12)
+        cache.sample(other_seed, seeds, epoch=0)  # different global seed
+        other_fan = NeighborSampler(graph, fanouts=[4, 5], global_seed=11)
+        cache.sample(other_fan, seeds, epoch=0)  # different fanouts
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 0 and cache.stats.restrictions == 0
+        # and each batch is still the right one for its scope
+        assert_batches_identical(
+            cache.sample(sampler, seeds, epoch=1), sampler.sample(seeds, epoch=1)
+        )
+
+
+class TestBudget:
+    def test_lru_eviction_keeps_bytes_bounded(self, sampler):
+        probe = SampleCache()
+        one = probe.sample(sampler, np.arange(100), epoch=0).nbytes()
+        cache = SampleCache(max_bytes=3 * one)
+        for e in range(8):
+            cache.sample(sampler, np.arange(100), epoch=e)
+        assert cache.stats.evictions > 0
+        assert cache.current_bytes <= cache.max_bytes
+        assert len(cache) <= 8 - cache.stats.evictions
+        # oldest epochs were evicted; re-requesting them re-samples
+        cache.sample(sampler, np.arange(100), epoch=0)
+        assert cache.stats.misses == 9
+
+    def test_oversized_batch_served_uncached(self, sampler):
+        cache = SampleCache(max_bytes=64)  # smaller than any real batch
+        got = cache.sample(sampler, np.arange(100), epoch=0)
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert_batches_identical(got, sampler.sample(np.arange(100), epoch=0))
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            SampleCache(max_bytes=0)
+
+    def test_clear_resets_storage(self, sampler):
+        cache = SampleCache()
+        cache.sample(sampler, np.arange(30), epoch=0)
+        assert len(cache) == 1 and cache.current_bytes > 0
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+        cache.sample(sampler, np.arange(30), epoch=0)
+        assert cache.stats.misses == 2
+
+
+@pytest.mark.parametrize(
+    "arr",
+    [
+        np.array([], dtype=np.int64),
+        np.array([4]),
+        np.array([1, 2, 9]),            # already strictly increasing
+        np.array([3, 3, 3]),
+        np.array([9, 1, 4, 1, 9, 0]),
+        np.arange(500)[::-1].copy(),
+    ],
+)
+def test_sorted_unique_matches_np_unique(arr):
+    assert np.array_equal(_sorted_unique(arr.astype(np.int64)), np.unique(arr))
+
+
+def test_sorted_unique_random_property():
+    rng = np.random.default_rng(7)
+    for _ in range(50):
+        a = rng.integers(0, 40, size=rng.integers(0, 200)).astype(np.int64)
+        assert np.array_equal(_sorted_unique(a), np.unique(a))
