@@ -39,7 +39,7 @@ from typing import Optional
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
 from repro.cluster.faults import FaultSchedule
-from repro.config import PAPER_CACHE_GB, scaled_gpu_cache_bytes
+from repro.config import APTConfig, PAPER_CACHE_GB, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import load_dataset
 from repro.models import GAT, GCN, GraphSAGE
@@ -63,6 +63,15 @@ def _add_task_args(p: argparse.ArgumentParser) -> None:
                    help="per-GPU cache (paper-GB, rescaled to the analog)")
     p.add_argument("--batch-per-gpu", type=int, default=128)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=("serial", "process"), default=None,
+                   help="execution backend (default: REPRO_EXECUTION_BACKEND "
+                        "env var or 'serial'); 'process' samples batches in a "
+                        "shared-memory worker pool with pipelined prefetch")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-backend pool size (default: auto)")
+    p.add_argument("--prefetch-depth", type=int, default=None,
+                   help="global batches sampled ahead of the numerics "
+                        "(0 disables pipelining; default 2)")
 
 
 def _build(args, quiet: bool = False) -> APT:
@@ -84,12 +93,19 @@ def _build(args, quiet: bool = False) -> APT:
         model = GAT(ds.feature_dim, args.hidden, ds.num_classes,
                     args.layers, args.heads, seed=args.seed)
     fanouts = args.fanout or [10] * args.layers
-    apt = APT(
-        ds, model, cluster,
-        fanouts=fanouts,
+    config_kwargs = dict(
+        fanouts=tuple(fanouts),
         global_batch_size=cluster.num_devices * args.batch_per_gpu,
         seed=args.seed,
     )
+    # Only override the env-var-driven defaults when flags were given.
+    if args.backend is not None:
+        config_kwargs["execution_backend"] = args.backend
+    if args.workers is not None:
+        config_kwargs["num_workers"] = args.workers
+    if args.prefetch_depth is not None:
+        config_kwargs["prefetch_depth"] = args.prefetch_depth
+    apt = APT(ds, model, cluster, APTConfig(**config_kwargs))
     apt.prepare()
     if not quiet:
         print(

@@ -19,7 +19,8 @@ economics.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple, Union
 
 import numpy as np
@@ -59,6 +60,29 @@ class APTConfig:
     #: dry-runs, census, and training runs; 0 disables reuse entirely.
     #: Wall-clock only — cached batches are bit-identical to fresh ones.
     sample_cache_mb: int = 256
+    # ---- execution backend (host wall-clock only, DESIGN.md §5.10) --- #
+    #: ``"serial"`` (default) runs every per-device loop inline;
+    #: ``"process"`` fans sampling out to a shared-memory worker pool with
+    #: pipelined batch prefetch.  Bit-identical losses / parameters /
+    #: simulated Timeline either way — only host seconds change.  The env
+    #: var ``REPRO_EXECUTION_BACKEND`` overrides the default (CI runs the
+    #: whole suite through the process backend this way).
+    execution_backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTION_BACKEND", "serial")
+    )
+    #: worker processes of the process backend; 0 = auto (min(4, cores)).
+    num_workers: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_NUM_WORKERS", "0"))
+    )
+    #: global batches sampled ahead of the training loop (process backend);
+    #: 0 disables pipelining but keeps the worker-pool sampling path.
+    prefetch_depth: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_PREFETCH_DEPTH", "2"))
+    )
+    #: also prefetch ``features[input_nodes]`` in workers for strategies
+    #: whose load set is the input set (GDP).  Pays off only when workers
+    #: overlap a numerics-bound main process, hence off by default.
+    gather_prefetch: bool = False
     # ---- online adaptivity ------------------------------------------- #
     #: attach a TelemetryCollector to every run (pure observation)
     telemetry: bool = True
@@ -122,6 +146,22 @@ class APTConfig:
                 f"{self.sample_cache_mb}"
             )
         self.sample_cache_mb = int(self.sample_cache_mb)
+        if self.execution_backend not in ("serial", "process"):
+            raise ValueError(
+                f"execution_backend must be 'serial' or 'process', got "
+                f"{self.execution_backend!r}"
+            )
+        if int(self.num_workers) < 0:
+            raise ValueError(
+                f"num_workers must be >= 0 (0 = auto), got {self.num_workers}"
+            )
+        self.num_workers = int(self.num_workers)
+        if int(self.prefetch_depth) < 0:
+            raise ValueError(
+                f"prefetch_depth must be >= 0, got {self.prefetch_depth}"
+            )
+        self.prefetch_depth = int(self.prefetch_depth)
+        self.gather_prefetch = bool(self.gather_prefetch)
         return self
 
     def replace(self, **changes: Any) -> "APTConfig":

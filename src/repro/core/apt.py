@@ -52,6 +52,7 @@ from repro.graph.partition import metis_like_partition, random_partition
 from repro.models.base import GNNModel
 from repro.obs.drift import DriftDetector
 from repro.obs.telemetry import TelemetryCollector
+from repro.parallel import make_backend
 from repro.sampling.cache import SampleCache
 from repro.tensor.optim import Adam
 
@@ -286,6 +287,7 @@ class APT:
         cluster: Optional[ClusterSpec] = None,
         numerics: bool = True,
         telemetry: Optional[TelemetryCollector] = None,
+        backend=None,
     ) -> ExecutionContext:
         return ExecutionContext.build(
             self.dataset,
@@ -303,6 +305,7 @@ class APT:
             overlap=self.overlap,
             telemetry=telemetry,
             sample_cache=self.sample_cache,
+            backend=backend,
         )
 
     def _make_trainer(
@@ -312,8 +315,11 @@ class APT:
         optimizer,
         numerics: bool,
         telemetry: Optional[TelemetryCollector],
+        backend=None,
     ) -> ParallelTrainer:
-        ctx = self._build_context(cluster, numerics=numerics, telemetry=telemetry)
+        ctx = self._build_context(
+            cluster, numerics=numerics, telemetry=telemetry, backend=backend
+        )
         return ParallelTrainer(adapt_strategy(strategy_name, ctx), ctx, optimizer)
 
     def run_strategy(
@@ -412,6 +418,53 @@ class APT:
         estimate = self._active_estimate(strategy_name, replan)
 
         report = RunReport(plan=self.plan_report, config=self.config.to_dict())
+        # One execution backend per run: the process pool (and its shared-
+        # memory graph/feature export) outlives trainer rebuilds on cluster
+        # change or strategy switch.
+        backend = make_backend(self.config, self.dataset)
+        try:
+            epochs, breakdown, current_strategy, trainer = self._epoch_loop(
+                strategy_name=strategy_name,
+                num_epochs=num_epochs,
+                numerics=numerics,
+                faults=faults,
+                replan=replan,
+                collector=collector,
+                optimizer=optimizer,
+                detector=detector,
+                estimate=estimate,
+                report=report,
+                backend=backend,
+            )
+        finally:
+            backend.close()
+
+        report.result = APTRunResult(
+            strategy=current_strategy,
+            epochs=epochs,
+            recorder=trainer.ctx.recorder,
+            breakdown=breakdown,
+        )
+        if collector is not None:
+            report.telemetry = collector.summary()
+            report.collector = collector
+        return report
+
+    def _epoch_loop(
+        self,
+        *,
+        strategy_name: str,
+        num_epochs: int,
+        numerics: bool,
+        faults: Optional[FaultSchedule],
+        replan: bool,
+        collector: Optional[TelemetryCollector],
+        optimizer,
+        detector: DriftDetector,
+        estimate: Optional[CostEstimate],
+        report: RunReport,
+        backend,
+    ):
         base_cluster = self.cluster
         current_cluster: Optional[ClusterSpec] = None
         current_strategy = strategy_name
@@ -435,7 +488,12 @@ class APT:
                 # model and optimizer state carry over untouched.
                 current_cluster = cluster_e
                 trainer = self._make_trainer(
-                    current_strategy, current_cluster, optimizer, numerics, collector
+                    current_strategy,
+                    current_cluster,
+                    optimizer,
+                    numerics,
+                    collector,
+                    backend=backend,
                 )
 
             result = trainer.train_epoch(epoch)
@@ -484,19 +542,15 @@ class APT:
                     )
                 current_strategy = new_plan.chosen
                 trainer = self._make_trainer(
-                    current_strategy, current_cluster, optimizer, numerics, collector
+                    current_strategy,
+                    current_cluster,
+                    optimizer,
+                    numerics,
+                    collector,
+                    backend=backend,
                 )
 
-        report.result = APTRunResult(
-            strategy=current_strategy,
-            epochs=epochs,
-            recorder=trainer.ctx.recorder,
-            breakdown=breakdown,
-        )
-        if collector is not None:
-            report.telemetry = collector.summary()
-            report.collector = collector
-        return report
+        return epochs, breakdown, current_strategy, trainer
 
     # ------------------------------------------------------------------ #
     def compare_all(

@@ -9,6 +9,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.engine.context import ExecutionContext
+from repro.parallel.backend import resolve_backend
 from repro.sampling.block import MiniBatch
 from repro.tensor.tensor import Tensor
 
@@ -46,6 +47,10 @@ class Strategy(abc.ABC):
     name: str = "base"
     #: whether the strategy needs a node->device graph partition
     requires_partition: bool = False
+    #: whether the strategy's per-device feature-load set equals the
+    #: sampled input set (``blocks[0].src_nodes``) — lets the process
+    #: backend prefetch the gather in workers (GDP sets this)
+    gather_prefetch: bool = False
 
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -121,12 +126,21 @@ def split_round_robin(
 def split_by_partition(
     global_batch: np.ndarray, parts: np.ndarray, num_devices: int
 ) -> List[Optional[np.ndarray]]:
-    """Partition-local seed assignment (SNP/DNP, paper §3.2)."""
+    """Partition-local seed assignment (SNP/DNP, paper §3.2).
+
+    One stable argsort buckets the batch by owning device — O(B log B)
+    instead of the D boolean-mask passes (O(B·D)) — and stability keeps
+    each device's seeds in their original batch order, so the output is
+    identical to the per-device masking it replaces.
+    """
     gb = np.asarray(global_batch, dtype=np.int64)
     owner = parts[gb]
+    order = np.argsort(owner, kind="stable")
+    bounds = np.searchsorted(owner[order], np.arange(num_devices + 1))
+    sorted_gb = gb[order]
     out: List[Optional[np.ndarray]] = []
     for d in range(num_devices):
-        mine = gb[owner == d]
+        mine = sorted_gb[bounds[d] : bounds[d + 1]]
         out.append(mine if mine.size else None)
     return out
 
@@ -138,27 +152,44 @@ def sample_batches(
 ) -> List[Optional[MiniBatch]]:
     """Sample per-device minibatches, charging simulated sampling time.
 
-    When the context carries a :class:`~repro.sampling.cache.SampleCache`,
-    previously sampled (or restrictable) seed sets skip the sampling pass —
-    the returned batches are bit-identical either way, so the simulated
-    time charged below is unaffected by cache hits.
+    The host-side sampling work dispatches through the context's execution
+    backend (inline + :class:`~repro.sampling.cache.SampleCache` under the
+    serial backend, shared-memory worker pool under the process backend);
+    every backend returns bit-identical batches, and the simulated charges
+    below always run on the main process, so timelines are unaffected by
+    where (or how far ahead) the sampling actually happened.
     """
-    batches: List[Optional[MiniBatch]] = []
-    for d, seeds in enumerate(seeds_per_device):
-        if seeds is None or len(seeds) == 0:
-            batches.append(None)
+    batches = resolve_backend(ctx).sample_device_chunks(
+        ctx, seeds_per_device, epoch
+    )
+    for d, mb in enumerate(batches):
+        if mb is None:
             continue
-        if ctx.sample_cache is not None:
-            mb = ctx.sample_cache.sample(ctx.sampler, seeds, epoch=epoch)
-        else:
-            mb = ctx.sampler.sample(seeds, epoch=epoch)
         if ctx.cpu_sampling:
             ctx.charger.cpu_sampling(d, mb.total_edges())
         else:
             ctx.charger.gpu_sampling(d, mb.total_edges())
         ctx.count("sampled_edges", mb.total_edges(), device=d, phase="sample")
-        batches.append(mb)
     return batches
+
+
+def read_features(
+    ctx: ExecutionContext, device: int, node_ids: np.ndarray, phase: str = "load"
+):
+    """One device's feature read, dispatched through the execution backend.
+
+    Returns ``(rows, report)`` like ``ctx.store.read`` (``rows`` is ``None``
+    in timing-only mode).  A backend that prefetched exactly this gather
+    (process backend + ``gather_prefetch``) serves the rows from shared
+    memory; the simulated load charge is identical either way because
+    ``charge_load`` is the accounting half of ``read``.
+    """
+    if not ctx.numerics:
+        return None, ctx.store.charge_load(device, node_ids, ctx.timeline, phase)
+    rows = resolve_backend(ctx).take_gather(device, node_ids)
+    if rows is not None:
+        return rows, ctx.store.charge_load(device, node_ids, ctx.timeline, phase)
+    return ctx.store.read(device, node_ids, ctx.timeline, phase)
 
 
 def local_index_of(sorted_ids: np.ndarray, queries: np.ndarray) -> np.ndarray:

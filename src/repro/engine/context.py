@@ -149,6 +149,11 @@ class ExecutionContext:
     #: epochs across strategies/runs.  Wall-clock only: cached batches are
     #: bit-identical to fresh ones, so charged sampling time is unchanged.
     sample_cache: Optional[SampleCache] = None
+    #: Host-side :class:`~repro.parallel.backend.ExecutionBackend` that
+    #: sampling / feature-gather loops dispatch through.  ``None`` means
+    #: the shared serial backend.  Host wall-clock only: every backend
+    #: yields bit-identical batches and simulated Timeline charges.
+    backend: Optional[object] = None
 
     @property
     def num_devices(self) -> int:
@@ -178,6 +183,7 @@ class ExecutionContext:
         overlap: bool = False,
         telemetry=None,
         sample_cache: Optional[SampleCache] = None,
+        backend=None,
     ) -> "ExecutionContext":
         """Assemble a fresh context with new ledgers."""
         timeline = Timeline(cluster.num_devices, overlap=overlap, telemetry=telemetry)
@@ -201,4 +207,5 @@ class ExecutionContext:
             overlap=overlap,
             telemetry=telemetry,
             sample_cache=sample_cache,
+            backend=backend,
         )

@@ -29,6 +29,7 @@ from repro.engine.base import (
     Strategy,
     StrategyReport,
     local_index_of,
+    read_features,
     split_by_partition,
 )
 from repro.engine.context import ExecutionContext
@@ -190,12 +191,8 @@ class DNPStrategy(Strategy):
             if nodes is None:
                 xs.append(None)
                 continue
-            if ctx.numerics:
-                x_rows, _ = ctx.store.read(o, nodes, ctx.timeline)
-                xs.append(Tensor(x_rows))
-            else:
-                ctx.store.charge_load(o, nodes, ctx.timeline)
-                xs.append(None)
+            x_rows, _ = read_features(ctx, o, nodes)
+            xs.append(Tensor(x_rows) if ctx.numerics else None)
 
         # Owners compute complete layer-1 embeddings per task.
         h_grid = [[None] * C for _ in range(C)]

@@ -16,7 +16,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.engine.base import Strategy, StrategyReport, split_round_robin
+from repro.engine.base import (
+    Strategy,
+    StrategyReport,
+    read_features,
+    split_round_robin,
+)
 from repro.engine.context import ExecutionContext
 from repro.featurestore.cache import (
     cache_capacity_nodes,
@@ -36,6 +41,9 @@ class GDPPlan:
 class GDPStrategy(Strategy):
     name = "gdp"
     requires_partition = False
+    #: GDP's per-device load set is exactly ``blocks[0].src_nodes``, so a
+    #: pipelined backend can gather the rows in workers alongside sampling.
+    gather_prefetch = True
 
     def prepare(self, ctx: ExecutionContext) -> StrategyReport:
         freq = self.resolve_access_freq(ctx)
@@ -99,10 +107,8 @@ class GDPStrategy(Strategy):
             ctx.recorder.record_intermediate(
                 d, 8.0 * (block.num_src * layer.in_dim + block.num_dst * layer.out_dim)
             )
-            if ctx.numerics:
-                x_rows, _ = ctx.store.read(d, plan.load_nodes[d], ctx.timeline)
-                h1.append(layer.full_forward(block, Tensor(x_rows)))
-            else:
-                ctx.store.charge_load(d, plan.load_nodes[d], ctx.timeline)
-                h1.append(None)
+            x_rows, _ = read_features(ctx, d, plan.load_nodes[d])
+            h1.append(
+                layer.full_forward(block, Tensor(x_rows)) if ctx.numerics else None
+            )
         return h1

@@ -36,6 +36,7 @@ from repro.engine.base import (
     Strategy,
     StrategyReport,
     local_index_of,
+    read_features,
     split_by_partition,
 )
 from repro.engine.context import ExecutionContext
@@ -262,12 +263,8 @@ class SNPStrategy(Strategy):
             if nodes is None:
                 xs.append(None)
                 continue
-            if ctx.numerics:
-                x_rows, _ = ctx.store.read(p, nodes, ctx.timeline)
-                xs.append(Tensor(x_rows))
-            else:
-                ctx.store.charge_load(p, nodes, ctx.timeline)
-                xs.append(None)
+            x_rows, _ = read_features(ctx, p, nodes)
+            xs.append(Tensor(x_rows) if ctx.numerics else None)
         return xs
 
     # ------------------------------------------------------------------ #

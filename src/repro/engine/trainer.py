@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.engine.base import Strategy, sample_batches
 from repro.engine.context import ExecutionContext
+from repro.parallel.backend import resolve_backend
 from repro.sampling.batching import EpochIterator
 from repro.tensor import functional as F
 from repro.tensor.optim import Optimizer
@@ -114,8 +115,25 @@ class ParallelTrainer:
         phases_before = ctx.timeline.paper_breakdown()
         raw_before = ctx.timeline.breakdown()
         batch_losses = []
-        for global_batch in self._iterator.epoch_batches(epoch):
-            batch_losses.append(self.run_global_batch(global_batch, epoch))
+        backend = resolve_backend(ctx)
+        # Announcing the epoch's batch schedule lets a pipelined backend
+        # sample batch k+1 in workers while batch k trains here.
+        batch_list = list(self._iterator.epoch_batches(epoch))
+        backend.begin_epoch(self.strategy, ctx, epoch, batch_list)
+        try:
+            for global_batch in batch_list:
+                batch_losses.append(self.run_global_batch(global_batch, epoch))
+        finally:
+            backend.finish_epoch(ctx)
+        if not batch_losses:
+            # np.mean([]) would yield NaN plus a RuntimeWarning and poison
+            # downstream loss curves silently; fail loudly instead.
+            raise ValueError(
+                f"epoch {epoch} produced no global batches — the training "
+                f"seed set ({self._iterator.seeds.size} seeds) is empty or "
+                "the epoch iterator yielded nothing; check train_seeds and "
+                "global_batch_size"
+            )
         phases_after = ctx.timeline.paper_breakdown()
         raw_after = ctx.timeline.breakdown()
         result = EpochResult(
@@ -169,7 +187,9 @@ def evaluate_accuracy(
             if ctx.sample_cache is not None:
                 # Repeated evaluations over the same seeds (accuracy curves)
                 # reuse the sampled structures; contents are bit-identical.
-                mb = ctx.sample_cache.sample(sampler, chunk, epoch=epoch)
+                # kind="eval" charges a separate budget pool so sweeping the
+                # full node set cannot evict the training-epoch entries.
+                mb = ctx.sample_cache.sample(sampler, chunk, epoch=epoch, kind="eval")
             else:
                 mb = sampler.sample(chunk, epoch=epoch)
             x = Tensor(ds.features[mb.input_nodes])

@@ -27,6 +27,17 @@ from repro.cluster.timeline import Timeline
 from repro.graph.datasets import GraphDataset
 
 
+def gather_rows(features: np.ndarray, node_ids: np.ndarray) -> np.ndarray:
+    """The single definition of a dense feature gather.
+
+    Both the in-process read path (:meth:`UnifiedFeatureStore.read`) and the
+    worker-side prefetch gather (``repro.parallel.worker``) call this, so the
+    produced rows are bit-identical regardless of which process materializes
+    them.
+    """
+    return features[np.asarray(node_ids, dtype=np.int64)]
+
+
 class Tier(enum.Enum):
     """Memory tier a feature row was served from."""
 
@@ -168,7 +179,7 @@ class UnifiedFeatureStore:
         Simulated load seconds are charged to ``timeline`` when given.
         """
         report = self.charge_load(device, node_ids, timeline, phase)
-        features = self.dataset.features[np.asarray(node_ids, dtype=np.int64)]
+        features = gather_rows(self.dataset.features, node_ids)
         return features, report
 
     def charge_load(

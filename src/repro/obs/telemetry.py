@@ -29,6 +29,7 @@ EVENT_KINDS = (
     "switch",     # APT: the running strategy was hot-swapped
     "fault",      # fault-injection layer: a scheduled fault took effect
     "profile",    # repro.utils.profile: one host wall-clock span closed
+    "pipeline",   # ProcessPoolBackend: per-epoch prefetch/worker counters
 )
 
 

@@ -1,0 +1,23 @@
+"""Host-side execution backends (serial / shared-memory process pool).
+
+See DESIGN.md §5.10: backends move *host wall-clock* work (sampling,
+feature gathering, batch prefetch) without touching the simulation —
+losses, parameters, and simulated Timeline charges are bit-identical
+across backends.
+"""
+
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "resolve_backend",
+]

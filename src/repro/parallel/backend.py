@@ -1,0 +1,437 @@
+"""Pluggable host-side execution backends: serial and process-pool.
+
+A backend owns the *host wall-clock* side of the engine's per-device
+loops: where sampling runs, whether batch ``k+1`` is prepared while batch
+``k`` trains, and where feature rows are gathered.  It is strictly
+invisible to the simulation: both backends produce bit-identical
+minibatches, losses, parameters, and simulated Timeline charges (pinned by
+``tests/parallel/test_equivalence.py``) — only host seconds differ.
+
+:class:`SerialBackend`
+    The default.  Samples inline on the main process, through the
+    context's :class:`~repro.sampling.cache.SampleCache` when present.
+
+:class:`ProcessPoolBackend`
+    Fans sampling out to a ``multiprocessing`` pool whose workers hold
+    zero-copy shared-memory views of the CSR graph and feature matrix
+    (attached once at pool startup).  The epoch loop is pipelined: up to
+    ``prefetch_depth`` future global batches are being sampled in workers
+    while the current batch runs numerics on the main process.  One task
+    covers one whole global batch — the worker samples the union of the
+    per-device seed chunks once and *restricts* each device's minibatch
+    out of it, so the backend also does strictly less sampling work than
+    the serial per-device loop (their frontiers overlap).  Results return
+    through preallocated shared-memory slots; prefetched batches bypass
+    the sample cache (slot buffers are recycled, cache entries must not
+    alias them).
+
+Prefetches are matched by content digest of ``(epoch, per-device seed
+chunks)``; any divergence (mid-epoch strategy switch, direct
+``run_global_batch`` calls) flushes the queue and falls back to an
+unplanned submission — correctness never depends on the schedule guess.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.shm import SlotRing, export_task_data, read_array
+from repro.parallel.worker import init_worker, sample_task
+from repro.sampling.block import Block, MiniBatch
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "resolve_backend",
+]
+
+#: Default worker count when the config leaves it at 0 ("auto").
+_AUTO_WORKERS = max(1, min(4, os.cpu_count() or 1))
+
+#: Extra slots beyond the prefetch depth: slots retired after a serve are
+#: held for ``holdoff`` further serves before reuse (views stay valid).
+_SLOT_HOLDOFF = 2
+
+#: Sizing headroom of the result slots over the first observed batch.
+_SLOT_HEADROOM = 1.6
+
+
+class ExecutionBackend:
+    """Interface of a host-side execution backend (serial semantics)."""
+
+    name = "serial"
+
+    # -- epoch pipeline hooks ------------------------------------------ #
+    def begin_epoch(self, strategy, ctx, epoch: int, global_batches) -> None:
+        """Announce the epoch's batch schedule (enables prefetching)."""
+
+    def finish_epoch(self, ctx) -> None:
+        """Epoch barrier: drain pending work, flush telemetry counters."""
+
+    # -- per-batch dispatch points ------------------------------------- #
+    def sample_device_chunks(
+        self, ctx, seeds_per_device, epoch: int
+    ) -> List[Optional[MiniBatch]]:
+        """Per-device minibatches for one global batch (no charging —
+        :func:`repro.engine.base.sample_batches` charges simulated time
+        identically for every backend)."""
+        raise NotImplementedError
+
+    def take_gather(self, device: int, node_ids) -> Optional[np.ndarray]:
+        """Prefetched feature rows for exactly ``node_ids`` on ``device``,
+        or ``None`` (caller reads through the feature store)."""
+        return None
+
+    # -- lifecycle ------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters (also streamed into telemetry per epoch)."""
+        return {}
+
+    def close(self) -> None:
+        """Release pools and shared memory; idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline sampling on the main process (the default backend)."""
+
+    name = "serial"
+
+    def sample_device_chunks(self, ctx, seeds_per_device, epoch):
+        batches: List[Optional[MiniBatch]] = []
+        for seeds in seeds_per_device:
+            if seeds is None or len(seeds) == 0:
+                batches.append(None)
+                continue
+            if ctx.sample_cache is not None:
+                batches.append(ctx.sample_cache.sample(ctx.sampler, seeds, epoch=epoch))
+            else:
+                batches.append(ctx.sampler.sample(seeds, epoch=epoch))
+        return batches
+
+
+#: Fallback backend for contexts constructed without one.
+_SERIAL = SerialBackend()
+
+
+def resolve_backend(ctx) -> ExecutionBackend:
+    """The context's backend, or the shared serial fallback."""
+    return getattr(ctx, "backend", None) or _SERIAL
+
+
+# ---------------------------------------------------------------------- #
+def _digest(epoch: int, chunks) -> bytes:
+    """Content digest of one global batch's per-device seed chunks."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(int(epoch).to_bytes(8, "little", signed=True))
+    for c in chunks:
+        if c is None or len(c) == 0:
+            h.update(b"\x00")
+            continue
+        a = np.ascontiguousarray(c, dtype=np.int64)
+        h.update(b"\x01")
+        h.update(np.int64(a.size).tobytes())
+        h.update(a.tobytes())
+    return h.digest()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shared-memory worker pool with pipelined global-batch prefetch.
+
+    Parameters
+    ----------
+    dataset:
+        Task dataset; its graph and features are exported to shared memory
+        once, workers attach at pool startup.
+    num_workers:
+        Pool size (``None`` = auto: ``min(4, cpu_count)``).
+    prefetch_depth:
+        Global batches sampled ahead of the training loop.  ``0`` disables
+        pipelining (each batch is still sampled in a worker — the
+        union-sampling work reduction applies, overlap does not).
+    gather_prefetch:
+        Also ship ``features[input_nodes]`` per device for strategies that
+        declare ``gather_prefetch`` (GDP — its load set *is* the input
+        set).  Off by default: it moves gather work, it does not shrink
+        it, so it only pays off when workers overlap a numerics-bound
+        main process.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        dataset,
+        num_workers: Optional[int] = None,
+        prefetch_depth: int = 2,
+        gather_prefetch: bool = False,
+    ):
+        self.num_workers = int(num_workers) if num_workers else _AUTO_WORKERS
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.prefetch_depth = max(0, int(prefetch_depth))
+        self.gather_prefetch = bool(gather_prefetch)
+        self._export = export_task_data(dataset)
+        self._pool = multiprocessing.get_context().Pool(
+            self.num_workers,
+            initializer=init_worker,
+            initargs=(self._export.descriptor,),
+        )
+        self._slots: Optional[SlotRing] = None
+        self._closed = False
+        # pipeline state (one epoch at a time)
+        self._schedule: List[Tuple[bytes, Dict]] = []
+        self._next = 0
+        self._inflight: Deque[Tuple[bytes, object, Optional[str]]] = deque()
+        self._gather: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._counters: Dict[str, float] = {}
+        self._epoch_mark: Dict[str, float] = {}
+        self._epoch_t0: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def _count(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def stats(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self, strategy, ctx, epoch, global_batches) -> None:
+        self._drain(wasted=True)
+        self._gather.clear()
+        gather = (
+            self.gather_prefetch
+            and ctx.numerics
+            and getattr(strategy, "gather_prefetch", False)
+        )
+        base = {
+            "epoch": int(epoch),
+            "fanouts": tuple(ctx.sampler.fanouts),
+            "global_seed": int(ctx.sampler.global_seed),
+            "gather": bool(gather),
+        }
+        self._schedule = []
+        for gb in global_batches:
+            chunks = strategy.assign_seeds(ctx, gb)
+            payload = dict(base, chunks=list(chunks))
+            self._schedule.append((_digest(epoch, chunks), payload))
+        self._next = 0
+        self._epoch_t0 = time.perf_counter()
+        self._epoch_mark = dict(self._counters)
+        self._top_up()
+
+    def finish_epoch(self, ctx) -> None:
+        self._drain(wasted=True)
+        self._schedule = []
+        self._next = 0
+        if self._epoch_t0 is None:
+            return
+        wall = time.perf_counter() - self._epoch_t0
+        self._epoch_t0 = None
+        deltas = {
+            k: v - self._epoch_mark.get(k, 0.0)
+            for k, v in self._counters.items()
+            if v != self._epoch_mark.get(k, 0.0)
+        }
+        busy = deltas.get("worker_busy_seconds", 0.0)
+        utilization = (
+            busy / (wall * self.num_workers) if wall > 0.0 else 0.0
+        )
+        for key, value in deltas.items():
+            ctx.count(f"parallel.{key}", value, phase="parallel")
+        ctx.count("parallel.epoch_host_seconds", wall, phase="parallel")
+        if ctx.telemetry is not None:
+            ctx.telemetry.emit(
+                "pipeline",
+                sim_time=ctx.timeline.wall_seconds,
+                phase="parallel",
+                backend=self.name,
+                workers=self.num_workers,
+                prefetch_depth=self.prefetch_depth,
+                host_wall_seconds=wall,
+                worker_utilization=utilization,
+                **{k: v for k, v in deltas.items() if k != "worker_busy_seconds"},
+            )
+
+    # ------------------------------------------------------------------ #
+    def _submit(self, entry: Tuple[bytes, Dict]) -> None:
+        digest, payload = entry
+        slot = self._slots.acquire() if self._slots is not None else None
+        if self._slots is not None and slot is None:  # pragma: no cover
+            self._count("slot_stall")
+        task = dict(payload, slot=slot)
+        handle = self._pool.apply_async(sample_task, (task,))
+        self._inflight.append((digest, handle, slot))
+
+    def _top_up(self) -> None:
+        while (
+            len(self._inflight) < self.prefetch_depth
+            and self._next < len(self._schedule)
+        ):
+            self._submit(self._schedule[self._next])
+            self._next += 1
+
+    def _drain(self, wasted: bool = False) -> None:
+        """Wait out and discard every in-flight task."""
+        while self._inflight:
+            _, handle, slot = self._inflight.popleft()
+            try:
+                handle.get()
+            except Exception:  # pragma: no cover - worker died mid-flush
+                pass
+            if self._slots is not None:
+                self._slots.release(slot)
+            if wasted:
+                self._count("prefetch_wasted")
+
+    def _ensure_slots(self, nbytes: int) -> None:
+        if self._slots is not None:
+            return
+        slot_bytes = max(int(nbytes * _SLOT_HEADROOM), 1 << 20)
+        self._slots = SlotRing(
+            n_slots=self.prefetch_depth + _SLOT_HOLDOFF + 2,
+            slot_bytes=slot_bytes,
+            holdoff=_SLOT_HOLDOFF,
+        )
+
+    # ------------------------------------------------------------------ #
+    def sample_device_chunks(self, ctx, seeds_per_device, epoch):
+        digest = _digest(epoch, seeds_per_device)
+        slot: Optional[str] = None
+        if self._inflight and self._inflight[0][0] == digest:
+            _, handle, slot = self._inflight.popleft()
+            self._count("prefetch_hits")
+        else:
+            if self._inflight:
+                # The schedule diverged (e.g. a mid-epoch caller outside the
+                # announced batch order): nothing queued is trustworthy.
+                self._drain(wasted=True)
+            if (
+                self._next < len(self._schedule)
+                and self._schedule[self._next][0] == digest
+            ):
+                # Pipelining off (depth 0) or not yet submitted: next
+                # scheduled batch, sampled synchronously in a worker.
+                self._submit(self._schedule[self._next])
+                self._next += 1
+                self._count("sync_batches")
+            else:
+                payload = {
+                    "epoch": int(epoch),
+                    "fanouts": tuple(ctx.sampler.fanouts),
+                    "global_seed": int(ctx.sampler.global_seed),
+                    "gather": False,
+                    "chunks": list(seeds_per_device),
+                }
+                self._submit((digest, payload))
+                self._count("unplanned_batches")
+            _, handle, slot = self._inflight.pop()
+        result = handle.get()
+        self._count("worker_busy_seconds", float(result.get("busy", 0.0)))
+        batches = self._unpack(result, slot)
+        if self._slots is None:
+            self._ensure_slots(int(result.get("nbytes", 0)))
+        if slot is not None:
+            if result["via_shm"]:
+                self._slots.retire(slot)
+            else:
+                self._count("slot_overflow")
+                self._slots.release(slot)
+        self._top_up()
+        return batches
+
+    def _unpack(self, result: Dict, slot: Optional[str]):
+        buf = (
+            self._slots.buffer(slot)
+            if (result["via_shm"] and slot is not None and self._slots is not None)
+            else None
+        )
+        gather = result.get("gather", False)
+        batches: List[Optional[MiniBatch]] = []
+        for d, item in enumerate(result["devices"]):
+            if item is None:
+                batches.append(None)
+                continue
+            arrays = [read_array(buf, s) if buf is not None else s for s in item]
+            num_layers = result["layers"][d]
+            blocks = []
+            for i in range(num_layers):
+                s, dn, dis, es, ed = arrays[1 + 5 * i : 6 + 5 * i]
+                blocks.append(
+                    Block(
+                        src_nodes=s,
+                        dst_nodes=dn,
+                        dst_in_src=dis,
+                        edge_src=es,
+                        edge_dst=ed,
+                    )
+                )
+            batches.append(MiniBatch(seeds=arrays[0], blocks=blocks))
+            if gather:
+                self._gather[d] = (blocks[0].src_nodes, arrays[-1])
+        return batches
+
+    def take_gather(self, device, node_ids):
+        entry = self._gather.pop(device, None)
+        if entry is None:
+            return None
+        nodes, rows = entry
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if nodes.shape == ids.shape and np.array_equal(nodes, ids):
+            self._count("gather_hits")
+            return rows
+        self._count("gather_misses")
+        return None
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._inflight.clear()
+        self._gather.clear()
+        try:
+            self._pool.terminate()
+            self._pool.join()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        if self._slots is not None:
+            self._slots.close()
+            self._slots = None
+        self._export.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------- #
+def make_backend(config, dataset) -> ExecutionBackend:
+    """Backend from an :class:`~repro.config.APTConfig`."""
+    kind = getattr(config, "execution_backend", "serial")
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "process":
+        return ProcessPoolBackend(
+            dataset,
+            num_workers=getattr(config, "num_workers", 0) or None,
+            prefetch_depth=getattr(config, "prefetch_depth", 2),
+            gather_prefetch=getattr(config, "gather_prefetch", False),
+        )
+    raise ValueError(f"unknown execution backend {kind!r}")

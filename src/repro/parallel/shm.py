@@ -1,0 +1,219 @@
+"""Shared-memory plumbing for the process execution backend.
+
+Two kinds of segments flow between the main process and the sampler
+workers:
+
+* **task-data segments** — the CSR graph (``indptr``/``indices``) and the
+  feature matrix, exported once by the main process at pool startup and
+  attached read-only by every worker (:func:`export_task_data` /
+  :func:`attach_task_data`).  Attaching maps the same physical pages, so
+  workers sample and gather against the *identical bytes* the main process
+  trains on — zero copies, and bit-identity of worker-produced arrays is
+  structural rather than asserted.
+* **result slots** — a small ring of fixed-size segments the main process
+  preallocates; a worker packs its sampled index arrays (and optional
+  gathered feature rows) into the slot named by its task and returns only
+  tiny :class:`ArraySpec` descriptors.  The main process reconstructs
+  NumPy views directly on the slot buffer (:func:`read_array`), avoiding
+  the pickle round-trip that would otherwise dominate IPC.
+
+Every segment is created (and eventually unlinked) by the **main**
+process; workers never create or unlink, which keeps the
+``multiprocessing.resource_tracker`` silent and makes cleanup a pure
+main-process concern (see DESIGN.md §5.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Slot payloads are 8-byte aligned so int64/float64 views are native.
+_ALIGN = 8
+
+
+def _aligned(n: int) -> int:
+    return (int(n) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a shared-memory segment (picklable)."""
+
+    offset: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.dtype(self.dtype).itemsize)
+        for s in self.shape:
+            n *= int(s)
+        return n
+
+
+def write_array(buf, offset: int, arr: np.ndarray) -> Tuple[int, ArraySpec]:
+    """Copy ``arr`` into ``buf`` at ``offset``; returns (next offset, spec).
+
+    Raises :class:`ValueError` when the array does not fit — callers treat
+    that as a slot overflow and fall back to pickling.
+    """
+    arr = np.ascontiguousarray(arr)
+    end = offset + arr.nbytes
+    if end > len(buf):
+        raise ValueError(
+            f"array of {arr.nbytes} bytes does not fit at offset {offset} "
+            f"of a {len(buf)}-byte slot"
+        )
+    if arr.nbytes:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=buf, offset=offset)
+        view[...] = arr
+    return _aligned(end), ArraySpec(offset, arr.dtype.str, tuple(arr.shape))
+
+
+def read_array(buf, spec: ArraySpec) -> np.ndarray:
+    """Zero-copy view of the array described by ``spec`` inside ``buf``."""
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=buf,
+                      offset=spec.offset)
+
+
+# ---------------------------------------------------------------------- #
+# task data: graph + features, exported once per pool
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TaskDataDescriptor:
+    """Everything a worker needs to attach the task data (picklable)."""
+
+    segment_name: str
+    num_nodes: int
+    indptr: ArraySpec
+    indices: ArraySpec
+    features: ArraySpec
+
+
+class TaskDataExport:
+    """Main-process owner of the graph+features segment."""
+
+    def __init__(self, segment: shared_memory.SharedMemory,
+                 descriptor: TaskDataDescriptor):
+        self.segment = segment
+        self.descriptor = descriptor
+
+    def close(self) -> None:
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - live views at teardown
+            pass
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+def export_task_data(dataset) -> TaskDataExport:
+    """Copy the dataset's CSR graph and features into one shared segment."""
+    graph = dataset.graph
+    arrays = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "features": dataset.features,
+    }
+    total = sum(_aligned(np.ascontiguousarray(a).nbytes) for a in arrays.values())
+    segment = shared_memory.SharedMemory(create=True, size=max(total, _ALIGN))
+    offset = 0
+    specs: Dict[str, ArraySpec] = {}
+    for name, arr in arrays.items():
+        offset, specs[name] = write_array(segment.buf, offset, arr)
+    descriptor = TaskDataDescriptor(
+        segment_name=segment.name,
+        num_nodes=int(graph.num_nodes),
+        indptr=specs["indptr"],
+        indices=specs["indices"],
+        features=specs["features"],
+    )
+    return TaskDataExport(segment, descriptor)
+
+
+def attach_task_data(descriptor: TaskDataDescriptor):
+    """Worker side: map the segment, return ``(segment, graph, features)``.
+
+    The returned graph is a :class:`~repro.graph.csr.CSRGraph` whose arrays
+    are views into the shared segment; the caller must keep the segment
+    object alive for as long as the graph is used.
+    """
+    from repro.graph.csr import CSRGraph
+
+    segment = shared_memory.SharedMemory(name=descriptor.segment_name)
+    graph = CSRGraph(
+        read_array(segment.buf, descriptor.indptr),
+        read_array(segment.buf, descriptor.indices),
+    )
+    features = read_array(segment.buf, descriptor.features)
+    return segment, graph, features
+
+
+# ---------------------------------------------------------------------- #
+# result slots
+# ---------------------------------------------------------------------- #
+class SlotRing:
+    """A ring of equal-size main-process-owned result segments.
+
+    The pipeline assigns a free slot to each in-flight sampling task;
+    consumed slots are *retired* for ``holdoff`` subsequent batch serves
+    before they return to the free list, so NumPy views handed to the
+    engine stay valid through the batch (and one successor) that uses
+    them.  With ``n_slots >= prefetch_depth + holdoff + 1`` a free slot
+    always exists; runs out only if callers leak slots, in which case
+    :meth:`acquire` returns ``None`` and the task falls back to pickled
+    results.
+    """
+
+    def __init__(self, n_slots: int, slot_bytes: int, holdoff: int = 2):
+        self.slot_bytes = int(slot_bytes)
+        self.holdoff = int(holdoff)
+        self._segments: List[shared_memory.SharedMemory] = [
+            shared_memory.SharedMemory(create=True, size=self.slot_bytes)
+            for _ in range(int(n_slots))
+        ]
+        self._by_name = {seg.name: seg for seg in self._segments}
+        self._free: List[str] = [seg.name for seg in self._segments]
+        self._retired: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    def acquire(self) -> Optional[str]:
+        """Name of a free slot (reserved until retired + held off)."""
+        return self._free.pop(0) if self._free else None
+
+    def release(self, name: Optional[str]) -> None:
+        """Return an acquired-but-unused slot straight to the free list."""
+        if name is not None:
+            self._free.append(name)
+
+    def retire(self, name: Optional[str]) -> None:
+        """Mark a slot's contents as served; frees slots ``holdoff`` serves
+        later."""
+        if name is not None:
+            self._retired.append(name)
+        while len(self._retired) > self.holdoff:
+            self._free.append(self._retired.pop(0))
+
+    def buffer(self, name: str):
+        return self._by_name[name].buf
+
+    def close(self) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - live views at teardown
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._by_name.clear()
+        self._free.clear()
+        self._retired.clear()

@@ -1,0 +1,146 @@
+"""Worker-process side of the process execution backend.
+
+Each pool worker attaches the shared task data once (at pool startup) and
+then serves sampling tasks: one task covers one *global batch* — the
+worker samples the union of the batch's per-device seed chunks in a single
+pass and derives each device's minibatch by layerwise *restriction*
+(:func:`repro.sampling.cache._restrict`), which is bit-identical to
+sampling each chunk directly because the counter-based hash sampler is
+per-node deterministic.  Sampling the union once does strictly less work
+than sampling the chunks separately (their frontiers overlap heavily),
+which is where the process backend's wall-clock win comes from even on a
+single core; on multi-core hosts the pool adds true overlap on top.
+
+Results are packed into the main-process-owned shared-memory slot named by
+the task; only small :class:`~repro.parallel.shm.ArraySpec` descriptors
+travel back through the pool's pickle channel.  If a batch outgrows its
+slot the worker transparently falls back to pickled arrays (counted by the
+backend as ``parallel.slot_overflow``).
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.featurestore.store import gather_rows
+from repro.parallel.shm import TaskDataDescriptor, attach_task_data, write_array
+from repro.sampling.cache import _restrict, _sorted_unique
+from repro.sampling.neighbor import NeighborSampler
+
+#: Per-process state installed by :func:`init_worker`.
+_STATE: Dict[str, object] = {}
+#: Attached result slots, by segment name (attach once, reuse per task).
+_SLOTS: Dict[str, shared_memory.SharedMemory] = {}
+#: Samplers by (fanouts, global_seed) — construction is cheap but the
+#: graph handle and fanout normalization are per-config constants.
+_SAMPLERS: Dict[Tuple, NeighborSampler] = {}
+
+
+def init_worker(descriptor: TaskDataDescriptor) -> None:
+    """Pool initializer: map the task data shared by the main process."""
+    segment, graph, features = attach_task_data(descriptor)
+    _STATE["segment"] = segment  # keep the mapping alive
+    _STATE["graph"] = graph
+    _STATE["features"] = features
+    _SLOTS.clear()
+    _SAMPLERS.clear()
+
+
+def _sampler(fanouts: Tuple[int, ...], global_seed: int) -> NeighborSampler:
+    key = (tuple(fanouts), int(global_seed))
+    sampler = _SAMPLERS.get(key)
+    if sampler is None:
+        sampler = NeighborSampler(_STATE["graph"], list(key[0]), global_seed=key[1])
+        _SAMPLERS[key] = sampler
+    return sampler
+
+
+def _slot_buffer(name: str):
+    seg = _SLOTS.get(name)
+    if seg is None:
+        seg = shared_memory.SharedMemory(name=name)
+        _SLOTS[name] = seg
+    return seg.buf
+
+
+def _batch_arrays(mb, gather: bool) -> List[np.ndarray]:
+    """Flat array list of one minibatch: seeds, 5 per block, opt. gather."""
+    out = [mb.seeds]
+    for b in mb.blocks:
+        out.extend((b.src_nodes, b.dst_nodes, b.dst_in_src, b.edge_src, b.edge_dst))
+    if gather:
+        # Same gather as UnifiedFeatureStore.read, against the shared
+        # mapping of the identical feature bytes.
+        out.append(gather_rows(_STATE["features"], mb.input_nodes))
+    return out
+
+
+def sample_task(payload: Dict) -> Dict:
+    """Sample one global batch; returns per-device array specs (or arrays).
+
+    ``payload`` keys: ``epoch``, ``chunks`` (per-device seed arrays or
+    ``None``), ``fanouts``, ``global_seed``, ``gather`` (also ship
+    ``features[input_nodes]`` per device), ``slot`` (result segment name,
+    or ``None`` to force pickled results — used before slots are sized).
+    """
+    t0 = time.perf_counter()
+    epoch = int(payload["epoch"])
+    chunks: List[Optional[np.ndarray]] = payload["chunks"]
+    gather = bool(payload.get("gather", False))
+    sampler = _sampler(payload["fanouts"], payload["global_seed"])
+
+    active = [(d, c) for d, c in enumerate(chunks) if c is not None and len(c)]
+    per_device: List[Optional[object]] = [None] * len(chunks)
+    if len(active) == 1:
+        d, chunk = active[0]
+        per_device[d] = sampler.sample(chunk, epoch=epoch)
+    elif active:
+        union = np.concatenate([c for _, c in active])
+        whole = sampler.sample(union, epoch=epoch)
+        for d, chunk in active:
+            mb = _restrict(whole, _sorted_unique(np.asarray(chunk, dtype=np.int64)))
+            if mb is None:  # pragma: no cover - union always covers chunks
+                mb = sampler.sample(chunk, epoch=epoch)
+            per_device[d] = mb
+
+    device_arrays = [
+        None if mb is None else _batch_arrays(mb, gather) for mb in per_device
+    ]
+    layers = [None if mb is None else len(mb.blocks) for mb in per_device]
+    result = {
+        "layers": layers,
+        "gather": gather,
+        "via_shm": False,
+        "nbytes": int(
+            sum(a.nbytes for arrs in device_arrays if arrs for a in arrs)
+        ),
+    }
+
+    slot = payload.get("slot")
+    if slot is not None:
+        try:
+            buf = _slot_buffer(slot)
+            offset = 0
+            specs: List[Optional[list]] = []
+            for arrs in device_arrays:
+                if arrs is None:
+                    specs.append(None)
+                    continue
+                dev_specs = []
+                for a in arrs:
+                    offset, spec = write_array(buf, offset, a)
+                    dev_specs.append(spec)
+                specs.append(dev_specs)
+            result["devices"] = specs
+            result["via_shm"] = True
+        except ValueError:
+            # Slot overflow: ship the arrays through the pickle channel.
+            result["devices"] = device_arrays
+    else:
+        result["devices"] = device_arrays
+    result["busy"] = time.perf_counter() - t0
+    return result

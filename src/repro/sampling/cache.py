@@ -67,6 +67,10 @@ class SampleCacheStats:
         }
 
 
+#: Budget pools entries can be charged against (see ``SampleCache.sample``).
+CACHE_KINDS = ("train", "eval")
+
+
 @dataclass
 class _Entry:
     batch: MiniBatch
@@ -74,6 +78,8 @@ class _Entry:
     scope: Tuple
     #: sorted unique seeds (== ``batch.seeds``), kept for superset lookup
     seeds: np.ndarray = field(repr=False, default=None)
+    #: budget pool this entry is charged against
+    kind: str = "train"
 
 
 def _sorted_unique(a: np.ndarray) -> np.ndarray:
@@ -149,20 +155,38 @@ class SampleCache:
     Parameters
     ----------
     max_bytes:
-        Byte budget over the cached index arrays.  Least-recently-used
-        entries are evicted once the budget is exceeded; a batch larger
-        than the whole budget is returned uncached.
+        Byte budget over the cached index arrays of **training** batches.
+        Least-recently-used entries are evicted once the budget is
+        exceeded; a batch larger than its whole budget is returned
+        uncached.
     restrict:
         Allow deriving subset batches from cached supersets (only ever
         applied when the sampler declares ``per_node_deterministic``).
+    eval_max_bytes:
+        Separate byte budget for ``kind="eval"`` entries (accuracy
+        evaluation sweeps a huge pseudo-epoch of batches; giving them
+        their own pool keeps them from thrashing the training entries).
+        Defaults to ``max_bytes // 4``.  Eviction never crosses pools.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES, restrict: bool = True):
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        restrict: bool = True,
+        eval_max_bytes: Optional[int] = None,
+    ):
         if int(max_bytes) <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if eval_max_bytes is None:
+            eval_max_bytes = max(1, int(max_bytes) // 4)
+        if int(eval_max_bytes) <= 0:
+            raise ValueError(
+                f"eval_max_bytes must be positive, got {eval_max_bytes}"
+            )
         self.max_bytes = int(max_bytes)
         self.restrict_enabled = bool(restrict)
         self.stats = SampleCacheStats()
+        self._budgets = {"train": int(max_bytes), "eval": int(eval_max_bytes)}
         self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
         #: scope -> entry keys, in insertion order (superset lookup walks
         #: this newest-first; dead keys are pruned lazily)
@@ -171,6 +195,8 @@ class SampleCache:
         #: keeps ``id()`` from being reused while entries point at it.
         self._graphs: Dict[int, list] = {}
         self._bytes = 0
+        self._kind_bytes = {k: 0 for k in CACHE_KINDS}
+        self._kind_counts = {k: 0 for k in CACHE_KINDS}
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -180,11 +206,17 @@ class SampleCache:
     def current_bytes(self) -> int:
         return self._bytes
 
+    def bytes_of(self, kind: str) -> int:
+        """Bytes currently charged against the ``kind`` budget pool."""
+        return self._kind_bytes[kind]
+
     def clear(self) -> None:
         self._entries.clear()
         self._scopes.clear()
         self._graphs.clear()
         self._bytes = 0
+        self._kind_bytes = {k: 0 for k in CACHE_KINDS}
+        self._kind_counts = {k: 0 for k in CACHE_KINDS}
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -204,12 +236,19 @@ class SampleCache:
     def _digest(seeds_u: np.ndarray) -> bytes:
         return hashlib.blake2b(seeds_u.tobytes(), digest_size=16).digest()
 
-    def sample(self, sampler, seeds: np.ndarray, epoch: int = 0) -> MiniBatch:
+    def sample(
+        self, sampler, seeds: np.ndarray, epoch: int = 0, kind: str = "train"
+    ) -> MiniBatch:
         """Sampler-compatible entry point: ``sample(sampler, seeds, epoch)``.
 
         Returns the same :class:`MiniBatch` (bit-identical arrays) as
-        ``sampler.sample(seeds, epoch=epoch)`` would.
+        ``sampler.sample(seeds, epoch=epoch)`` would.  ``kind`` picks the
+        budget pool the inserted entry is charged against — evaluation
+        callers pass ``"eval"`` so their one-shot batch sweeps can never
+        evict training entries.
         """
+        if kind not in CACHE_KINDS:
+            raise ValueError(f"kind must be one of {CACHE_KINDS}, got {kind!r}")
         seeds_u = _sorted_unique(np.asarray(seeds, dtype=np.int64))
         scope = self._scope_of(sampler, epoch)
         key = scope + (self._digest(seeds_u),)
@@ -232,7 +271,7 @@ class SampleCache:
         else:
             batch = sampler.sample(seeds_u, epoch=epoch)
             self.stats.misses += 1
-        self._insert(key, scope, sampler.graph, seeds_u, batch)
+        self._insert(key, scope, sampler.graph, seeds_u, batch, kind)
         return batch
 
     # ------------------------------------------------------------------ #
@@ -266,12 +305,13 @@ class SampleCache:
         graph,
         seeds_u: np.ndarray,
         batch: MiniBatch,
+        kind: str,
     ) -> None:
         nbytes = batch.nbytes()
-        if nbytes > self.max_bytes:
-            return  # larger than the whole budget: serve uncached
+        if nbytes > self._budgets[kind]:
+            return  # larger than this pool's whole budget: serve uncached
         self._entries[key] = _Entry(
-            batch=batch, nbytes=nbytes, scope=scope, seeds=batch.seeds
+            batch=batch, nbytes=nbytes, scope=scope, seeds=batch.seeds, kind=kind
         )
         self._scopes.setdefault(scope, []).append(key)
         gid = scope[0]
@@ -281,12 +321,30 @@ class SampleCache:
         else:
             holder[1] += 1
         self._bytes += nbytes
-        while self._bytes > self.max_bytes and len(self._entries) > 1:
-            old_key, old = self._entries.popitem(last=False)
-            self._bytes -= old.nbytes
-            self.stats.evictions += 1
-            holder = self._graphs.get(old.scope[0])
-            if holder is not None:
-                holder[1] -= 1
-                if holder[1] <= 0:
-                    del self._graphs[old.scope[0]]
+        self._kind_bytes[kind] += nbytes
+        self._kind_counts[kind] += 1
+        # Evict least-recently-used entries *of the same pool* — eval
+        # sweeps stay inside eval_max_bytes and cannot push out training
+        # entries (and vice versa).
+        while (
+            self._kind_bytes[kind] > self._budgets[kind]
+            and self._kind_counts[kind] > 1
+        ):
+            self._evict_oldest(kind)
+
+    def _evict_oldest(self, kind: str) -> None:
+        for old_key, old in self._entries.items():
+            if old.kind == kind:
+                break
+        else:  # pragma: no cover - guarded by _kind_counts > 1
+            return
+        del self._entries[old_key]
+        self._bytes -= old.nbytes
+        self._kind_bytes[kind] -= old.nbytes
+        self._kind_counts[kind] -= 1
+        self.stats.evictions += 1
+        holder = self._graphs.get(old.scope[0])
+        if holder is not None:
+            holder[1] -= 1
+            if holder[1] <= 0:
+                del self._graphs[old.scope[0]]

@@ -363,3 +363,30 @@ class TestRegistry:
     def test_make_strategy_unknown(self):
         with pytest.raises(KeyError):
             make_strategy("nope")
+
+
+class TestPartitionSplitVectorized:
+    """The argsort bucketing must match the naive per-device mask exactly."""
+
+    def test_matches_naive_reference_order(self):
+        rng = np.random.default_rng(5)
+        parts = rng.integers(0, 4, size=5000).astype(np.int64)
+        gb = rng.permutation(5000)[:700].astype(np.int64)
+        out = split_by_partition(gb, parts, 4)
+        for d in range(4):
+            ref = gb[parts[gb] == d]  # original batch order within a device
+            if ref.size == 0:
+                assert out[d] is None
+            else:
+                np.testing.assert_array_equal(out[d], ref)
+
+    def test_device_without_seeds_is_none(self):
+        parts = np.zeros(100, dtype=np.int64)  # everything on device 0
+        out = split_by_partition(np.arange(50), parts, 4)
+        assert out[1] is None and out[2] is None and out[3] is None
+        np.testing.assert_array_equal(out[0], np.arange(50))
+
+    def test_empty_batch(self):
+        parts = np.zeros(10, dtype=np.int64)
+        out = split_by_partition(np.empty(0, dtype=np.int64), parts, 2)
+        assert out == [None, None]

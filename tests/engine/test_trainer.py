@@ -61,3 +61,27 @@ class TestTrainer:
         ctx, _ = build(ds)
         acc = evaluate_accuracy(ctx, seeds=np.arange(100))
         assert 0.0 <= acc <= 1.0
+
+
+class TestEmptyEpochGuard:
+    def test_iterator_rejects_empty_seed_set(self, ds):
+        from repro.sampling.batching import EpochIterator
+
+        with pytest.raises(ValueError, match="seed set is empty"):
+            EpochIterator(np.empty(0, dtype=np.int64), 256, shuffle_seed=0)
+
+    def test_batchless_epoch_raises_instead_of_nan(self, ds):
+        ctx, model = build(ds)
+        trainer = ParallelTrainer(GDPStrategy(), ctx, Adam(model.parameters(), 1e-3))
+
+        class _NoBatches:
+            seeds = np.empty(0, dtype=np.int64)
+
+            def epoch_batches(self, epoch):
+                return []
+
+        trainer._iterator = _NoBatches()
+        # Before the guard this silently returned mean_loss=NaN
+        # (np.mean of an empty list) and poisoned downstream curves.
+        with pytest.raises(ValueError, match="produced no global batches"):
+            trainer.train_epoch(0)

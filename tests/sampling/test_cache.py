@@ -157,3 +157,53 @@ def test_sorted_unique_random_property():
     for _ in range(50):
         a = rng.integers(0, 40, size=rng.integers(0, 200)).astype(np.int64)
         assert np.array_equal(_sorted_unique(a), np.unique(a))
+
+
+class TestKindBudgets:
+    """Eval sweeps get their own pool and can never evict training entries."""
+
+    def test_eval_insertions_never_evict_train(self, sampler):
+        probe = SampleCache()
+        one = probe.sample(sampler, np.arange(100), epoch=0).nbytes()
+        cache = SampleCache(max_bytes=4 * one, eval_max_bytes=one)
+        for e in range(3):
+            cache.sample(sampler, np.arange(100), epoch=e, kind="train")
+        train_bytes = cache.bytes_of("train")
+        # An accuracy sweep: many distinct eval batches in one pseudo-epoch.
+        for i in range(6):
+            cache.sample(
+                sampler, np.arange(i * 100, i * 100 + 100), epoch=10_000,
+                kind="eval",
+            )
+        assert cache.bytes_of("train") == train_bytes
+        assert cache.bytes_of("eval") <= one
+        # Every training entry is still an exact hit.
+        misses = cache.stats.misses
+        for e in range(3):
+            cache.sample(sampler, np.arange(100), epoch=e, kind="train")
+        assert cache.stats.misses == misses
+
+    def test_eval_pool_evicts_within_itself(self, sampler):
+        probe = SampleCache()
+        one = probe.sample(sampler, np.arange(100), epoch=0).nbytes()
+        cache = SampleCache(max_bytes=16 * one, eval_max_bytes=2 * one)
+        for i in range(5):
+            cache.sample(
+                sampler, np.arange(i * 100, i * 100 + 100), epoch=10_000,
+                kind="eval",
+            )
+        assert cache.stats.evictions > 0
+        assert cache.bytes_of("eval") <= 2 * one
+
+    def test_default_eval_budget_is_quarter(self):
+        cache = SampleCache(max_bytes=1024)
+        assert cache._budgets["eval"] == 256
+
+    def test_rejects_unknown_kind(self, sampler):
+        cache = SampleCache()
+        with pytest.raises(ValueError):
+            cache.sample(sampler, np.arange(10), epoch=0, kind="test")
+
+    def test_rejects_nonpositive_eval_budget(self):
+        with pytest.raises(ValueError):
+            SampleCache(max_bytes=1024, eval_max_bytes=-1)
