@@ -38,7 +38,6 @@ import pathlib
 from typing import Optional
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
-from repro.cluster.faults import FaultSchedule
 from repro.config import APTConfig, PAPER_CACHE_GB, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import load_dataset
@@ -105,6 +104,10 @@ def _build(args, quiet: bool = False) -> APT:
         config_kwargs["num_workers"] = args.workers
     if args.prefetch_depth is not None:
         config_kwargs["prefetch_depth"] = args.prefetch_depth
+    if getattr(args, "checkpoint_dir", None) is not None:
+        config_kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "checkpoint_every", None) is not None:
+        config_kwargs["checkpoint_every"] = args.checkpoint_every
     apt = APT(ds, model, cluster, APTConfig(**config_kwargs))
     apt.prepare()
     if not quiet:
@@ -117,11 +120,20 @@ def _build(args, quiet: bool = False) -> APT:
     return apt
 
 
-def _load_schedule(args) -> Optional[FaultSchedule]:
+def _load_schedule(args):
+    """Split one ``--inject`` payload into its simulated and host halves.
+
+    The same file drives both layers: an ``events`` section degrades the
+    simulated cluster at epoch boundaries, a ``host_events`` section
+    injects real process faults (kill/hang/corrupt/leak) into the worker
+    pool.  Returns ``(FaultSchedule | None, HostFaultSchedule | None)``.
+    """
+    from repro.parallel.chaos import split_injections
+
     if getattr(args, "inject", None) is None:
-        return None
+        return None, None
     try:
-        return FaultSchedule.from_json(args.inject)
+        return split_injections(args.inject)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"error: bad fault schedule {args.inject!r}: {exc}")
 
@@ -172,13 +184,16 @@ def cmd_run(args) -> int:
             print(f"  epoch {e.epoch}: loss={e.mean_loss:.4f} "
                   f"simulated={e.wall_seconds * 1e3:.3f} ms")
         return 0
-    faults = _load_schedule(args)
+    faults, chaos = _load_schedule(args)
+    if chaos is not None:
+        apt.config.host_chaos = chaos
     report = apt.run(
         num_epochs=args.epochs,
         strategy=strategy,
         lr=args.lr,
         faults=faults,
         replan=True if args.replan else None,
+        resume=args.resume,
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -303,6 +318,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "observed phase times drift from the estimates")
     p_run.add_argument("--json", action="store_true",
                        help="emit the RunReport as JSON instead of text")
+    p_run.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="write an epoch checkpoint into DIR (atomic; "
+                            "the newest 3 are kept)")
+    p_run.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N", help="checkpoint cadence in epochs "
+                                         "(default 1)")
+    p_run.add_argument("--resume", metavar="DIR", default=None,
+                       help="continue from the latest checkpoint in DIR; "
+                            "the remaining epochs reproduce the "
+                            "uninterrupted run bit for bit")
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(

@@ -200,6 +200,42 @@ class Timeline:
                     cursor += dur
         return events
 
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Everything accumulated so far, for checkpoint/resume.
+
+        Restoring this onto a fresh :class:`Timeline` of the same device
+        count continues the ledger exactly where it stopped — resumed runs
+        charge identical simulated time (``tests/core/test_checkpoint.py``).
+        """
+        return {
+            "device_phase": self._device_phase.copy(),
+            "batch_delta": self._batch_delta.copy(),
+            "wall": float(self._wall),
+            "phase_wall": self._phase_wall.copy(),
+            "batches": int(self._batches),
+            "trace_batches": [
+                (start, delta.copy()) for start, delta in self._trace_batches
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        device_phase = np.asarray(state["device_phase"], dtype=float)
+        if device_phase.shape != self._device_phase.shape:
+            raise ValueError(
+                f"timeline state is for {device_phase.shape[0]} devices, "
+                f"this timeline has {self.num_devices}"
+            )
+        self._device_phase[...] = device_phase
+        self._batch_delta[...] = np.asarray(state["batch_delta"], dtype=float)
+        self._wall = float(state["wall"])
+        self._phase_wall[...] = np.asarray(state["phase_wall"], dtype=float)
+        self._batches = int(state["batches"])
+        self._trace_batches = [
+            (float(start), np.asarray(delta, dtype=float).copy())
+            for start, delta in state.get("trace_batches", [])
+        ]
+
     def merged(self, other: "Timeline") -> "Timeline":
         """Element-wise sum of two timelines (multi-epoch aggregation)."""
         if other.num_devices != self.num_devices:

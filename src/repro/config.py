@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -83,6 +83,21 @@ class APTConfig:
     #: whose load set is the input set (GDP).  Pays off only when workers
     #: overlap a numerics-bound main process, hence off by default.
     gather_prefetch: bool = False
+    # ---- fault tolerance (process backend + checkpointing) ----------- #
+    #: supervision knobs of the process backend — a
+    #: :class:`~repro.parallel.supervisor.FaultPolicy` or a dict of its
+    #: fields; ``None`` uses the policy's env-overridable defaults.
+    fault_policy: Optional[Any] = None
+    #: deliberate host-fault schedule for the process backend — a
+    #: :class:`~repro.parallel.chaos.HostFaultSchedule`, a dict, or a
+    #: ``kind@task[:seconds]`` grammar string; ``None`` defers to the
+    #: ``REPRO_CHAOS`` environment variable.
+    host_chaos: Optional[Any] = None
+    #: directory for epoch-granular run checkpoints; ``None`` disables
+    #: checkpointing (see ``repro run --checkpoint-dir`` / ``--resume``).
+    checkpoint_dir: Optional[str] = None
+    #: epochs between checkpoints (the last epoch is always saved)
+    checkpoint_every: int = 1
     # ---- online adaptivity ------------------------------------------- #
     #: attach a TelemetryCollector to every run (pure observation)
     telemetry: bool = True
@@ -151,18 +166,81 @@ class APTConfig:
                 f"execution_backend must be 'serial' or 'process', got "
                 f"{self.execution_backend!r}"
             )
-        if int(self.num_workers) < 0:
-            raise ValueError(
-                f"num_workers must be >= 0 (0 = auto), got {self.num_workers}"
-            )
-        self.num_workers = int(self.num_workers)
-        if int(self.prefetch_depth) < 0:
-            raise ValueError(
-                f"prefetch_depth must be >= 0, got {self.prefetch_depth}"
-            )
-        self.prefetch_depth = int(self.prefetch_depth)
+        self.num_workers = self._int_field(
+            "num_workers",
+            self.num_workers,
+            minimum=0,
+            maximum=1024,
+            hint="0 = auto (min(4, cores)); set via --workers or "
+            "REPRO_NUM_WORKERS",
+        )
+        self.prefetch_depth = self._int_field(
+            "prefetch_depth",
+            self.prefetch_depth,
+            minimum=0,
+            maximum=256,
+            hint="0 disables pipelining; each unit preallocates one "
+            "shared-memory result slot, so large values exhaust /dev/shm — "
+            "set via --prefetch-depth or REPRO_PREFETCH_DEPTH",
+        )
         self.gather_prefetch = bool(self.gather_prefetch)
+        self._validate_fault_fields()
         return self
+
+    @staticmethod
+    def _int_field(name: str, value: Any, *, minimum: int, maximum: int,
+                   hint: str) -> int:
+        """Reject non-integers and out-of-range values *at construction*,
+        with a message that names the field, the limits, and the knobs —
+        instead of an opaque failure deep inside pool startup."""
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ValueError(
+                f"{name} must be an integer in [{minimum}, {maximum}], "
+                f"got {value!r} ({type(value).__name__}); {hint}"
+            )
+        value = int(value)
+        if not minimum <= value <= maximum:
+            raise ValueError(
+                f"{name} must be in [{minimum}, {maximum}], got {value}; "
+                f"{hint}"
+            )
+        return value
+
+    def _validate_fault_fields(self) -> None:
+        """Coerce ``fault_policy`` / ``host_chaos`` / checkpoint knobs."""
+        if self.fault_policy is not None:
+            from repro.parallel.supervisor import FaultPolicy
+
+            if isinstance(self.fault_policy, dict):
+                self.fault_policy = FaultPolicy(**self.fault_policy)
+            elif not isinstance(self.fault_policy, FaultPolicy):
+                raise ValueError(
+                    f"fault_policy must be a FaultPolicy or a dict of its "
+                    f"fields, got {type(self.fault_policy).__name__}"
+                )
+            self.fault_policy.validate()
+        if self.host_chaos is not None:
+            from repro.parallel.chaos import HostFaultSchedule
+
+            if isinstance(self.host_chaos, str):
+                self.host_chaos = HostFaultSchedule.parse(self.host_chaos)
+            elif isinstance(self.host_chaos, dict):
+                self.host_chaos = HostFaultSchedule.from_dict(self.host_chaos)
+            elif not isinstance(self.host_chaos, HostFaultSchedule):
+                raise ValueError(
+                    f"host_chaos must be a HostFaultSchedule, a dict, or a "
+                    f"'kind@task[:seconds]' string, got "
+                    f"{type(self.host_chaos).__name__}"
+                )
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir = str(self.checkpoint_dir)
+        self.checkpoint_every = self._int_field(
+            "checkpoint_every",
+            self.checkpoint_every,
+            minimum=1,
+            maximum=1_000_000,
+            hint="epochs between checkpoints; set via --checkpoint-every",
+        )
 
     def replace(self, **changes: Any) -> "APTConfig":
         """Validated copy with ``changes`` applied."""
@@ -170,11 +248,17 @@ class APTConfig:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict (explicit partitions summarized, not embedded)."""
-        out = dataclasses.asdict(self)
+        out = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
         if isinstance(self.partition, np.ndarray):
             out["partition"] = f"<explicit:{self.partition.size} nodes>"
         out["fanouts"] = list(self.fanouts)
         out["strategies"] = list(self.strategies)
+        if self.fault_policy is not None:
+            out["fault_policy"] = self.fault_policy.to_dict()
+        if self.host_chaos is not None:
+            out["host_chaos"] = self.host_chaos.to_dict()
         return out
 
 #: Feature-matrix sizes of the paper's datasets (Table 2), in GB.

@@ -40,6 +40,12 @@ from repro.cluster.spec import ClusterSpec
 from repro.config import APTConfig
 from repro.core.adapter import adapt_strategy
 from repro.core.apt_result import APTRunResult
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    recorder_state,
+    restore_recorder,
+)
 from repro.core.costmodel import CostEstimate, CostModel
 from repro.core.dryrun import DryRun, DryRunStats
 from repro.core.planner import Planner, PlanReport
@@ -332,6 +338,7 @@ class APT:
         numerics: bool = True,
         faults: Optional[FaultSchedule] = None,
         replan: bool = False,
+        resume: Optional[str] = None,
     ) -> RunReport:
         """Execute a fixed strategy for ``num_epochs`` simulated epochs.
 
@@ -340,6 +347,11 @@ class APT:
         sweeps; losses come back NaN).  ``faults`` degrades the simulated
         cluster at epoch boundaries; with ``replan=True`` the run behaves
         like :meth:`run` and may hot-switch away from ``name``.
+
+        ``resume`` continues a checkpointed run from the given directory:
+        the remaining epochs execute bit-identically to the uninterrupted
+        run (``config.checkpoint_dir`` enables writing checkpoints; see
+        DESIGN.md §5.11).
         """
         if name not in STRATEGIES:
             raise KeyError(f"unknown strategy {name!r}")
@@ -353,6 +365,7 @@ class APT:
             numerics=numerics,
             faults=faults,
             replan=replan,
+            resume=resume,
         )
 
     def run(
@@ -364,13 +377,22 @@ class APT:
         faults: Optional[FaultSchedule] = None,
         replan: Optional[bool] = None,
         numerics: bool = True,
+        resume: Optional[str] = None,
     ) -> RunReport:
         """Adapt to the planned (or given) strategy and train.
 
         ``replan`` defaults to ``config.replan``; when enabled, each epoch's
         observed T_build/T_load/T_shuffle are compared against the active
         estimate and the planner re-runs past ``config.drift_threshold``.
+        ``resume`` continues a checkpointed run (see :meth:`run_strategy`);
+        the resumed run re-adopts its checkpointed strategy, so planning is
+        skipped.
         """
+        if resume is not None and strategy is None:
+            # The checkpoint knows what was running; don't re-plan over it.
+            strategy = CheckpointManager(resume).load().manifest["run_args"][
+                "strategy"
+            ]
         if strategy is None:
             if self.plan_report is None:
                 self.plan()
@@ -384,6 +406,7 @@ class APT:
             faults=faults,
             replan=bool(replan),
             numerics=numerics,
+            resume=resume,
         )
 
     # ------------------------------------------------------------------ #
@@ -408,16 +431,72 @@ class APT:
         numerics: bool,
         faults: Optional[FaultSchedule],
         replan: bool,
+        resume: Optional[str] = None,
     ) -> RunReport:
         """The shared epoch loop: faults in, telemetry out, drift-replans."""
-        if reset_model:
+        checkpoint: Optional[Checkpoint] = None
+        if resume is not None:
+            checkpoint = CheckpointManager(resume).load()
+            CheckpointManager(resume).verify_config(
+                checkpoint, self.config.to_dict()
+            )
+            if checkpoint.epochs_completed >= num_epochs:
+                raise ValueError(
+                    f"checkpoint at {checkpoint.path!r} already covers "
+                    f"{checkpoint.epochs_completed} epochs; pass "
+                    f"num_epochs > {checkpoint.epochs_completed} to continue"
+                )
+        if reset_model and checkpoint is None:
             self.model.load_state_dict(self._initial_state)
         collector = TelemetryCollector() if self.config.telemetry else None
         optimizer = Adam(self.model.parameters(), lr=lr)
         detector = DriftDetector(threshold=self.config.drift_threshold)
-        estimate = self._active_estimate(strategy_name, replan)
+
+        start_epoch = 0
+        loop_state: Dict[str, object] = {}
+        if checkpoint is None:
+            estimate = self._active_estimate(strategy_name, replan)
+        else:
+            state = checkpoint.state
+            self.model.load_state_dict(state["model"])
+            optimizer.load_state_dict(state["optimizer"])
+            if collector is not None and state.get("collector") is not None:
+                collector = state["collector"]
+            detector.history = list(state["detector_history"])
+            estimate = state["estimate"]
+            start_epoch = checkpoint.epochs_completed
+            loop_state = dict(
+                epochs=list(state["epochs"]),
+                breakdown=dict(state["breakdown"]),
+                current_strategy=state["current_strategy"],
+                cooldown=int(state["cooldown"]),
+                restore=state,
+            )
+            if collector is not None:
+                collector.emit(
+                    "resume", epoch=start_epoch, path=checkpoint.path
+                )
 
         report = RunReport(plan=self.plan_report, config=self.config.to_dict())
+        if checkpoint is not None:
+            report.replans = list(checkpoint.state["replans"])
+            report.faults = list(checkpoint.state["faults"])
+            report.strategy_by_epoch = list(
+                checkpoint.state["strategy_by_epoch"]
+            )
+
+        manager: Optional[CheckpointManager] = None
+        checkpoint_dir = self.config.checkpoint_dir or resume
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir)
+        run_meta = {
+            "strategy": strategy_name,
+            "lr": float(lr),
+            "numerics": bool(numerics),
+            "replan": bool(replan),
+            "faults": faults.to_dict() if faults is not None else None,
+        }
+
         # One execution backend per run: the process pool (and its shared-
         # memory graph/feature export) outlives trainer rebuilds on cluster
         # change or strategy switch.
@@ -435,6 +514,10 @@ class APT:
                 estimate=estimate,
                 report=report,
                 backend=backend,
+                start_epoch=start_epoch,
+                manager=manager,
+                run_meta=run_meta,
+                **loop_state,
             )
         finally:
             backend.close()
@@ -464,16 +547,23 @@ class APT:
         estimate: Optional[CostEstimate],
         report: RunReport,
         backend,
+        start_epoch: int = 0,
+        epochs: Optional[list] = None,
+        breakdown: Optional[Dict[str, float]] = None,
+        current_strategy: Optional[str] = None,
+        cooldown: int = 0,
+        restore: Optional[Dict[str, object]] = None,
+        manager: Optional[CheckpointManager] = None,
+        run_meta: Optional[Dict[str, object]] = None,
     ):
         base_cluster = self.cluster
         current_cluster: Optional[ClusterSpec] = None
-        current_strategy = strategy_name
+        current_strategy = current_strategy or strategy_name
         trainer: Optional[ParallelTrainer] = None
-        epochs = []
-        breakdown: Dict[str, float] = {}
-        cooldown = 0
+        epochs = epochs if epochs is not None else []
+        breakdown = breakdown if breakdown is not None else {}
 
-        for epoch in range(num_epochs):
+        for epoch in range(start_epoch, num_epochs):
             cluster_e = (
                 faults.cluster_at(base_cluster, epoch) if faults else base_cluster
             )
@@ -495,6 +585,16 @@ class APT:
                     collector,
                     backend=backend,
                 )
+            if restore is not None:
+                # First trainer of a resumed run: continue the saved ledgers
+                # iff the uninterrupted run would have kept its trainer —
+                # i.e. the effective cluster is the one the checkpoint saw.
+                # On cluster change the uninterrupted run rebuilds with
+                # fresh ledgers, and so did we.
+                if restore["cluster"] == cluster_e:
+                    trainer.ctx.timeline.load_state_dict(restore["timeline"])
+                    restore_recorder(trainer.ctx.recorder, restore["recorder"])
+                restore = None
 
             result = trainer.train_epoch(epoch)
             epochs.append(result)
@@ -502,55 +602,147 @@ class APT:
             for key, value in result.breakdown.items():
                 breakdown[key] = breakdown.get(key, 0.0) + value
 
-            if not (replan and estimate is not None and epoch < num_epochs - 1):
-                continue
-            if cooldown > 0:
-                cooldown -= 1
-                continue
-            reading = detector.reading(epoch, estimate, result.phases)
-            if not reading.exceeded:
-                continue
-            # Drift: re-profile and re-plan against the *current* cluster.
-            new_plan = self._replan(current_cluster, self.config.strategies)
-            event = ReplanEvent(
-                epoch=epoch,
-                drift=reading,
-                old_strategy=current_strategy,
-                new_strategy=new_plan.chosen,
-                estimates={n: e.total for n, e in new_plan.estimates.items()},
-            )
-            report.replans.append(event)
-            estimate = new_plan.estimates[new_plan.chosen]
-            cooldown = self.config.replan_cooldown
-            if collector is not None:
-                collector.emit(
-                    "replan",
-                    sim_time=trainer.ctx.timeline.wall_seconds,
-                    epoch=epoch,
-                    drift=reading.max_abs,
-                    worst_term=reading.worst_term,
-                    chosen=new_plan.chosen,
+            if replan and estimate is not None and epoch < num_epochs - 1:
+                if cooldown > 0:
+                    cooldown -= 1
+                else:
+                    reading = detector.reading(epoch, estimate, result.phases)
+                    if reading.exceeded:
+                        estimate, current_strategy, trainer, cooldown = (
+                            self._apply_replan(
+                                reading=reading,
+                                epoch=epoch,
+                                current_cluster=current_cluster,
+                                current_strategy=current_strategy,
+                                trainer=trainer,
+                                optimizer=optimizer,
+                                numerics=numerics,
+                                collector=collector,
+                                report=report,
+                                backend=backend,
+                            )
+                        )
+
+            if manager is not None and (
+                (epoch + 1) % self.config.checkpoint_every == 0
+                or epoch == num_epochs - 1
+            ):
+                path = manager.save(
+                    epochs_completed=epoch + 1,
+                    config_dict=self.config.to_dict(),
+                    run_args=run_meta or {},
+                    state=self._checkpoint_state(
+                        optimizer=optimizer,
+                        collector=collector,
+                        detector=detector,
+                        estimate=estimate,
+                        epochs=epochs,
+                        breakdown=breakdown,
+                        current_strategy=current_strategy,
+                        cooldown=cooldown,
+                        report=report,
+                        cluster=current_cluster,
+                        trainer=trainer,
+                    ),
                 )
-            if new_plan.chosen != current_strategy:
                 if collector is not None:
-                    collector.emit(
-                        "switch",
-                        sim_time=trainer.ctx.timeline.wall_seconds,
-                        epoch=epoch,
-                        old=current_strategy,
-                        new=new_plan.chosen,
-                    )
-                current_strategy = new_plan.chosen
-                trainer = self._make_trainer(
-                    current_strategy,
-                    current_cluster,
-                    optimizer,
-                    numerics,
-                    collector,
-                    backend=backend,
-                )
+                    collector.emit("checkpoint", epoch=epoch, path=path)
 
         return epochs, breakdown, current_strategy, trainer
+
+    def _apply_replan(
+        self,
+        *,
+        reading,
+        epoch: int,
+        current_cluster: ClusterSpec,
+        current_strategy: str,
+        trainer: ParallelTrainer,
+        optimizer,
+        numerics: bool,
+        collector: Optional[TelemetryCollector],
+        report: RunReport,
+        backend,
+    ):
+        """Re-profile, re-plan, and hot-switch if the planner says so."""
+        new_plan = self._replan(current_cluster, self.config.strategies)
+        event = ReplanEvent(
+            epoch=epoch,
+            drift=reading,
+            old_strategy=current_strategy,
+            new_strategy=new_plan.chosen,
+            estimates={n: e.total for n, e in new_plan.estimates.items()},
+        )
+        report.replans.append(event)
+        estimate = new_plan.estimates[new_plan.chosen]
+        cooldown = self.config.replan_cooldown
+        if collector is not None:
+            collector.emit(
+                "replan",
+                sim_time=trainer.ctx.timeline.wall_seconds,
+                epoch=epoch,
+                drift=reading.max_abs,
+                worst_term=reading.worst_term,
+                chosen=new_plan.chosen,
+            )
+        if new_plan.chosen != current_strategy:
+            if collector is not None:
+                collector.emit(
+                    "switch",
+                    sim_time=trainer.ctx.timeline.wall_seconds,
+                    epoch=epoch,
+                    old=current_strategy,
+                    new=new_plan.chosen,
+                )
+            current_strategy = new_plan.chosen
+            trainer = self._make_trainer(
+                current_strategy,
+                current_cluster,
+                optimizer,
+                numerics,
+                collector,
+                backend=backend,
+            )
+        return estimate, current_strategy, trainer, cooldown
+
+    def _checkpoint_state(
+        self,
+        *,
+        optimizer,
+        collector: Optional[TelemetryCollector],
+        detector: DriftDetector,
+        estimate: Optional[CostEstimate],
+        epochs: list,
+        breakdown: Dict[str, float],
+        current_strategy: str,
+        cooldown: int,
+        report: RunReport,
+        cluster: ClusterSpec,
+        trainer: ParallelTrainer,
+    ) -> Dict[str, object]:
+        """Everything :meth:`_run_loop` needs to continue bit-identically."""
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": optimizer.state_dict(),
+            "collector": collector,
+            "detector_history": list(detector.history),
+            "estimate": estimate,
+            "epochs": list(epochs),
+            "breakdown": dict(breakdown),
+            "current_strategy": current_strategy,
+            "cooldown": int(cooldown),
+            "replans": list(report.replans),
+            "faults": list(report.faults),
+            "strategy_by_epoch": list(report.strategy_by_epoch),
+            "cluster": cluster,
+            "timeline": trainer.ctx.timeline.state_dict(),
+            "recorder": recorder_state(trainer.ctx.recorder),
+            "sample_cache_keys": (
+                self.sample_cache.export_keys()
+                if self.sample_cache is not None
+                else []
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     def compare_all(

@@ -30,6 +30,16 @@ EVENT_KINDS = (
     "fault",      # fault-injection layer: a scheduled fault took effect
     "profile",    # repro.utils.profile: one host wall-clock span closed
     "pipeline",   # ProcessPoolBackend: per-epoch prefetch/worker counters
+    # -- fault tolerance (see DESIGN.md §5.11) ------------------------- #
+    "chaos",          # HostFaultSchedule: a host fault directive armed
+    "worker_error",   # supervisor/backend: a scoped worker exception
+    "worker_timeout", # supervisor: task deadline expired (hang suspected)
+    "worker_respawn", # supervisor: dead worker detected, pool respawned
+    "slot_corrupt",   # supervisor: shm slot digest mismatch on receive
+    "task_retry",     # supervisor: failed task resubmitted with backoff
+    "degraded",       # backend: failure budget spent, serial fallback on
+    "checkpoint",     # APT: epoch checkpoint written
+    "resume",         # APT: run continued from an epoch checkpoint
 )
 
 

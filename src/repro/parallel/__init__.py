@@ -3,7 +3,10 @@
 See DESIGN.md §5.10: backends move *host wall-clock* work (sampling,
 feature gathering, batch prefetch) without touching the simulation —
 losses, parameters, and simulated Timeline charges are bit-identical
-across backends.
+across backends.  §5.11 adds the fault-tolerance layer on top: worker
+supervision (:mod:`repro.parallel.supervisor`), deterministic host-fault
+injection (:mod:`repro.parallel.chaos`), and graceful degradation back
+to the serial backend.
 """
 
 from repro.parallel.backend import (
@@ -13,6 +16,22 @@ from repro.parallel.backend import (
     make_backend,
     resolve_backend,
 )
+from repro.parallel.chaos import (
+    HOST_FAULT_KINDS,
+    HostFaultEvent,
+    HostFaultSchedule,
+    split_injections,
+)
+from repro.parallel.supervisor import (
+    FailureBudgetExceeded,
+    FaultPolicy,
+    HeartbeatBoard,
+    SlotCorruption,
+    SupervisionError,
+    WorkerCrash,
+    WorkerTimeout,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -20,4 +39,16 @@ __all__ = [
     "ProcessPoolBackend",
     "make_backend",
     "resolve_backend",
+    "HOST_FAULT_KINDS",
+    "HostFaultEvent",
+    "HostFaultSchedule",
+    "split_injections",
+    "FaultPolicy",
+    "WorkerSupervisor",
+    "HeartbeatBoard",
+    "SupervisionError",
+    "WorkerCrash",
+    "WorkerTimeout",
+    "SlotCorruption",
+    "FailureBudgetExceeded",
 ]

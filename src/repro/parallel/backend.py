@@ -29,12 +29,20 @@ Prefetches are matched by content digest of ``(epoch, per-device seed
 chunks)``; any divergence (mid-epoch strategy switch, direct
 ``run_global_batch`` calls) flushes the queue and falls back to an
 unplanned submission — correctness never depends on the schedule guess.
+
+Host faults never break the contract either: every task runs under a
+:class:`~repro.parallel.supervisor.WorkerSupervisor` (deadlines, retries,
+respawn, digest validation), a seeded
+:class:`~repro.parallel.chaos.HostFaultSchedule` can inject worker faults
+deterministically, and once the supervisor's failure budget is exhausted
+the backend *degrades*: remaining batches are sampled inline exactly as
+:class:`SerialBackend` would, so a sick host finishes the run slower but
+bit-identical (pinned by ``tests/parallel/test_chaos.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 import time
 from collections import deque
@@ -42,8 +50,16 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel.chaos import HostFaultSchedule
 from repro.parallel.shm import SlotRing, export_task_data, read_array
-from repro.parallel.worker import init_worker, sample_task
+from repro.parallel.supervisor import (
+    TEARDOWN_ERRORS,
+    FailureBudgetExceeded,
+    FaultPolicy,
+    Flight,
+    WorkerSupervisor,
+    slot_digest,
+)
 from repro.sampling.block import Block, MiniBatch
 
 __all__ = [
@@ -169,6 +185,14 @@ class ProcessPoolBackend(ExecutionBackend):
         set).  Off by default: it moves gather work, it does not shrink
         it, so it only pays off when workers overlap a numerics-bound
         main process.
+    fault_policy:
+        Supervision knobs (deadlines, retries, failure budget); defaults
+        to :class:`~repro.parallel.supervisor.FaultPolicy` with its
+        env-overridable defaults.
+    chaos:
+        A :class:`~repro.parallel.chaos.HostFaultSchedule` of deliberate
+        host faults keyed by task sequence number; defaults to whatever
+        ``REPRO_CHAOS`` arms (``None`` when unset).
     """
 
     name = "process"
@@ -179,26 +203,36 @@ class ProcessPoolBackend(ExecutionBackend):
         num_workers: Optional[int] = None,
         prefetch_depth: int = 2,
         gather_prefetch: bool = False,
+        fault_policy: Optional[FaultPolicy] = None,
+        chaos: Optional[HostFaultSchedule] = None,
     ):
         self.num_workers = int(num_workers) if num_workers else _AUTO_WORKERS
         if self.num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
         self.prefetch_depth = max(0, int(prefetch_depth))
         self.gather_prefetch = bool(gather_prefetch)
+        self.policy = fault_policy or FaultPolicy()
+        self.chaos = chaos if chaos is not None else HostFaultSchedule.from_env()
         self._export = export_task_data(dataset)
-        self._pool = multiprocessing.get_context().Pool(
-            self.num_workers,
-            initializer=init_worker,
-            initargs=(self._export.descriptor,),
+        self._supervisor: Optional[WorkerSupervisor] = WorkerSupervisor(
+            self._export.descriptor, self.num_workers, self.policy
         )
+        self._supervisor.count = self._count
+        self._supervisor.emit = self._buffer_event
         self._slots: Optional[SlotRing] = None
         self._closed = False
+        self._degraded = False
+        #: lifetime task sequence number — the chaos schedule's key; first
+        #: attempts only, so a deterministic loop numbers tasks identically
+        #: with and without faults.
+        self._task_seq = 0
         # pipeline state (one epoch at a time)
         self._schedule: List[Tuple[bytes, Dict]] = []
         self._next = 0
-        self._inflight: Deque[Tuple[bytes, object, Optional[str]]] = deque()
+        self._inflight: Deque[Tuple[bytes, Flight]] = deque()
         self._gather: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._counters: Dict[str, float] = {}
+        self._events: List[Tuple[str, Dict]] = []
         self._epoch_mark: Dict[str, float] = {}
         self._epoch_t0: Optional[float] = None
 
@@ -206,11 +240,19 @@ class ProcessPoolBackend(ExecutionBackend):
     def _count(self, name: str, value: float = 1.0) -> None:
         self._counters[name] = self._counters.get(name, 0.0) + value
 
+    def _buffer_event(self, kind: str, **data) -> None:
+        """Queue a supervision event; flushed into telemetry at the next
+        epoch barrier (supervision has no context handle of its own)."""
+        if len(self._events) < 512:
+            self._events.append((kind, data))
+
     def stats(self) -> Dict[str, float]:
         return dict(self._counters)
 
     # ------------------------------------------------------------------ #
     def begin_epoch(self, strategy, ctx, epoch, global_batches) -> None:
+        if self._degraded:
+            return
         self._drain(wasted=True)
         self._gather.clear()
         gather = (
@@ -254,6 +296,15 @@ class ProcessPoolBackend(ExecutionBackend):
         for key, value in deltas.items():
             ctx.count(f"parallel.{key}", value, phase="parallel")
         ctx.count("parallel.epoch_host_seconds", wall, phase="parallel")
+        events, self._events = self._events, []
+        if ctx.telemetry is not None:
+            for kind, data in events:
+                ctx.telemetry.emit(
+                    kind,
+                    sim_time=ctx.timeline.wall_seconds,
+                    phase="parallel",
+                    **data,
+                )
         if ctx.telemetry is not None:
             ctx.telemetry.emit(
                 "pipeline",
@@ -273,9 +324,27 @@ class ProcessPoolBackend(ExecutionBackend):
         slot = self._slots.acquire() if self._slots is not None else None
         if self._slots is not None and slot is None:  # pragma: no cover
             self._count("slot_stall")
-        task = dict(payload, slot=slot)
-        handle = self._pool.apply_async(sample_task, (task,))
-        self._inflight.append((digest, handle, slot))
+        leak = False
+        if self.chaos:
+            directives = self.chaos.directives_at(self._task_seq)
+            for event, seconds in directives:
+                self._count("chaos_injected")
+                if event.kind == "leak":
+                    leak = True  # backend-side: the slot is never recycled
+                else:
+                    payload = dict(
+                        payload, chaos={"kind": event.kind, "seconds": seconds}
+                    )
+            if directives:
+                self._buffer_event(
+                    "chaos",
+                    task=self._task_seq,
+                    kinds=[e.kind for e, _ in directives],
+                )
+        self._task_seq += 1
+        flight = self._supervisor.submit(payload, slot)
+        flight.leak_slot = leak
+        self._inflight.append((digest, flight))
 
     def _top_up(self) -> None:
         while (
@@ -286,17 +355,67 @@ class ProcessPoolBackend(ExecutionBackend):
             self._next += 1
 
     def _drain(self, wasted: bool = False) -> None:
-        """Wait out and discard every in-flight task."""
+        """Settle and discard every in-flight task.
+
+        A task that finished (either way) frees its slot; one that may
+        still be running when the drain gives up has its slot quarantined
+        — a late write to a recycled slot could corrupt a served batch.
+        """
         while self._inflight:
-            _, handle, slot = self._inflight.popleft()
-            try:
-                handle.get()
-            except Exception:  # pragma: no cover - worker died mid-flush
-                pass
+            _, flight = self._inflight.popleft()
+            if self._supervisor is None or self._degraded:
+                # The pool is gone; nothing will write these slots again.
+                if self._slots is not None:
+                    self._slots.release(flight.slot)
+                continue
+            safe, _ = self._supervisor.settle(flight)
             if self._slots is not None:
-                self._slots.release(slot)
+                if safe:
+                    self._slots.release(flight.slot)
+                else:
+                    self._slots.quarantine(flight.slot)
+                    self._count("slots_quarantined")
             if wasted:
                 self._count("prefetch_wasted")
+
+    # -- supervision plumbing ------------------------------------------- #
+    def _fresh_slot(self) -> Optional[str]:
+        return self._slots.acquire() if self._slots is not None else None
+
+    def _lose_slot(self, name: Optional[str]) -> None:
+        if self._slots is not None and name is not None:
+            self._slots.quarantine(name)
+            self._count("slots_quarantined")
+
+    def _validate(self, result: Dict, slot: Optional[str]) -> bool:
+        """Recompute the slot digest the worker reported; True = intact."""
+        if not result.get("via_shm") or slot is None or self._slots is None:
+            return True  # pickled results carry the arrays themselves
+        want = result.get("digest")
+        if not want:
+            return True
+        got = slot_digest(
+            self._slots.buffer(slot), int(result.get("packed_bytes", 0))
+        )
+        return got == want
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to inline serial sampling for the rest of the run."""
+        self._degraded = True
+        self._count("degraded")
+        self._buffer_event(
+            "degraded",
+            reason=reason,
+            failures=self._supervisor.failures if self._supervisor else 0,
+        )
+        if self._supervisor is not None:
+            # Terminate first: with every worker dead, no slot can be
+            # written again and the in-flight queue can be dropped safely.
+            self._supervisor.close()
+            self._supervisor = None
+        self._drain(wasted=True)
+        self._schedule = []
+        self._next = 0
 
     def _ensure_slots(self, nbytes: int) -> None:
         if self._slots is not None:
@@ -310,10 +429,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------ #
     def sample_device_chunks(self, ctx, seeds_per_device, epoch):
+        if self._degraded:
+            # Graceful degradation: identical inline sampling to
+            # :class:`SerialBackend` (same cache, same sampler) — slower,
+            # never different.
+            self._count("degraded_batches")
+            return _SERIAL.sample_device_chunks(ctx, seeds_per_device, epoch)
         digest = _digest(epoch, seeds_per_device)
-        slot: Optional[str] = None
         if self._inflight and self._inflight[0][0] == digest:
-            _, handle, slot = self._inflight.popleft()
+            _, flight = self._inflight.popleft()
             self._count("prefetch_hits")
         else:
             if self._inflight:
@@ -339,14 +463,30 @@ class ProcessPoolBackend(ExecutionBackend):
                 }
                 self._submit((digest, payload))
                 self._count("unplanned_batches")
-            _, handle, slot = self._inflight.pop()
-        result = handle.get()
+            _, flight = self._inflight.pop()
+        try:
+            result, flight = self._supervisor.result(
+                flight,
+                fresh_slot=self._fresh_slot,
+                lose_slot=self._lose_slot,
+                validate=self._validate,
+            )
+        except FailureBudgetExceeded as exc:
+            self._degrade(str(exc))
+            self._count("degraded_batches")
+            return _SERIAL.sample_device_chunks(ctx, seeds_per_device, epoch)
+        slot = flight.slot
         self._count("worker_busy_seconds", float(result.get("busy", 0.0)))
         batches = self._unpack(result, slot)
         if self._slots is None:
             self._ensure_slots(int(result.get("nbytes", 0)))
         if slot is not None:
-            if result["via_shm"]:
+            if flight.leak_slot:
+                # Chaos "leak": drop the slot on the floor.  The ring
+                # shrinks by one; the interpreter-exit guard still unlinks
+                # the segment at shutdown.
+                self._count("slot_leaks")
+            elif result["via_shm"]:
                 self._slots.retire(slot)
             else:
                 self._count("slot_overflow")
@@ -404,11 +544,12 @@ class ProcessPoolBackend(ExecutionBackend):
         self._closed = True
         self._inflight.clear()
         self._gather.clear()
-        try:
-            self._pool.terminate()
-            self._pool.join()
-        except Exception:  # pragma: no cover - already torn down
-            pass
+        if self._supervisor is not None:
+            # Pool teardown failures are classified (TEARDOWN_ERRORS) and
+            # reported as ``worker_error`` inside the supervisor — never
+            # silently swallowed, never fatal to teardown.
+            self._supervisor.close()
+            self._supervisor = None
         if self._slots is not None:
             self._slots.close()
             self._slots = None
@@ -417,8 +558,11 @@ class ProcessPoolBackend(ExecutionBackend):
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
-            pass
+        except TEARDOWN_ERRORS as exc:
+            self._count("worker_error")
+            self._buffer_event(
+                "worker_error", error=type(exc).__name__, where="__del__"
+            )
 
 
 # ---------------------------------------------------------------------- #
@@ -433,5 +577,7 @@ def make_backend(config, dataset) -> ExecutionBackend:
             num_workers=getattr(config, "num_workers", 0) or None,
             prefetch_depth=getattr(config, "prefetch_depth", 2),
             gather_prefetch=getattr(config, "gather_prefetch", False),
+            fault_policy=getattr(config, "fault_policy", None),
+            chaos=getattr(config, "host_chaos", None),
         )
     raise ValueError(f"unknown execution backend {kind!r}")

@@ -21,13 +21,22 @@ Every segment is created (and eventually unlinked) by the **main**
 process; workers never create or unlink, which keeps the
 ``multiprocessing.resource_tracker`` silent and makes cleanup a pure
 main-process concern (see DESIGN.md §5.10).
+
+Creation goes through :func:`create_segment`, which registers every
+segment in a module-level table unlinked by an ``atexit`` finalizer: if
+the interpreter exits abnormally (uncaught exception, ``sys.exit`` mid-
+run) before the owning object's ``close()`` ran, the guard still unlinks
+the segment instead of leaving it to ``resource_tracker`` warnings and
+``/dev/shm`` litter.  Normal teardown paths call :func:`destroy_segment`,
+which unlinks and deregisters immediately.
 """
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +46,58 @@ _ALIGN = 8
 
 def _aligned(n: int) -> int:
     return (int(n) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ---------------------------------------------------------------------- #
+# interpreter-exit unlink guard for main-process-created segments
+# ---------------------------------------------------------------------- #
+#: segments created by this process and not yet destroyed, by name
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_GUARD_ARMED = False
+
+
+def _unlink_live_segments() -> None:
+    """``atexit`` finalizer: unlink every segment still registered.
+
+    Reached only when an owner's ``close()`` did not run (abnormal exit);
+    live NumPy views keep their pages mapped (``close`` raising
+    ``BufferError`` is tolerated), but the name is always removed so the
+    segment cannot outlive the interpreter.
+    """
+    for name in list(_LIVE_SEGMENTS):
+        segment = _LIVE_SEGMENTS.pop(name)
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - exported views at exit
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a shared-memory segment registered with the exit guard."""
+    global _GUARD_ARMED
+    segment = shared_memory.SharedMemory(create=True, size=max(int(size), 1))
+    if not _GUARD_ARMED:
+        atexit.register(_unlink_live_segments)
+        _GUARD_ARMED = True
+    _LIVE_SEGMENTS[segment.name] = segment
+    return segment
+
+
+def destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Normal-teardown counterpart: close, unlink, deregister."""
+    _LIVE_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - live views at teardown
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - double close
+        pass
 
 
 @dataclass(frozen=True)
@@ -103,14 +164,7 @@ class TaskDataExport:
         self.descriptor = descriptor
 
     def close(self) -> None:
-        try:
-            self.segment.close()
-        except BufferError:  # pragma: no cover - live views at teardown
-            pass
-        try:
-            self.segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - double close
-            pass
+        destroy_segment(self.segment)
 
 
 def export_task_data(dataset) -> TaskDataExport:
@@ -122,7 +176,7 @@ def export_task_data(dataset) -> TaskDataExport:
         "features": dataset.features,
     }
     total = sum(_aligned(np.ascontiguousarray(a).nbytes) for a in arrays.values())
-    segment = shared_memory.SharedMemory(create=True, size=max(total, _ALIGN))
+    segment = create_segment(max(total, _ALIGN))
     offset = 0
     specs: Dict[str, ArraySpec] = {}
     for name, arr in arrays.items():
@@ -175,12 +229,14 @@ class SlotRing:
         self.slot_bytes = int(slot_bytes)
         self.holdoff = int(holdoff)
         self._segments: List[shared_memory.SharedMemory] = [
-            shared_memory.SharedMemory(create=True, size=self.slot_bytes)
-            for _ in range(int(n_slots))
+            create_segment(self.slot_bytes) for _ in range(int(n_slots))
         ]
         self._by_name = {seg.name: seg for seg in self._segments}
         self._free: List[str] = [seg.name for seg in self._segments]
         self._retired: List[str] = []
+        #: slots pulled from circulation (a possibly-dead worker may still
+        #: write them); kept mapped until :meth:`close`, never reused
+        self._quarantined: Set[str] = set()
 
     # ------------------------------------------------------------------ #
     def acquire(self) -> Optional[str]:
@@ -189,31 +245,47 @@ class SlotRing:
 
     def release(self, name: Optional[str]) -> None:
         """Return an acquired-but-unused slot straight to the free list."""
-        if name is not None:
+        if name is not None and name not in self._quarantined:
             self._free.append(name)
 
     def retire(self, name: Optional[str]) -> None:
         """Mark a slot's contents as served; frees slots ``holdoff`` serves
         later."""
-        if name is not None:
+        if name is not None and name not in self._quarantined:
             self._retired.append(name)
         while len(self._retired) > self.holdoff:
             self._free.append(self._retired.pop(0))
+
+    def quarantine(self, name: Optional[str]) -> None:
+        """Permanently remove one slot from circulation.
+
+        The supervision layer calls this when a task is resubmitted after
+        a timeout or worker death: the original worker may still be alive
+        and could write the abandoned slot at any time, so it must never
+        be handed to another task.  A replacement segment keeps the ring's
+        capacity (and the ``n_slots >= depth + holdoff + 1`` free-slot
+        invariant) intact.
+        """
+        if name is None or name in self._quarantined:
+            return
+        self._quarantined.add(name)
+        replacement = create_segment(self.slot_bytes)
+        self._segments.append(replacement)
+        self._by_name[replacement.name] = replacement
+        self._free.append(replacement.name)
+
+    @property
+    def quarantined(self) -> int:
+        return len(self._quarantined)
 
     def buffer(self, name: str):
         return self._by_name[name].buf
 
     def close(self) -> None:
         for seg in self._segments:
-            try:
-                seg.close()
-            except BufferError:  # pragma: no cover - live views at teardown
-                pass
-            try:
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+            destroy_segment(seg)
         self._segments.clear()
         self._by_name.clear()
         self._free.clear()
         self._retired.clear()
+        self._quarantined.clear()

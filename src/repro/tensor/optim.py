@@ -33,6 +33,15 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpoint/resume --------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Hyperparameters + slot state; parameters themselves are the
+        model's to checkpoint."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -54,6 +63,24 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ValueError(
+                f"state has {len(velocity)} velocity slots, optimizer has "
+                f"{len(self._velocity)} parameters"
+            )
+        for mine, saved in zip(self._velocity, velocity):
+            mine[...] = saved
 
 
 class Adam(Optimizer):
@@ -100,6 +127,36 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Moments, step count, and hyperparameters — with the model's
+        parameters this reproduces every future update bit-for-bit."""
+        state = super().state_dict()
+        state.update(
+            betas=(self.b1, self.b2),
+            eps=self.eps,
+            weight_decay=self.weight_decay,
+            t=self._t,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.b1, self.b2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        if len(state["m"]) != len(self._m):
+            raise ValueError(
+                f"state has {len(state['m'])} moment slots, optimizer has "
+                f"{len(self._m)} parameters"
+            )
+        self._t = int(state["t"])
+        for mine, saved in zip(self._m, state["m"]):
+            mine[...] = saved
+        for mine, saved in zip(self._v, state["v"]):
+            mine[...] = saved
 
 
 def AdamW(params, lr: float = 1e-3, betas: tuple = (0.9, 0.999),

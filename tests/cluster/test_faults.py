@@ -127,3 +127,46 @@ class TestFaultSchedule:
         assert set(FAULT_KINDS) == {
             "link_degrade", "straggler", "cache_shrink", "recover"
         }
+
+
+class TestCrossProcessDeterminism:
+    def test_jittered_factors_agree_across_processes(self, tmp_path):
+        # The seeded jitter draw must depend only on (seed, index) — a
+        # resumed or re-executed process walking the same schedule has to
+        # observe the exact same degraded clusters.
+        import json
+        import subprocess
+        import sys
+
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=1, kind="link_degrade", factor=0.5),
+                FaultEvent(epoch=2, kind="straggler", factor=0.7, machine=0),
+                FaultEvent(epoch=3, kind="cache_shrink", factor=0.5),
+            ],
+            seed=13,
+            jitter=0.2,
+        )
+        path = tmp_path / "sched.json"
+        path.write_text(sched.to_json())
+        code = (
+            "import json, sys;"
+            "from repro.cluster.faults import FaultSchedule;"
+            "s = FaultSchedule.from_json(sys.argv[1]);"
+            "print(json.dumps([s.effective_factor(i) for i in range(len(s.events))]))"
+        )
+        import os
+
+        env = dict(os.environ)
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", code, str(path)],
+                capture_output=True, text=True, timeout=60, env=env,
+            )
+            for _ in range(2)
+        ]
+        for run in runs:
+            assert run.returncode == 0, run.stderr
+        factors = [json.loads(run.stdout) for run in runs]
+        here = [sched.effective_factor(i) for i in range(len(sched.events))]
+        assert factors[0] == factors[1] == here

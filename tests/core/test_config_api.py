@@ -129,3 +129,49 @@ class TestAPTConstruction:
         assert run.strategy == "gdp"
         assert run.epoch_seconds > 0.0
         assert run.to_json()  # serializes the whole nested report
+
+
+class TestExecutionFieldValidation:
+    @pytest.mark.parametrize("value", [-1, 1025, 2.5, True, "four"])
+    def test_num_workers_rejected_with_hint(self, value):
+        with pytest.raises(ValueError) as err:
+            APTConfig(num_workers=value)
+        msg = str(err.value)
+        assert "num_workers" in msg and "REPRO_NUM_WORKERS" in msg
+
+    @pytest.mark.parametrize("value", [-1, 257, 0.5, False, "deep"])
+    def test_prefetch_depth_rejected_with_hint(self, value):
+        with pytest.raises(ValueError) as err:
+            APTConfig(prefetch_depth=value)
+        msg = str(err.value)
+        assert "prefetch_depth" in msg and "/dev/shm" in msg
+
+    def test_valid_bounds_accepted(self):
+        cfg = APTConfig(num_workers=0, prefetch_depth=0)
+        assert cfg.num_workers == 0 and cfg.prefetch_depth == 0
+        APTConfig(num_workers=1024, prefetch_depth=256)
+
+    def test_fault_policy_coerced_from_dict(self):
+        cfg = APTConfig(fault_policy={"task_deadline_s": 2.0, "max_retries": 1})
+        from repro.parallel.supervisor import FaultPolicy
+
+        assert isinstance(cfg.fault_policy, FaultPolicy)
+        assert cfg.fault_policy.task_deadline_s == 2.0
+        with pytest.raises(ValueError):
+            APTConfig(fault_policy={"task_deadline_s": -1.0})
+
+    def test_host_chaos_coerced_from_grammar(self):
+        cfg = APTConfig(host_chaos="kill@1;hang@3:0.2")
+        from repro.parallel.chaos import HostFaultSchedule
+
+        assert isinstance(cfg.host_chaos, HostFaultSchedule)
+        assert len(cfg.host_chaos.events) == 2
+        with pytest.raises(ValueError):
+            APTConfig(host_chaos="meteor@1")
+
+    def test_checkpoint_every_bounds(self):
+        assert APTConfig(checkpoint_every=5).checkpoint_every == 5
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            APTConfig(checkpoint_every=0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            APTConfig(checkpoint_every=-3)

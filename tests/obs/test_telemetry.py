@@ -66,6 +66,14 @@ class TestEvents:
         for kind in ("batch", "epoch", "replan", "switch", "fault"):
             assert kind in EVENT_KINDS
 
+    def test_fault_tolerance_kinds_listed(self):
+        # Every kind the supervision/checkpoint layer emits is declared.
+        for kind in (
+            "chaos", "worker_error", "worker_timeout", "worker_respawn",
+            "slot_corrupt", "task_retry", "degraded", "checkpoint", "resume",
+        ):
+            assert kind in EVENT_KINDS
+
 
 class TestExport:
     def _populated(self):

@@ -101,3 +101,80 @@ class TestSlotRing:
             assert ring.acquire() is not None
         finally:
             ring.close()
+
+
+class TestQuarantine:
+    def test_quarantined_slot_never_circulates(self):
+        ring = SlotRing(n_slots=2, slot_bytes=256, holdoff=0)
+        try:
+            a = ring.acquire()
+            ring.quarantine(a)
+            assert ring.quarantined == 1
+            # Neither release nor retire can put it back in circulation.
+            ring.release(a)
+            ring.retire(a)
+            names = {ring.acquire() for _ in range(2)}
+            assert a not in names
+            # A replacement segment kept the ring's capacity intact.
+            assert len(names) == 2 and None not in names
+        finally:
+            ring.close()
+
+    def test_quarantine_is_idempotent_and_none_safe(self):
+        ring = SlotRing(n_slots=1, slot_bytes=64, holdoff=0)
+        try:
+            ring.quarantine(None)
+            a = ring.acquire()
+            ring.quarantine(a)
+            ring.quarantine(a)
+            assert ring.quarantined == 1
+        finally:
+            ring.close()
+
+    def test_quarantined_buffer_stays_mapped(self):
+        # A zombie worker may still write an abandoned slot: the mapping
+        # must survive until close so the write hits memory we own.
+        ring = SlotRing(n_slots=1, slot_bytes=64, holdoff=0)
+        try:
+            a = ring.acquire()
+            ring.quarantine(a)
+            buf = ring.buffer(a)
+            buf[:4] = b"late"
+            assert bytes(buf[:4]) == b"late"
+        finally:
+            ring.close()
+
+
+class TestAtexitGuard:
+    def test_interpreter_exit_unlinks_live_segments(self):
+        # A child that creates segments and dies without cleanup must not
+        # leave them behind in /dev/shm: the atexit finalizer unlinks.
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.parallel.shm import create_segment;"
+            "seg = create_segment(1024);"
+            "print(seg.name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60,
+            env={**__import__('os').environ},
+        )
+        assert out.returncode == 0, out.stderr
+        name = out.stdout.strip()
+        assert name
+        assert not __import__('os').path.exists(f"/dev/shm/{name}")
+
+    def test_destroy_segment_deregisters(self):
+        from repro.parallel.shm import (
+            _LIVE_SEGMENTS,
+            create_segment,
+            destroy_segment,
+        )
+
+        seg = create_segment(256)
+        assert seg.name in _LIVE_SEGMENTS
+        destroy_segment(seg)
+        assert seg.name not in _LIVE_SEGMENTS

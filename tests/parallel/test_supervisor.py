@@ -1,0 +1,228 @@
+"""Unit tests for the supervision layer (policy, heartbeats, chaos)."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.chaos import (
+    HOST_FAULT_KINDS,
+    HostFaultEvent,
+    HostFaultSchedule,
+    split_injections,
+)
+from repro.parallel.supervisor import (
+    TEARDOWN_ERRORS,
+    FailureBudgetExceeded,
+    FaultPolicy,
+    HeartbeatBoard,
+    SlotCorruption,
+    SupervisionError,
+    WorkerCrash,
+    WorkerTimeout,
+    slot_digest,
+)
+
+
+class TestFaultPolicy:
+    def test_defaults_are_valid(self):
+        p = FaultPolicy()
+        assert p.task_deadline_s > 0
+        assert p.max_retries >= 0
+        assert p.failure_budget >= 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_deadline_s": 0.0},
+            {"task_deadline_s": -1.0},
+            {"max_retries": -1},
+            {"failure_budget": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"poll_interval_s": 0.0},
+            {"drain_timeout_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_DEADLINE_S", "1.5")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "7")
+        monkeypatch.setenv("REPRO_FAILURE_BUDGET", "9")
+        p = FaultPolicy()
+        assert p.task_deadline_s == 1.5
+        assert p.max_retries == 7
+        assert p.failure_budget == 9
+
+    def test_backoff_is_exponential_and_capped(self):
+        p = FaultPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5
+        )
+        assert p.backoff_at(0) == pytest.approx(0.1)
+        assert p.backoff_at(1) == pytest.approx(0.2)
+        assert p.backoff_at(2) == pytest.approx(0.4)
+        assert p.backoff_at(3) == pytest.approx(0.5)  # capped
+        assert p.backoff_at(50) == pytest.approx(0.5)
+
+    def test_to_dict_roundtrips(self):
+        p = FaultPolicy(task_deadline_s=2.0, max_retries=1)
+        q = FaultPolicy(**p.to_dict())
+        assert q.to_dict() == p.to_dict()
+
+
+class TestExceptionTaxonomy:
+    def test_all_failures_are_supervision_errors(self):
+        for exc in (WorkerCrash, WorkerTimeout, SlotCorruption,
+                    FailureBudgetExceeded):
+            assert issubclass(exc, SupervisionError)
+        assert issubclass(SupervisionError, RuntimeError)
+
+    def test_teardown_errors_are_scoped(self):
+        # The teardown paths may swallow plumbing failures...
+        for exc in (OSError, EOFError, BrokenPipeError):
+            assert issubclass(exc, TEARDOWN_ERRORS)
+        # ...but never programming errors.
+        assert not issubclass(TypeError, TEARDOWN_ERRORS)
+        assert not issubclass(KeyError, TEARDOWN_ERRORS)
+
+
+class TestHeartbeatBoard:
+    def test_claim_and_stale_detection(self):
+        board = HeartbeatBoard(4)
+        try:
+            name, capacity = board.descriptor
+            assert capacity == 4 and isinstance(name, str)
+            raw = np.ndarray((4,), dtype=np.float64, buffer=board._segment.buf)
+            raw[1] = time.monotonic() - 10.0   # stale in-task stamp
+            raw[2] = -time.monotonic()          # idle
+            raw[3] = time.monotonic()           # fresh in-task
+            assert board.stale_workers(1.0) == [1]
+            assert board.stale_workers(60.0) == []
+        finally:
+            board.close()
+
+    def test_close_is_idempotent(self):
+        board = HeartbeatBoard(2)
+        board.close()
+        board.close()
+
+
+class TestSlotDigest:
+    def test_digest_covers_prefix_only(self):
+        buf = bytearray(b"hello world")
+        assert slot_digest(buf, 5) == slot_digest(b"helloXXXXXX", 5)
+        assert slot_digest(buf, 5) != slot_digest(buf, 6)
+
+    def test_corruption_changes_digest(self):
+        buf = bytearray(64)
+        before = slot_digest(buf, 64)
+        buf[0] ^= 0xFF
+        assert slot_digest(buf, 64) != before
+
+
+class TestHostFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostFaultEvent(task=-1, kind="kill")
+        with pytest.raises(ValueError):
+            HostFaultEvent(task=0, kind="meteor")
+        with pytest.raises(ValueError):
+            HostFaultEvent(task=0, kind="hang", seconds=0.0)
+
+    def test_kinds_constant(self):
+        assert set(HOST_FAULT_KINDS) == {"kill", "hang", "corrupt", "leak"}
+
+
+class TestHostFaultSchedule:
+    def test_compact_grammar(self):
+        sched = HostFaultSchedule.parse("kill@1; hang@4:0.3, corrupt@6;leak@2")
+        kinds = [(e.kind, e.task) for e in sched.events]
+        assert ("kill", 1) in kinds and ("hang", 4) in kinds
+        assert ("corrupt", 6) in kinds and ("leak", 2) in kinds
+        hang = next(e for e in sched.events if e.kind == "hang")
+        assert hang.seconds == pytest.approx(0.3)
+
+    def test_bad_grammar_raises(self):
+        with pytest.raises(ValueError):
+            HostFaultSchedule.parse("explode@1")
+        with pytest.raises(ValueError):
+            HostFaultSchedule.parse("kill@")
+
+    def test_json_roundtrip_string_and_file(self, tmp_path):
+        sched = HostFaultSchedule(
+            [HostFaultEvent(task=3, kind="hang", seconds=0.5)],
+            seed=11,
+            jitter=0.05,
+        )
+        back = HostFaultSchedule.from_json(sched.to_json())
+        assert back.to_dict() == sched.to_dict()
+        path = tmp_path / "chaos.json"
+        path.write_text(sched.to_json())
+        assert HostFaultSchedule.from_json(path).to_dict() == sched.to_dict()
+
+    def test_directives_fire_at_their_task_only(self):
+        sched = HostFaultSchedule.parse("kill@2;hang@2:0.1;corrupt@5")
+        assert [e.kind for e, _ in sched.directives_at(2)] == ["hang", "kill"]
+        assert sched.directives_at(0) == []
+        assert [e.kind for e, _ in sched.directives_at(5)] == ["corrupt"]
+
+    def test_jitter_is_seeded_and_call_order_independent(self):
+        events = [
+            HostFaultEvent(task=1, kind="hang", seconds=1.0),
+            HostFaultEvent(task=2, kind="hang", seconds=1.0),
+        ]
+        a = HostFaultSchedule(events, seed=3, jitter=0.2)
+        b = HostFaultSchedule(events, seed=3, jitter=0.2)
+        c = HostFaultSchedule(events, seed=4, jitter=0.2)
+        # Walk a forwards and b backwards; draws depend on (seed, index).
+        fa = [a.effective_seconds(i) for i in (0, 1)]
+        fb = [b.effective_seconds(i) for i in (1, 0)][::-1]
+        assert fa == fb
+        assert fa != [c.effective_seconds(i) for i in (0, 1)]
+        assert all(abs(f - 1.0) <= 0.2 for f in fa)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert HostFaultSchedule.from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "kill@1")
+        sched = HostFaultSchedule.from_env()
+        assert [e.kind for e in sched.events] == ["kill"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostFaultSchedule([], jitter=1.5)
+
+
+class TestSplitInjections:
+    def test_one_file_drives_both_layers(self, tmp_path):
+        payload = {
+            "seed": 5,
+            "jitter": 0.1,
+            "events": [{"epoch": 2, "kind": "link_degrade", "factor": 0.5}],
+            "host_events": [{"task": 1, "kind": "kill"}],
+        }
+        path = tmp_path / "inject.json"
+        path.write_text(json.dumps(payload))
+        faults, chaos = split_injections(path)
+        assert faults is not None and chaos is not None
+        assert faults.seed == chaos.seed == 5
+        assert [e.kind for e in faults.events] == ["link_degrade"]
+        assert [e.kind for e in chaos.events] == ["kill"]
+
+    def test_either_half_may_be_absent(self, tmp_path):
+        sim_only = tmp_path / "sim.json"
+        sim_only.write_text(json.dumps(
+            {"events": [{"epoch": 1, "kind": "recover"}]}
+        ))
+        faults, chaos = split_injections(sim_only)
+        assert faults is not None and chaos is None
+        host_only = tmp_path / "host.json"
+        host_only.write_text(json.dumps(
+            {"host_events": [{"task": 0, "kind": "leak"}]}
+        ))
+        faults, chaos = split_injections(host_only)
+        assert faults is None and chaos is not None
