@@ -78,6 +78,19 @@ class Strategy(abc.ABC):
         each device's ``blocks[0].dst_nodes``."""
 
     # ------------------------------------------------------------------ #
+    def load_requests(
+        self, ctx: ExecutionContext, plan, batches: List[Optional[MiniBatch]]
+    ) -> Optional[List[Optional[np.ndarray]]]:
+        """Per-device feature-row requests ``execute_batch`` will read.
+
+        Used by the trainer's shared-gather dedup (DESIGN.md §5.12): the
+        union of these id arrays is materialized once per global batch and
+        each ``store.read`` served from it.  Strategies that don't declare
+        their load sets return ``None`` and keep per-device gathers; tier
+        accounting is per-device and unchanged either way.
+        """
+        return None
+
     def grad_sync_bytes(self, model) -> float:
         """DDP gradient-allreduce volume (full model by default)."""
         return model.parameter_bytes()

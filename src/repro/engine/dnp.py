@@ -181,6 +181,11 @@ class DNPStrategy(Strategy):
                     )
         return plan
 
+    # load_requests intentionally stays at the base default (None): owner
+    # input sets (partition + halo) overlap too little across devices for
+    # a staged union to beat direct gathers (measured ~1.26 requested rows
+    # per unique row — the re-gather would cost more than it saves).
+
     # ------------------------------------------------------------------ #
     def execute_batch(self, ctx, plan: DNPPlan, batches) -> List[Optional[Tensor]]:
         C = ctx.num_devices

@@ -93,6 +93,15 @@ class GDPStrategy(Strategy):
             load_nodes.append(nodes)
         return GDPPlan(load_nodes=load_nodes)
 
+    def load_requests(self, ctx, plan: GDPPlan, batches):
+        # Aggregation layers consume the staged union through an index
+        # indirection (src_index), skipping the per-device row gather
+        # entirely.  Attention layers would re-materialize their rows
+        # anyway, so for them staging is pure overhead — don't request it.
+        if ctx.model.first_layer.is_attention:
+            return None
+        return plan.load_nodes
+
     def execute_batch(
         self, ctx: ExecutionContext, plan: GDPPlan, batches
     ) -> List[Optional[Tensor]]:
@@ -107,6 +116,22 @@ class GDPStrategy(Strategy):
             ctx.recorder.record_intermediate(
                 d, 8.0 * (block.num_src * layer.in_dim + block.num_dst * layer.out_dim)
             )
+            pos = (
+                ctx.store.shared_positions(plan.load_nodes[d])
+                if ctx.numerics
+                else None
+            )
+            if pos is not None:
+                # Rows live once in the staged union; the layer gathers
+                # through src_index, so the load is charged but never
+                # materialized per device (values bitwise identical).
+                ctx.store.charge_load(d, plan.load_nodes[d], ctx.timeline)
+                h1.append(
+                    layer.full_forward(
+                        block, Tensor(ctx.store.shared_rows()), src_index=pos
+                    )
+                )
+                continue
             x_rows, _ = read_features(ctx, d, plan.load_nodes[d])
             h1.append(
                 layer.full_forward(block, Tensor(x_rows)) if ctx.numerics else None

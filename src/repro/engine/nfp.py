@@ -166,6 +166,11 @@ class NFPStrategy(Strategy):
                     )
         return NFPPlan(union_nodes=union, src_idx_in_union=src_idx)
 
+    def load_requests(self, ctx, plan: NFPPlan, batches):
+        # Every shard holder reads the same (sorted unique) union — the
+        # staged buffer is served zero-copy via the exact-match path.
+        return [plan.union_nodes]
+
     # ------------------------------------------------------------------ #
     def execute_batch(
         self, ctx: ExecutionContext, plan: NFPPlan, batches

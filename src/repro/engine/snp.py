@@ -245,6 +245,10 @@ class SNPStrategy(Strategy):
                 )
         return plan
 
+    # load_requests intentionally stays at the base default (None): each
+    # server reads its own partition slice, so per-device requests are
+    # nearly disjoint and a staged union would just double-copy the rows.
+
     # ------------------------------------------------------------------ #
     def execute_batch(self, ctx, plan: SNPPlan, batches) -> List[Optional[Tensor]]:
         layer = ctx.model.first_layer

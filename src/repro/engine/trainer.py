@@ -28,8 +28,10 @@ import numpy as np
 
 from repro.engine.base import Strategy, sample_batches
 from repro.engine.context import ExecutionContext
+from repro.featurestore.store import gather_dedup_enabled
 from repro.parallel.backend import resolve_backend
 from repro.sampling.batching import EpochIterator
+from repro.tensor import arena
 from repro.tensor import functional as F
 from repro.tensor.optim import Optimizer
 from repro.tensor.tensor import Tensor, add_n, no_grad
@@ -78,33 +80,56 @@ class ParallelTrainer:
         seeds = self.strategy.assign_seeds(ctx, global_batch)
         batches = sample_batches(ctx, seeds, epoch)
         plan = self.strategy.plan_batch(ctx, batches)
-        h1 = self.strategy.execute_batch(ctx, plan, batches)
 
-        losses: List[Tensor] = []
-        weight_total = float(len(global_batch))
-        for d, mb in enumerate(batches):
-            if mb is None:
-                continue
-            for layer, block in zip(list(ctx.model.layers)[1:], mb.blocks[1:]):
-                ctx.charger.dense(d, layer.forward_flops(block))
+        # Cross-device gather dedup: stage the union of the strategy's
+        # per-device row requests once; store.read serves slices of it.
+        # The scope spans through zero_grad because batch tensors may hold
+        # zero-copy views of the staged buffer.  Skipped when a pipelined
+        # backend already serves gathers from worker shared memory.
+        shared = None
+        if ctx.numerics and gather_dedup_enabled():
+            backend = resolve_backend(ctx)
+            if not (
+                self.strategy.gather_prefetch
+                and getattr(backend, "gather_prefetch", False)
+            ):
+                requests = self.strategy.load_requests(ctx, plan, batches)
+                if requests is not None:
+                    shared = ctx.store.begin_shared_gather(requests)
+        try:
+            h1 = self.strategy.execute_batch(ctx, plan, batches)
+
+            losses: List[Tensor] = []
+            weight_total = float(len(global_batch))
+            for d, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                for layer, block in zip(list(ctx.model.layers)[1:], mb.blocks[1:]):
+                    ctx.charger.dense(d, layer.forward_flops(block))
+                if ctx.numerics:
+                    logits = ctx.model.upper_forward(mb, h1[d])
+                    labels = ctx.dataset.labels[mb.blocks[-1].dst_nodes]
+                    losses.append(
+                        F.cross_entropy(logits, labels, weight_total=weight_total)
+                    )
+
+            loss_value = float("nan")
             if ctx.numerics:
-                logits = ctx.model.upper_forward(mb, h1[d])
-                labels = ctx.dataset.labels[mb.blocks[-1].dst_nodes]
-                losses.append(
-                    F.cross_entropy(logits, labels, weight_total=weight_total)
-                )
-
-        loss_value = float("nan")
-        if ctx.numerics:
-            total_loss = add_n(losses)
-            total_loss.backward()
-            loss_value = total_loss.item()
-        ctx.comm.allreduce_gradient_sync(
-            self.strategy.grad_sync_bytes(ctx.model), phase="train"
-        )
-        if ctx.numerics and self.optimizer is not None:
-            self.optimizer.step()
-        ctx.model.zero_grad()
+                total_loss = add_n(losses)
+                total_loss.backward()
+                loss_value = total_loss.item()
+            ctx.comm.allreduce_gradient_sync(
+                self.strategy.grad_sync_bytes(ctx.model), phase="train"
+            )
+            if ctx.numerics and self.optimizer is not None:
+                self.optimizer.step()
+            ctx.model.zero_grad()
+        finally:
+            if shared is not None:
+                ctx.store.end_shared_gather()
+        if shared is not None:
+            ctx.count("gather.requested_rows", shared[0], phase="load")
+            ctx.count("gather.unique_rows", shared[1], phase="load")
         ctx.timeline.end_batch()
         return loss_value
 
@@ -120,11 +145,18 @@ class ParallelTrainer:
         # sample batch k+1 in workers while batch k trains here.
         batch_list = list(self._iterator.epoch_batches(epoch))
         backend.begin_epoch(self.strategy, ctx, epoch, batch_list)
+        pool_before = arena.pool().stats()
         try:
             for global_batch in batch_list:
                 batch_losses.append(self.run_global_batch(global_batch, epoch))
         finally:
             backend.finish_epoch(ctx)
+        pool_after = arena.pool().stats()
+        hits = pool_after["hits"] - pool_before["hits"]
+        misses = pool_after["misses"] - pool_before["misses"]
+        if hits or misses:
+            ctx.count("arena.hits", hits, phase="train")
+            ctx.count("arena.misses", misses, phase="train")
         if not batch_losses:
             # np.mean([]) would yield NaN plus a RuntimeWarning and poison
             # downstream loss curves silently; fail loudly instead.

@@ -16,15 +16,42 @@ bandwidth.
 
 from __future__ import annotations
 
+import contextlib
 import enum
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import Timeline
 from repro.graph.datasets import GraphDataset
+from repro.tensor import arena
+
+# Cross-device gather dedup (DESIGN.md §5.12): materialize the union of one
+# global batch's per-device feature requests once, serve each device a view
+# or positional re-gather of it.  Tier accounting is untouched — only the
+# host-side row materialization is shared — so it is toggleable without any
+# effect on simulated timelines or numerics.
+_GATHER_DEDUP = os.environ.get("REPRO_GATHER_DEDUP", "1") != "0"
+
+
+def gather_dedup_enabled() -> bool:
+    """Whether shared-gather dedup is on (``REPRO_GATHER_DEDUP``, default on)."""
+    return _GATHER_DEDUP
+
+
+@contextlib.contextmanager
+def gather_dedup(enabled: bool):
+    """Force gather dedup on or off within a scope (tests / benchmarks)."""
+    global _GATHER_DEDUP
+    prev = _GATHER_DEDUP
+    _GATHER_DEDUP = bool(enabled)
+    try:
+        yield
+    finally:
+        _GATHER_DEDUP = prev
 
 
 def gather_rows(features: np.ndarray, node_ids: np.ndarray) -> np.ndarray:
@@ -49,10 +76,17 @@ class Tier(enum.Enum):
 
 @dataclass
 class LoadReport:
-    """Per-tier accounting of one feature read."""
+    """Per-tier accounting of one feature read.
 
-    rows: Dict[Tier, int] = field(default_factory=lambda: {t: 0 for t in Tier})
-    bytes: Dict[Tier, float] = field(default_factory=lambda: {t: 0.0 for t in Tier})
+    Tier dicts start empty and are filled lazily (absent tier = 0):
+    ``read`` runs per device per batch, and the two eager dict
+    comprehensions the constructor used to run showed up in the training
+    hot path.  :meth:`charge_load` still populates every tier it
+    classifies, so charged reports expose all four keys as before.
+    """
+
+    rows: Dict[Tier, int] = field(default_factory=dict)
+    bytes: Dict[Tier, float] = field(default_factory=dict)
     seconds: float = 0.0
 
     def total_rows(self) -> int:
@@ -61,12 +95,13 @@ class LoadReport:
     def hit_rate(self) -> float:
         """Fraction of rows served from this GPU's own cache."""
         total = self.total_rows()
-        return self.rows[Tier.GPU_CACHE] / total if total else 0.0
+        return self.rows.get(Tier.GPU_CACHE, 0) / total if total else 0.0
 
     def merge(self, other: "LoadReport") -> None:
-        for t in Tier:
-            self.rows[t] += other.rows[t]
-            self.bytes[t] += other.bytes[t]
+        for t, v in other.rows.items():
+            self.rows[t] = self.rows.get(t, 0) + v
+        for t, v in other.bytes.items():
+            self.bytes[t] = self.bytes.get(t, 0.0) + v
         self.seconds += other.seconds
 
 
@@ -107,6 +142,9 @@ class UnifiedFeatureStore:
         self._cached = np.zeros((C, n), dtype=bool)
         #: Dimension fraction each device reads (1.0 except under NFP).
         self.dim_fraction = 1.0
+        # Shared-gather scope state (see begin_shared_gather).
+        self._shared_uniq: Optional[np.ndarray] = None
+        self._shared_rows: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -128,6 +166,93 @@ class UnifiedFeatureStore:
 
     def cached_node_count(self, device: int) -> int:
         return int(self._cached[device].sum())
+
+    # ------------------------------------------------------------------ #
+    # shared gather (cross-device dedup, one global batch at a time)
+    # ------------------------------------------------------------------ #
+    def begin_shared_gather(
+        self, requests: Sequence[Optional[np.ndarray]]
+    ) -> Optional[Tuple[int, int]]:
+        """Materialize the union of per-device row requests once.
+
+        ``requests`` is the strategy's per-device load sets for one global
+        batch (``None`` entries allowed).  Until :meth:`end_shared_gather`,
+        :meth:`read` serves any subset of the union from the staged buffer
+        — the exact-match case (NFP's shared union read) is zero-copy, the
+        general case a positional re-gather.  Served rows are bit-identical
+        to a direct ``gather_rows`` (row copies of the same float64 data).
+
+        Returns ``(requested_rows, unique_rows)`` for telemetry, or ``None``
+        when there is nothing to stage.  Tier accounting is unaffected:
+        :meth:`charge_load` still runs per device on the original ids.
+        """
+        reqs = [
+            np.asarray(r, dtype=np.int64)
+            for r in requests
+            if r is not None and np.asarray(r).size
+        ]
+        if not reqs:
+            return None
+        total = int(sum(r.size for r in reqs))
+        uniq = np.unique(np.concatenate(reqs)) if len(reqs) > 1 else np.unique(reqs[0])
+        features = self.dataset.features
+        buf = arena.take((uniq.size,) + features.shape[1:], features.dtype)
+        if buf is None:
+            buf = np.empty((uniq.size,) + features.shape[1:], dtype=features.dtype)
+        np.take(features, uniq, axis=0, out=buf)
+        self._shared_uniq = uniq
+        self._shared_rows = buf
+        return total, int(uniq.size)
+
+    def end_shared_gather(self) -> None:
+        """Close the shared-gather scope and recycle the staging buffer.
+
+        Callers must not hold views of the staged rows past this point
+        (the trainer closes the scope only after backward/step/zero_grad,
+        when the batch's tensors are dead).
+        """
+        buf = self._shared_rows
+        self._shared_rows = None
+        self._shared_uniq = None
+        arena.release(buf)
+
+    def shared_rows(self) -> Optional[np.ndarray]:
+        """The staged union buffer, or ``None`` outside a gather scope."""
+        return self._shared_rows
+
+    def shared_positions(self, node_ids: np.ndarray) -> Optional[np.ndarray]:
+        """Positions of ``node_ids`` within the staged union, or ``None``.
+
+        When not ``None``, ``shared_rows()[pos]`` is bitwise equal to
+        ``gather_rows(features, node_ids)`` — callers that can consume the
+        union buffer through an index indirection (GDP's ``src_index``
+        path) avoid materializing their per-device row block entirely.
+        """
+        if self._shared_uniq is None:
+            return None
+        uniq = self._shared_uniq
+        ids = np.asarray(node_ids, dtype=np.int64)
+        pos = np.searchsorted(uniq, ids)
+        if ids.size and (
+            pos.max() >= uniq.size or not np.array_equal(uniq[pos], ids)
+        ):
+            return None
+        return pos
+
+    def _shared_lookup(self, node_ids: np.ndarray) -> Optional[np.ndarray]:
+        """Rows for ``node_ids`` from the staged union, or ``None``."""
+        uniq = self._shared_uniq
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size == uniq.size and (
+            ids.size == 0 or (ids[0] == uniq[0] and np.array_equal(ids, uniq))
+        ):
+            return self._shared_rows  # the union itself: zero-copy
+        pos = np.searchsorted(uniq, ids)
+        if ids.size and (
+            pos.max() >= uniq.size or not np.array_equal(uniq[pos], ids)
+        ):
+            return None  # ids outside the staged union: direct gather
+        return self._shared_rows[pos]
 
     # ------------------------------------------------------------------ #
     # reads
@@ -179,7 +304,11 @@ class UnifiedFeatureStore:
         Simulated load seconds are charged to ``timeline`` when given.
         """
         report = self.charge_load(device, node_ids, timeline, phase)
-        features = gather_rows(self.dataset.features, node_ids)
+        features = None
+        if self._shared_uniq is not None:
+            features = self._shared_lookup(node_ids)
+        if features is None:
+            features = gather_rows(self.dataset.features, node_ids)
         return features, report
 
     def charge_load(

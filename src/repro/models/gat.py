@@ -29,6 +29,7 @@ import numpy as np
 from repro.models.base import GNNLayer, GNNModel, extend_with_self_edges
 from repro.sampling.block import Block
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor import init as tinit
 from repro.tensor.module import Parameter
 from repro.tensor.sparse import segment_softmax, segment_sum
@@ -102,7 +103,16 @@ class GATLayer(GNNLayer):
     # ------------------------------------------------------------------ #
     # full local computation
     # ------------------------------------------------------------------ #
-    def full_forward(self, block: Block, h_src: Tensor) -> Tensor:
+    def full_forward(
+        self,
+        block: Block,
+        h_src: Tensor,
+        src_index: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        if src_index is not None:
+            # Attention projects every source row, so a union buffer is
+            # materialized down to the block's rows first (same values).
+            h_src = h_src.index_rows(src_index)
         z2 = self.project(h_src)
         return self.attend(block, z2)
 
@@ -130,9 +140,14 @@ class GATLayer(GNNLayer):
     def finalize(self, h3: Tensor) -> Tensor:
         """Head combination + bias + activation from ``(n, heads, head_dim)``."""
         if self.concat:
-            out = h3.reshape(h3.shape[0], self.heads * self.head_dim) + self.bias
-            return F.elu(out)
-        return h3.mean(axis=1) + self.bias
+            # Fused reshape+bias+ELU (bit-identical to the composed chain).
+            return fused.add_bias_act(
+                [h3],
+                self.bias,
+                activation="elu",
+                reshape_to=(h3.shape[0], self.heads * self.head_dim),
+            )
+        return fused.add_bias_act([h3.mean(axis=1)], self.bias)
 
     def forward_flops(self, block: Block) -> float:
         d_out = self.heads * self.head_dim

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.models.base import GNNLayer, GNNModel, extend_with_self_edges
 from repro.sampling.block import Block
-from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor import init as tinit
 from repro.tensor.module import Parameter
 from repro.tensor.sparse import segment_mean, segment_sum
@@ -56,19 +56,45 @@ class GCNLayer(GNNLayer):
         self.bias = Parameter(np.zeros(self.out_dim))
 
     # ------------------------------------------------------------------ #
-    def full_forward(self, block: Block, h_src: Tensor) -> Tensor:
-        if h_src.shape != (block.num_src, self.in_dim):
+    def full_forward(
+        self,
+        block: Block,
+        h_src: Tensor,
+        src_index: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Local layer-1 forward.
+
+        ``src_index`` maps block-local source positions to rows of a larger
+        ``h_src`` (the shared-gather union buffer) — the gathered row values
+        are identical, so the result is bitwise equal to passing the
+        per-block rows directly.
+        """
+        if src_index is None:
+            if h_src.shape != (block.num_src, self.in_dim):
+                raise ValueError(
+                    f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
+                )
+        elif src_index.shape != (block.num_src,):
             raise ValueError(
-                f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
+                f"src_index shape {src_index.shape} != ({block.num_src},)"
             )
         edge_src, edge_dst = extend_with_self_edges(block)
+        if src_index is not None:
+            edge_src = src_index[edge_src]
         msgs = h_src.index_rows(edge_src)
         mean = segment_mean(msgs, edge_dst, block.num_dst)
-        return self._finish(mean @ self.weight)
+        # Single fused projection+bias+activation node (bit-identical to
+        # the composed `mean @ W` -> `+ b` -> `relu` chain).
+        return fused.linear(
+            mean, self.weight, self.bias, activation=self._act
+        )
+
+    @property
+    def _act(self) -> Optional[str]:
+        return "relu" if self.activation else None
 
     def _finish(self, pre: Tensor) -> Tensor:
-        out = pre + self.bias
-        return F.relu(out) if self.activation else out
+        return fused.add_bias_act([pre], self.bias, activation=self._act)
 
     def forward_flops(self, block: Block) -> float:
         agg = 2.0 * (block.num_edges + block.num_dst) * self.in_dim

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.models.base import GNNLayer, GNNModel
 from repro.sampling.block import Block
-from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor import init as tinit
 from repro.tensor.module import Parameter
 from repro.tensor.sparse import segment_mean, segment_sum
@@ -63,22 +63,46 @@ class SAGELayer(GNNLayer):
     # ------------------------------------------------------------------ #
     # full local computation
     # ------------------------------------------------------------------ #
-    def full_forward(self, block: Block, h_src: Tensor) -> Tensor:
-        if h_src.shape != (block.num_src, self.in_dim):
-            raise ValueError(
-                f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
-            )
+    def full_forward(
+        self,
+        block: Block,
+        h_src: Tensor,
+        src_index: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Local layer-1 forward.
+
+        ``src_index`` maps block-local source positions to rows of a larger
+        ``h_src`` (the shared-gather union buffer); gathered values — and
+        hence the output — are bitwise identical to the per-block form.
+        """
+        if src_index is None:
+            if h_src.shape != (block.num_src, self.in_dim):
+                raise ValueError(
+                    f"h_src shape {h_src.shape} != ({block.num_src}, {self.in_dim})"
+                )
+            edge_src, dst_in_src = block.edge_src, block.dst_in_src
+        else:
+            if src_index.shape != (block.num_src,):
+                raise ValueError(
+                    f"src_index shape {src_index.shape} != ({block.num_src},)"
+                )
+            edge_src = src_index[block.edge_src]
+            dst_in_src = src_index[block.dst_in_src]
         # Aggregate raw inputs, then project: cheaper than projecting every
         # source when out_dim < in_dim, and exactly equal either way.
-        msgs = h_src.index_rows(block.edge_src)
+        msgs = h_src.index_rows(edge_src)
         neigh_mean = segment_mean(msgs, block.edge_dst, block.num_dst)
-        h_dst_in = h_src.index_rows(block.dst_in_src)
+        h_dst_in = h_src.index_rows(dst_in_src)
         return self.combine(neigh_mean @ self.w_neigh, h_dst_in @ self.w_self)
 
     def combine(self, neigh_term: Tensor, self_term: Tensor) -> Tensor:
-        """Final affine combination plus optional activation."""
-        out = neigh_term + self_term + self.bias
-        return F.relu(out) if self.activation else out
+        """Final affine combination plus optional activation (one fused
+        node; bit-identical to the composed add/add/relu chain)."""
+        return fused.add_bias_act(
+            [neigh_term, self_term],
+            self.bias,
+            activation="relu" if self.activation else None,
+        )
 
     def forward_flops(self, block: Block) -> float:
         agg = 2.0 * block.num_edges * self.in_dim
@@ -121,8 +145,9 @@ class SAGELayer(GNNLayer):
         (global edge counts are known on every device, so the division
         happens before the reduce); their sum is the full pre-activation.
         """
-        out = total + self.bias
-        return F.relu(out) if self.activation else out
+        return fused.add_bias_act(
+            [total], self.bias, activation="relu" if self.activation else None
+        )
 
     def combine_partials(
         self,

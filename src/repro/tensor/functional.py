@@ -10,7 +10,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, fusion_enabled
 
 
 def relu(x: Tensor) -> Tensor:
@@ -99,13 +99,39 @@ def cross_entropy(
     n = logits.shape[0]
     if labels.shape != (n,):
         raise ValueError(f"labels shape {labels.shape} does not match ({n},)")
-    logp = log_softmax(logits, axis=-1)
     # Select the label log-probabilities with a one-hot inner product to stay
     # within the op set that has exact adjoints.
     one_hot = np.zeros(logits.shape, dtype=logits.data.dtype)
     one_hot[np.arange(n), labels] = 1.0
     denom = float(n if weight_total is None else weight_total)
-    return (logp * Tensor(one_hot)).sum() * (-1.0 / denom)
+    if not fusion_enabled():
+        logp = log_softmax(logits, axis=-1)
+        return (logp * Tensor(one_hot)).sum() * (-1.0 / denom)
+
+    # Fused node: same IEEE ops/order as the composed chain above (see
+    # DESIGN.md §5.12), without materializing the one-hot product, the
+    # broadcast sum-gradient, or three closure records.
+    x = logits.data
+    shifted = x - x.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    logp_data = shifted - log_z
+    softmax_data = np.exp(logp_data)
+    scale = np.asarray(-1.0 / denom, dtype=x.dtype)
+    out_data = (logp_data * one_hot).sum() * scale
+
+    def backward_fn(g: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        # Composed chain's adjoint: scalar-mul, then a broadcast of the
+        # summed gradient, the one-hot mask, and log-softmax's backward.
+        gl = one_hot * (g * scale)
+        logits._accumulate_owned(
+            gl - softmax_data * gl.sum(axis=-1, keepdims=True)
+        )
+
+    return Tensor._make(
+        np.asarray(out_data), (logits,), backward_fn, "fused_cross_entropy"
+    )
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:

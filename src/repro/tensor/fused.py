@@ -1,0 +1,164 @@
+"""Fused autograd kernels: one tape node where the composed form built 3–4.
+
+Each function here collapses a fixed op chain — ``X @ W (+ b) (+ act)``,
+``sum(terms) + b (+ act)`` — into a single tape node whose forward and
+backward perform the *same IEEE operations in the same order* as the chain
+of primitive nodes it replaces, so outputs and every accumulated gradient
+are bit-identical (pinned by ``tests/tensor/test_fused_kernels.py``; the
+why is spelled out in DESIGN.md §5.12).  What fusion removes is pure
+overhead: intermediate output arrays, per-node closure dispatch, and the
+defensive gradient copies made at every interior node boundary.
+
+Two structural invariants keep end-to-end runs bit-identical even with
+*shared* parameters (the replicated-DDP model means every parameter
+receives one gradient contribution per device):
+
+* parents are passed in the same order the composed chain would have
+  explored them, so the reverse-topological execution order of every other
+  node in the graph is unchanged;
+* only single-consumer chains built inside one call are fused, so no
+  accumulation into any buffer is reordered relative to the composed tape.
+
+With :func:`~repro.tensor.tensor.kernel_fusion` off (or
+``REPRO_KERNEL_FUSION=0``) every function falls back to literally building
+the composed chain — that fallback *is* the reference the tests compare
+against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast, fusion_enabled
+
+#: activations a fused node can absorb
+_ACTIVATIONS = (None, "relu", "elu")
+
+
+def _forward_activation(pre: np.ndarray, activation: Optional[str]):
+    """Apply ``activation`` to ``pre``; returns ``(out, dact)`` where
+    ``dact`` multiplies the output gradient (None = identity)."""
+    if activation is None:
+        return pre, None
+    if activation == "relu":
+        # Same ops as Tensor.maximum_scalar(0.0).
+        return np.maximum(pre, 0.0), pre > 0.0
+    if activation == "elu":
+        # Same ops as functional.elu (alpha = 1.0).
+        pos = pre > 0
+        exp_part = np.exp(np.minimum(pre, 0.0)) - 1.0
+        out = np.where(pos, pre, exp_part)
+        deriv = np.where(pos, 1.0, exp_part + 1.0)
+        return out, deriv
+    raise ValueError(f"unsupported fused activation {activation!r}")
+
+
+def _composed_activation(t: Tensor, activation: Optional[str]) -> Tensor:
+    from repro.tensor import functional as F
+
+    if activation is None:
+        return t
+    if activation == "relu":
+        return F.relu(t)
+    if activation == "elu":
+        return F.elu(t)
+    raise ValueError(f"unsupported fused activation {activation!r}")
+
+
+def linear(
+    x: Tensor,
+    w: Tensor,
+    b: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """Fused ``act(x @ w + b)`` as a single tape node.
+
+    This is the dense-projection workhorse: ``Linear.forward`` (no
+    activation) and the GCN layer's project+bias+ReLU both route here.
+    """
+    if not fusion_enabled():
+        out = x @ w
+        if b is not None:
+            out = out + b
+        return _composed_activation(out, activation)
+
+    if x.data.ndim != 2 or w.data.ndim != 2:
+        raise ValueError(
+            "fused linear supports 2-D operands only; got "
+            f"{x.data.ndim}-D @ {w.data.ndim}-D"
+        )
+    pre = x.data @ w.data
+    if b is not None:
+        # In-place add of the fresh matmul output: identical elementwise
+        # float add to the composed `(x @ w) + b` node.
+        pre += b.data
+    out_data, dact = _forward_activation(pre, activation)
+    x_data, w_data = x.data, w.data
+
+    def backward_fn(g: np.ndarray) -> None:
+        ga = g * dact if dact is not None else g
+        if x.requires_grad:
+            x._accumulate_owned(ga @ w_data.T)
+        if w.requires_grad:
+            w._accumulate_owned(x_data.T @ ga)
+        if b is not None and b.requires_grad:
+            # _unbroadcast always reduces (n, d) -> (d,): fresh array.
+            b._accumulate_owned(_unbroadcast(ga, b.data.shape))
+
+    parents = (x, w) if b is None else (x, w, b)
+    return Tensor._make(out_data, parents, backward_fn, "fused_linear")
+
+
+def add_bias_act(
+    terms: Sequence[Tensor],
+    bias: Tensor,
+    activation: Optional[str] = None,
+    reshape_to: Optional[Tuple[int, ...]] = None,
+) -> Tensor:
+    """Fused ``act(sum(terms) + bias)`` as a single tape node.
+
+    Covers the epilogue of every GNN layer: GCN's ``pre + b`` (+ReLU),
+    GraphSAGE's ``neigh + self + b`` (+ReLU), and GAT's head-concat
+    ``reshape + b`` (+ELU).  ``reshape_to`` (single term only) folds the
+    head-flattening reshape into the node.
+    """
+    terms = list(terms)
+    if not terms:
+        raise ValueError("add_bias_act requires at least one term")
+    if reshape_to is not None and len(terms) != 1:
+        raise ValueError("reshape_to is only supported for a single term")
+
+    if not fusion_enabled():
+        out = terms[0]
+        if reshape_to is not None:
+            out = out.reshape(reshape_to)
+        for t in terms[1:]:
+            out = out + t
+        out = out + bias
+        return _composed_activation(out, activation)
+
+    acc = terms[0].data
+    in_shape = acc.shape
+    if reshape_to is not None:
+        acc = acc.reshape(reshape_to)
+    # Successive binary adds in composed order: ((t0 + t1) + ... ) + bias.
+    pre = acc + terms[1].data if len(terms) > 1 else None
+    for t in terms[2:]:
+        pre += t.data
+    pre = acc + bias.data if pre is None else pre.__iadd__(bias.data)
+    out_data, dact = _forward_activation(pre, activation)
+
+    def backward_fn(g: np.ndarray) -> None:
+        ga = g * dact if dact is not None else g
+        for t in terms:
+            if t.requires_grad:
+                gt = ga.reshape(in_shape) if reshape_to is not None else ga
+                t._accumulate(_unbroadcast(gt, t.data.shape))
+        if bias.requires_grad:
+            # Reducing (n, d) -> (d,) always yields a fresh array.
+            bias._accumulate_owned(_unbroadcast(ga, bias.data.shape))
+
+    parents: List[Tensor] = [*terms, bias]
+    return Tensor._make(out_data, parents, backward_fn, "fused_add_bias_act")

@@ -13,6 +13,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from repro.tensor import fused
 from repro.tensor import init as tinit
 from repro.tensor.tensor import Tensor
 
@@ -57,7 +58,8 @@ class Module:
 
     def zero_grad(self) -> None:
         for p in self.parameters():
-            p.grad = None
+            # Tensor.zero_grad recycles pooled gradient buffers (arena).
+            p.zero_grad()
 
     def train(self, mode: bool = True) -> "Module":
         object.__setattr__(self, "training", mode)
@@ -138,7 +140,4 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(self.out_dim)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return fused.linear(x, self.weight, self.bias)

@@ -28,7 +28,8 @@ class Optimizer:
 
     def zero_grad(self) -> None:
         for p in self.params:
-            p.grad = None
+            # Recycles pooled gradient buffers when the arena is enabled.
+            p.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

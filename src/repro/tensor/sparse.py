@@ -141,7 +141,8 @@ def _segment_sum_tensor(
 
     def backward_fn(g: np.ndarray) -> None:
         if values.requires_grad:
-            values._accumulate(g[segment_ids])
+            # Fresh fancy-index gather: adopted without a defensive copy.
+            values._accumulate_owned(g[segment_ids])
 
     return Tensor._make(out, (values,), backward_fn, "segment_sum")
 

@@ -20,14 +20,23 @@ the training path.
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.tensor import arena
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 # Global autograd switch (see :func:`no_grad`).
 _GRAD_ENABLED = True
+
+# Global fused-kernel switch (see :func:`kernel_fusion`).  Fused ops are
+# bit-identical to their composed forms by contract (DESIGN.md §5.12 and
+# tests/tensor/test_fused_kernels.py); the flag exists so equivalence tests
+# and benchmarks can run the composed "seed" path on demand.
+_FUSION_ENABLED = os.environ.get("REPRO_KERNEL_FUSION", "1") != "0"
 
 
 @contextlib.contextmanager
@@ -47,9 +56,49 @@ def grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+@contextlib.contextmanager
+def kernel_fusion(enabled: bool):
+    """Force fused kernels on or off within a scope (tests / benchmarks)."""
+    global _FUSION_ENABLED
+    prev = _FUSION_ENABLED
+    _FUSION_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSION_ENABLED = prev
+
+
+def fusion_enabled() -> bool:
+    """Whether fused kernels are in use (``REPRO_KERNEL_FUSION``, default on)."""
+    return _FUSION_ENABLED
+
+
+# Lazily bound to repro.tensor.sparse._segment_sum_array (importing sparse at
+# module scope would be circular — sparse builds on Tensor).
+_segment_sum_array = None
+
+
+def _scatter_add_rows(g: np.ndarray, idx: np.ndarray, n_rows: int) -> np.ndarray:
+    """Row scatter-add via the selection-CSR segment kernel.
+
+    Bit-identical to ``np.add.at(zeros, idx, g)`` (pinned by
+    ``tests/tensor/test_segment_kernels.py``) but several times faster for
+    2-D operands, where ``ufunc.at`` falls back to a slow generic loop.
+    """
+    global _segment_sum_array
+    if _segment_sum_array is None:
+        from repro.tensor.sparse import _segment_sum_array as fn
+
+        _segment_sum_array = fn
+    return _segment_sum_array(g, idx, n_rows)
+
+
 def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
-    arr = np.asarray(data, dtype=dtype)
-    return arr
+    if type(data) is np.ndarray and data.dtype == dtype:
+        # Fast path: already a plain ndarray of the right dtype — wrapping
+        # must not copy (ops call this for every operand).
+        return data
+    return np.asarray(data, dtype=dtype)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -169,10 +218,30 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's gradient buffer."""
         if self.grad is None:
-            # Copy so later in-place accumulation never aliases op outputs.
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            # Copy so later in-place accumulation never aliases op outputs
+            # (``grad`` may be a view of another node's gradient buffer).
+            buf = arena.take(self.data.shape, self.data.dtype)
+            if buf is None:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            else:
+                np.copyto(buf, grad, casting="unsafe")
+                self.grad = buf
         else:
             self.grad += grad
+
+    def _accumulate_owned(self, buf: np.ndarray) -> None:
+        """Accumulate a freshly built buffer the caller owns outright.
+
+        Unlike :meth:`_accumulate` the array is adopted without a defensive
+        copy — callers guarantee ``buf`` aliases nothing else (scatter-add
+        outputs, zero-filled scratch).  When a gradient already exists the
+        buffer's content is folded in and the buffer itself recycled.
+        """
+        if self.grad is None:
+            self.grad = buf
+        else:
+            self.grad += buf
+            arena.release(buf)
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode autodiff from this tensor.
@@ -213,12 +282,25 @@ class Tensor:
                     stack.append((p, False))
 
         self._accumulate(grad)
+        # Release-after-last-use: in reverse-topological order, once a
+        # node's closure has propagated its gradient to the parents, no
+        # later closure can read it (all consumers already ran), so interior
+        # gradient buffers are recycled immediately instead of living until
+        # the whole tape is garbage collected.  Leaves (parameters, inputs)
+        # have no closure and keep their gradients for the optimizer.
+        recycle = arena.arena_enabled()
         for node in reversed(topo):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+            fn = node._backward_fn
+            if fn is not None and node.grad is not None:
+                fn(node.grad)
+                if recycle:
+                    arena.release(node.grad)
+                    node.grad = None
 
     def zero_grad(self) -> None:
-        self.grad = None
+        if self.grad is not None:
+            arena.release(self.grad)
+            self.grad = None
 
     # ------------------------------------------------------------------ #
     # arithmetic ops
@@ -302,10 +384,12 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward_fn(g: np.ndarray) -> None:
+            # The products are freshly allocated, so they are adopted as
+            # gradient buffers outright (no defensive copy).
             if self.requires_grad:
-                self._accumulate(g @ other.data.T)
+                self._accumulate_owned(g @ other.data.T)
             if other.requires_grad:
-                other._accumulate(self.data.T @ g)
+                other._accumulate_owned(self.data.T @ g)
 
         return Tensor._make(out_data, (self, other), backward_fn, "matmul")
 
@@ -344,7 +428,14 @@ class Tensor:
         n_rows = self.data.shape[0]
 
         def backward_fn(g: np.ndarray) -> None:
-            if self.requires_grad:
+            if not self.requires_grad:
+                return
+            if _FUSION_ENABLED:
+                # Selection-CSR scatter-add: bit-identical to the np.add.at
+                # path below, much faster on 2-D/3-D gradients.  The output
+                # is freshly built, so it can be adopted without a copy.
+                self._accumulate_owned(_scatter_add_rows(g, idx, n_rows))
+            else:
                 buf = np.zeros_like(self.data)
                 np.add.at(buf, idx, g)
                 self._accumulate(buf)
@@ -358,9 +449,11 @@ class Tensor:
 
         def backward_fn(g: np.ndarray) -> None:
             if self.requires_grad:
-                buf = np.zeros(full_shape, dtype=self.data.dtype)
+                buf = arena.take_zeros(full_shape, self.data.dtype)
+                if buf is None:
+                    buf = np.zeros(full_shape, dtype=self.data.dtype)
                 buf[:, start:stop] = g
-                self._accumulate(buf)
+                self._accumulate_owned(buf)
 
         return Tensor._make(out_data, (self,), backward_fn, "slice_cols")
 

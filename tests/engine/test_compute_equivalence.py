@@ -1,0 +1,114 @@
+"""End-to-end bit-identity of the compute-path optimizations.
+
+The PR-5 contract (DESIGN.md §5.12): kernel fusion, the gradient buffer
+arena, and cross-device gather dedup are *pure host-side* optimizations —
+with all three on, every strategy must produce exactly the losses, final
+parameters, and simulated Timeline it produces with all three off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import multi_machine_cluster
+from repro.config import APTConfig
+from repro.core import APT
+from repro.featurestore.store import gather_dedup
+from repro.graph.datasets import small_dataset
+from repro.models import GraphSAGE
+from repro.tensor.arena import buffer_arena
+from repro.tensor.tensor import kernel_fusion
+
+STRATEGIES = ("gdp", "nfp", "snp", "dnp")
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return small_dataset(n=1500, feature_dim=16, num_classes=4, seed=7)
+
+
+def _run(ds, strategy, *, fusion, arena, dedup, backend="serial", gather=False):
+    model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=1)
+    cluster = multi_machine_cluster(
+        2, 2, gpu_cache_bytes=ds.feature_bytes * 0.06
+    )
+    config = APTConfig(
+        fanouts=(4, 4),
+        global_batch_size=128,
+        seed=0,
+        execution_backend=backend,
+        num_workers=2,
+        gather_prefetch=gather,
+    )
+    apt = APT(ds, model, cluster, config)
+    apt.prepare()
+    with kernel_fusion(fusion), buffer_arena(arena), gather_dedup(dedup):
+        report = apt.run_strategy(strategy, 2, numerics=True)
+    return report, model
+
+
+def _facts(report):
+    return (
+        [e.mean_loss for e in report.result.epochs],
+        [e.phases for e in report.result.epochs],
+        [e.num_batches for e in report.result.epochs],
+    )
+
+
+def _assert_identical(ra, ma, rb, mb):
+    losses_a, phases_a, nb_a = _facts(ra)
+    losses_b, phases_b, nb_b = _facts(rb)
+    assert losses_a == losses_b  # exact float equality, not approx
+    assert phases_a == phases_b  # the simulated Timeline is untouched
+    assert nb_a == nb_b
+    sa, sb = ma.state_dict(), mb.state_dict()
+    assert sa.keys() == sb.keys()
+    for k in sa:
+        assert np.array_equal(sa[k], sb[k]), k
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_all_optimizations_bitwise_identical(ds, strategy):
+    rb, mb = _run(ds, strategy, fusion=False, arena=False, dedup=False)
+    ro, mo = _run(ds, strategy, fusion=True, arena=True, dedup=True)
+    _assert_identical(rb, mb, ro, mo)
+
+
+@pytest.mark.parametrize(
+    "fusion,arena,dedup",
+    [(True, False, False), (False, True, False), (False, False, True)],
+    ids=["fusion-only", "arena-only", "dedup-only"],
+)
+def test_each_optimization_alone_is_bitwise_identical(ds, fusion, arena, dedup):
+    # Isolate each toggle on the strategy with the richest read pattern.
+    rb, mb = _run(ds, "snp", fusion=False, arena=False, dedup=False)
+    ro, mo = _run(ds, "snp", fusion=fusion, arena=arena, dedup=dedup)
+    _assert_identical(rb, mb, ro, mo)
+
+
+def test_dedup_with_process_backend_gather_prefetch(ds):
+    # GDP + process backend + gather prefetch: the trainer must skip the
+    # shared gather (workers serve rows from shared memory) and still be
+    # bit-identical to the fully serial un-optimized run.
+    rb, mb = _run(ds, "gdp", fusion=False, arena=False, dedup=False)
+    ro, mo = _run(
+        ds,
+        "gdp",
+        fusion=True,
+        arena=True,
+        dedup=True,
+        backend="process",
+        gather=True,
+    )
+    _assert_identical(rb, mb, ro, mo)
+
+
+def test_gather_and_arena_telemetry_counters(ds):
+    # With dedup and the arena on, the run's telemetry summary reports
+    # requested vs unique gather rows (dedup can only shrink the count)
+    # and the pool's hit/miss tallies.
+    report, _ = _run(ds, "gdp", fusion=True, arena=True, dedup=True)
+    counters = report.telemetry["counters"]
+    req = counters.get("gather.requested_rows", 0)
+    uniq = counters.get("gather.unique_rows", 0)
+    assert req > 0 and 0 < uniq <= req
+    assert counters.get("arena.hits", 0) + counters.get("arena.misses", 0) > 0

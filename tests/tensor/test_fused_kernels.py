@@ -1,0 +1,207 @@
+"""Bitwise equivalence of every fused kernel against its composed form.
+
+The fusion contract (DESIGN.md §5.12): a fused node performs the exact
+IEEE-754 operation sequence of the composed chain it replaces, and its
+parents are listed in the composed chain's DFS exploration order — so
+forward values, every parameter gradient, and every input gradient are
+bit-identical, not merely close.  All checks here use ``np.array_equal``
+on float64 data; no tolerances anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.gat import GATLayer
+from repro.models.gcn import GCNLayer
+from repro.models.sage import SAGELayer
+from repro.sampling.block import Block
+from repro.tensor import fused
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, fusion_enabled, kernel_fusion
+
+
+def _grads(params):
+    return [None if p.grad is None else np.array(p.grad) for p in params]
+
+
+def _run_both(build, seed=0):
+    """Run ``build`` with fusion off then on; return (out, grads) pairs."""
+    results = []
+    for fus in (False, True):
+        rng = np.random.default_rng(seed)
+        with kernel_fusion(fus):
+            out, params = build(rng)
+            out.sum().backward() if out.data.ndim else out.backward()
+        results.append((np.array(out.data), _grads(params)))
+    return results
+
+
+def _assert_bitwise(results):
+    (out_a, grads_a), (out_b, grads_b) = results
+    assert np.array_equal(out_a, out_b)
+    assert len(grads_a) == len(grads_b)
+    for ga, gb in zip(grads_a, grads_b):
+        assert (ga is None) == (gb is None)
+        if ga is not None:
+            assert np.array_equal(ga, gb)
+
+
+def test_fusion_toggle_context_manager():
+    before = fusion_enabled()
+    with kernel_fusion(not before):
+        assert fusion_enabled() is (not before)
+    assert fusion_enabled() is before
+
+
+# ---------------------------------------------------------------------- #
+# fused.linear
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("activation", [None, "relu", "elu"])
+@pytest.mark.parametrize("with_bias", [False, True])
+def test_fused_linear_bitwise(activation, with_bias):
+    def build(rng):
+        x = Tensor(rng.standard_normal((7, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True) if with_bias else None
+        out = fused.linear(x, w, b, activation=activation)
+        return out, [x, w] + ([b] if with_bias else [])
+
+    _assert_bitwise(_run_both(build))
+
+
+def test_fused_linear_negative_inputs_relu_mask():
+    # Exercise the relu dead zone explicitly: grads must be exactly zero
+    # in masked positions under both paths.
+    def build(rng):
+        x = Tensor(np.linspace(-2.0, 2.0, 12).reshape(4, 3), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        b = Tensor(np.array([-10.0, 10.0]), requires_grad=True)
+        return fused.linear(x, w, b, activation="relu"), [x, w, b]
+
+    _assert_bitwise(_run_both(build))
+
+
+# ---------------------------------------------------------------------- #
+# fused.add_bias_act
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("activation", [None, "relu", "elu"])
+@pytest.mark.parametrize("num_terms", [1, 2, 3])
+def test_fused_add_bias_act_bitwise(activation, num_terms):
+    def build(rng):
+        terms = [Tensor(rng.standard_normal((6, 4)), requires_grad=True) for _ in range(num_terms)]
+        bias = Tensor(rng.standard_normal(4), requires_grad=True)
+        out = fused.add_bias_act(terms, bias, activation=activation)
+        return out, terms + [bias]
+
+    _assert_bitwise(_run_both(build))
+
+
+def test_fused_add_bias_act_reshape_bitwise():
+    # GAT's concat head path: (N, H, D) + bias then reshape to (N, H*D).
+    def build(rng):
+        t = Tensor(rng.standard_normal((5, 2, 3)), requires_grad=True)
+        bias = Tensor(rng.standard_normal(6), requires_grad=True)
+        out = fused.add_bias_act(
+            [t], bias, activation="elu", reshape_to=(5, 6)
+        )
+        return out, [t, bias]
+
+    _assert_bitwise(_run_both(build))
+
+
+# ---------------------------------------------------------------------- #
+# fused cross entropy
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("weight_total", [None, 24.0])
+def test_fused_cross_entropy_bitwise(weight_total):
+    def build(rng):
+        logits = Tensor(rng.standard_normal((9, 4)) * 5.0, requires_grad=True)
+        labels = rng.integers(0, 4, size=9)
+        kwargs = {} if weight_total is None else {"weight_total": weight_total}
+        return F.cross_entropy(logits, labels, **kwargs), [logits]
+
+    _assert_bitwise(_run_both(build))
+
+
+def test_fused_cross_entropy_extreme_logits():
+    # The log-sum-exp shift must behave identically under both paths even
+    # for logits large enough to overflow a naive exp.
+    def build(rng):
+        logits = Tensor(rng.standard_normal((4, 3)) * 300.0, requires_grad=True)
+        labels = np.array([0, 2, 1, 2])
+        return F.cross_entropy(logits, labels), [logits]
+
+    _assert_bitwise(_run_both(build))
+
+
+# ---------------------------------------------------------------------- #
+# index_rows scatter-add backward (CSR segment-sum vs np.add.at)
+# ---------------------------------------------------------------------- #
+def test_index_rows_backward_bitwise():
+    def build(rng):
+        x = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        idx = np.array([0, 3, 3, 5, 0, 0, 2])
+        return x.index_rows(idx) @ Tensor(rng.standard_normal((4, 2)), requires_grad=True), [x]
+
+    _assert_bitwise(_run_both(build))
+
+
+# ---------------------------------------------------------------------- #
+# whole model layers: forward + all parameter grads, fused vs composed
+# ---------------------------------------------------------------------- #
+def _block(rng, n_src=10, n_dst=4, n_edges=18):
+    src = rng.integers(0, n_src, size=n_edges)
+    dst = rng.integers(0, n_dst, size=n_edges)
+    # Global ids: dsts are nodes [0, n_dst), extra srcs follow.
+    return Block.from_global_edges(
+        np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
+
+
+def _layer_case(layer_cls, **kw):
+    def build(rng):
+        block = _block(rng)
+        layer = layer_cls(**kw)
+        x = Tensor(rng.standard_normal((block.num_src, kw["in_dim"])), requires_grad=True)
+        out = layer.full_forward(block, x)
+        return out, list(layer.parameters()) + [x]
+
+    return build
+
+
+@pytest.mark.parametrize("activation", [False, True])
+def test_gcn_layer_bitwise(activation):
+    _assert_bitwise(
+        _run_both(_layer_case(GCNLayer, in_dim=5, out_dim=3, activation=activation))
+    )
+
+
+@pytest.mark.parametrize("activation", [False, True])
+def test_sage_layer_bitwise(activation):
+    _assert_bitwise(
+        _run_both(_layer_case(SAGELayer, in_dim=5, out_dim=3, activation=activation))
+    )
+
+
+@pytest.mark.parametrize("concat", [False, True])
+def test_gat_layer_bitwise(concat):
+    def build(rng):
+        block = _block(rng)
+        layer = GATLayer(in_dim=5, head_dim=3, heads=2, concat=concat)
+        x = Tensor(rng.standard_normal((block.num_src, 5)), requires_grad=True)
+        out = layer.full_forward(block, x)
+        return out, list(layer.parameters()) + [x]
+
+    _assert_bitwise(_run_both(build))
+
+
+def test_sage_combine_bitwise():
+    # The distributed combine path (SNP/NFP): separate neigh/self terms.
+    def build(rng):
+        layer = SAGELayer(in_dim=5, out_dim=3, activation=True)
+        neigh = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        self_t = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        out = layer.combine(neigh, self_t)
+        return out, [neigh, self_t, layer.bias]
+
+    _assert_bitwise(_run_both(build))
