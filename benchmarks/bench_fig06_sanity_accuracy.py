@@ -19,13 +19,14 @@ from repro.engine.context import ExecutionContext
 from repro.engine.trainer import evaluate_accuracy
 from repro.graph.datasets import small_dataset
 from repro.models import GraphSAGE
+from repro.config import APTConfig
 
 EPOCHS = 8
 
 
 def accuracy_curve(ds, cluster, strategy, eval_seeds):
     model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=5)
-    apt = APT(ds, model, cluster, fanouts=[5, 5], global_batch_size=256, seed=0)
+    apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=256, seed=0))
     apt.prepare()
     curve = []
     for epoch in range(EPOCHS):

@@ -20,6 +20,7 @@ from repro.cluster import multi_machine_cluster, single_machine_cluster
 from repro.core import APT
 from repro.graph.datasets import small_dataset
 from repro.models import GraphSAGE
+from repro.config import APTConfig
 
 EPOCHS = 6
 
@@ -29,10 +30,7 @@ def timed_curve(ds, cluster, *, cache_off=False, cpu_sampling=False):
     if cache_off:
         cluster = cluster.with_cache(0.0)
     model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=5)
-    apt = APT(
-        ds, model, cluster, fanouts=[5, 5], global_batch_size=512, seed=0,
-        cpu_sampling=cpu_sampling,
-    )
+    apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=512, seed=0, cpu_sampling=cpu_sampling))
     apt.prepare()
     result = apt.run_strategy("gdp", EPOCHS, lr=5e-3)
     times = np.cumsum([e.wall_seconds for e in result.epochs])

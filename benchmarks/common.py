@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster import ClusterSpec, multi_machine_cluster, single_machine_cluster
-from repro.config import PAPER_CACHE_GB, scaled_gpu_cache_bytes
+from repro.config import PAPER_CACHE_GB, APTConfig, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import fs_like, im_like, metis_like_partition, ps_like
 from repro.graph.datasets import GraphDataset
@@ -111,11 +111,13 @@ def build_apt(
         ds,
         model,
         cluster,
-        fanouts=fanouts,
-        global_batch_size=cluster.num_devices * BATCH_PER_GPU,
-        partition=parts if parts is not None else "metis",
-        seed=seed,
-        **kw,
+        APTConfig(
+            fanouts=tuple(fanouts),
+            global_batch_size=cluster.num_devices * BATCH_PER_GPU,
+            partition=parts if parts is not None else "metis",
+            seed=seed,
+            **kw,
+        ),
     )
     # Share sampled epochs across every APT in the benchmark session
     # (install before prepare(), which builds the dry-run on the cache).

@@ -13,7 +13,7 @@ Run with::
 """
 
 from repro.cluster import single_machine_cluster
-from repro.config import scaled_gpu_cache_bytes
+from repro.config import APTConfig, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import fs_like
 from repro.models import GraphSAGE
@@ -26,10 +26,7 @@ def main() -> None:
     )
     hidden = 32
     model = GraphSAGE(dataset.feature_dim, hidden, dataset.num_classes, 3, seed=1)
-    apt = APT(
-        dataset, model, cluster, fanouts=[10, 10, 10],
-        global_batch_size=8 * 128, seed=0,
-    )
+    apt = APT(dataset, model, cluster, APTConfig(fanouts=(10, 10, 10), global_batch_size=8 * 128, seed=0))
     apt.prepare()
     plan = apt.plan()
     actual = apt.compare_all(num_epochs=1, numerics=False)

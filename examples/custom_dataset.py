@@ -19,6 +19,7 @@ from repro.core import APT
 from repro.graph import CSRGraph, load_dataset_file, save_dataset
 from repro.graph.datasets import GraphDataset
 from repro.models import GCN
+from repro.config import APTConfig
 
 
 def build_karate_like(num_copies: int = 60, seed: int = 0) -> GraphDataset:
@@ -73,7 +74,7 @@ def main() -> None:
         4, gpu_cache_bytes=0.08 * dataset.feature_bytes
     )
     model = GCN(dataset.feature_dim, 32, dataset.num_classes, num_layers=2)
-    apt = APT(dataset, model, cluster, fanouts=[5, 5], global_batch_size=256)
+    apt = APT(dataset, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=256))
     apt.prepare()
     plan = apt.plan()
     print("\n" + plan.summary())

@@ -11,7 +11,7 @@ Run with::
 """
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
-from repro.config import scaled_gpu_cache_bytes
+from repro.config import APTConfig, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import fs_like
 from repro.models import GraphSAGE
@@ -23,14 +23,7 @@ def sweep(cluster, dataset, label):
         model = GraphSAGE(
             dataset.feature_dim, hidden, dataset.num_classes, 3, seed=1
         )
-        apt = APT(
-            dataset,
-            model,
-            cluster,
-            fanouts=[10, 10, 10],
-            global_batch_size=cluster.num_devices * 128,
-            seed=0,
-        )
+        apt = APT(dataset, model, cluster, APTConfig(fanouts=(10, 10, 10), global_batch_size=cluster.num_devices * 128, seed=0))
         apt.prepare()
         results = apt.compare_all(num_epochs=1, numerics=False)
         chosen = apt.plan().chosen

@@ -20,6 +20,7 @@ from repro.cluster import single_machine_cluster
 from repro.core import APT
 from repro.graph.datasets import small_dataset
 from repro.models import GAT
+from repro.config import APTConfig
 
 
 def main() -> None:
@@ -35,10 +36,7 @@ def main() -> None:
             dataset.feature_dim, 8, dataset.num_classes,
             num_layers=2, heads=4, seed=0,
         )
-        apt = APT(
-            dataset, model, cluster, fanouts=[5, 5],
-            global_batch_size=512, seed=0,
-        )
+        apt = APT(dataset, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=512, seed=0))
         apt.prepare()
         result = apt.run_strategy(name, num_epochs=2, lr=5e-3)
         states[name] = model.state_dict()

@@ -17,6 +17,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.trainer import evaluate_accuracy
 from repro.graph.datasets import small_dataset
 from repro.models import GraphSAGE
+from repro.config import APTConfig
 
 
 def main() -> None:
@@ -39,9 +40,7 @@ def main() -> None:
     print(f"cluster: {cluster.num_devices} simulated GPUs on 1 machine")
 
     # --- Prepare + Plan -------------------------------------------------- #
-    apt = APT(
-        dataset, model, cluster, fanouts=[5, 5], global_batch_size=512, seed=0
-    )
+    apt = APT(dataset, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=512, seed=0))
     apt.prepare()
     report = apt.plan()
     print("\ncost-model estimates (seconds per epoch, strategy-specific):")

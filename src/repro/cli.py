@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands mirror the APT workflow:
+Commands mirror the APT workflow — training *and* serving share the same
+task flags, the same ``--json`` output path, and the same common flags
+(``--seed``, ``--checkpoint-dir``, ``--inject``):
 
 ``plan``
     Dry-run the strategies on a dataset analog and print the cost-model
-    ranking (the paper's Plan step).  ``--json`` emits the full
-    :class:`~repro.core.report.RunReport` as JSON.
+    ranking.  ``--objective epoch`` (default) ranks by epoch seconds (the
+    paper's Plan step); ``--objective latency`` ranks by predicted p99
+    per-request serving latency at ``--policy`` (DESIGN.md §5.13).
 ``run``
     Train with a chosen (or auto-selected) strategy and report simulated
     epoch times and losses.  ``--inject FILE`` applies a fault schedule
@@ -14,6 +17,14 @@ Commands mirror the APT workflow:
 ``trace``
     Run one strategy with per-phase tracing and write a
     ``chrome://tracing`` JSON of the simulated timeline.
+``serve``
+    Answer a seeded synthetic request stream from a trained model with
+    dynamic batching (``--policy "<max_batch>:<max_wait_ms>"``) and report
+    the latency percentiles.  ``--checkpoint-dir`` serves the latest
+    checkpoint (auto-training one first when the directory is empty).
+``loadgen``
+    Emit the synthetic request stream itself (for offline inspection or
+    replay): Zipf skew, bursts, diurnal modulation, hot-set drift.
 ``compare``
     Run every strategy from the same initial model and print the paper-
     style epoch-time table.
@@ -23,9 +34,12 @@ Commands mirror the APT workflow:
 Examples::
 
     python -m repro plan --dataset fs --hidden 32 --json
+    python -m repro plan --objective latency --policy 32:2
     python -m repro run --dataset ps --strategy auto --epochs 3
     python -m repro run --inject faults.json --replan --epochs 8 --json
     python -m repro trace --strategy dnp --out trace.json
+    python -m repro serve --requests 2048 --policy 32:2 --checkpoint-dir ck/
+    python -m repro loadgen --requests 512 --rate 800 --drift-every 0.2
     python -m repro compare --dataset fs --machines 4 --gpus 16 --hybrid
     python -m repro report
 """
@@ -71,6 +85,63 @@ def _add_task_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--prefetch-depth", type=int, default=None,
                    help="global batches sampled ahead of the numerics "
                         "(0 disables pipelining; default 2)")
+
+
+def _add_common_flags(
+    p: argparse.ArgumentParser, *, checkpoint: bool = False, inject: bool = False
+) -> None:
+    """The output/state flags every workflow command shares."""
+    p.add_argument("--json", action="store_true",
+                   help="emit the command's report as JSON instead of text")
+    if checkpoint:
+        p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="checkpoint directory (run: write into it; "
+                            "serve: load the latest checkpoint from it, "
+                            "auto-training one first when empty)")
+    if inject:
+        p.add_argument("--inject", metavar="FILE", default=None,
+                       help="JSON fault schedule to apply at epoch boundaries")
+
+
+def _add_loadgen_args(p: argparse.ArgumentParser) -> None:
+    """Request-stream shape flags shared by ``serve`` and ``loadgen``."""
+    p.add_argument("--requests", type=int, default=2048,
+                   help="number of requests to generate/answer")
+    p.add_argument("--loadgen-seed", type=int, default=None,
+                   help="request-stream seed (default: --seed)")
+    p.add_argument("--rate", type=float, default=1000.0,
+                   help="open-loop arrival rate in requests per simulated "
+                        "second; 0 = closed loop (fully backlogged)")
+    p.add_argument("--zipf-a", type=float, default=1.2,
+                   help="Zipf popularity exponent (> 1)")
+    p.add_argument("--drift-every", type=float, default=0.0,
+                   help="rotate the hot set every SECONDS (0 disables)")
+    p.add_argument("--drift-shift", type=int, default=None,
+                   help="popularity ranks rotated per drift window")
+    p.add_argument("--burst-every", type=float, default=0.0)
+    p.add_argument("--burst-len", type=float, default=0.0)
+    p.add_argument("--burst-factor", type=float, default=4.0)
+    p.add_argument("--diurnal-period", type=float, default=0.0)
+    p.add_argument("--diurnal-amplitude", type=float, default=0.0)
+
+
+def _make_loadgen(args, num_nodes: int):
+    from repro.serve import LoadGenerator
+
+    seed = args.loadgen_seed if args.loadgen_seed is not None else args.seed
+    return LoadGenerator(
+        num_nodes,
+        seed=seed,
+        rate=args.rate if args.rate > 0 else None,
+        zipf_a=args.zipf_a,
+        drift_every=args.drift_every,
+        drift_shift=args.drift_shift,
+        burst_every=args.burst_every,
+        burst_len=args.burst_len,
+        burst_factor=args.burst_factor,
+        diurnal_period=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+    )
 
 
 def _build(args, quiet: bool = False) -> APT:
@@ -140,11 +211,24 @@ def _load_schedule(args):
 
 def cmd_plan(args) -> int:
     apt = _build(args, quiet=args.json)
-    report = apt.plan()
+    if args.objective == "latency":
+        from repro.serve import BatchingPolicy
+
+        policy = BatchingPolicy.parse(args.policy)
+        report = apt.plan_serving(
+            batch_size=policy.max_batch_size, max_wait_s=policy.max_wait_s
+        )
+        header = (
+            "\ncost-model estimates (predicted per-request serving "
+            f"latency at policy {args.policy}):"
+        )
+    else:
+        report = apt.plan()
+        header = "\ncost-model estimates (strategy-specific seconds per epoch):"
     if args.json:
         print(report.to_json(indent=2))
         return 0
-    print("\ncost-model estimates (strategy-specific seconds per epoch):")
+    print(header)
     print(report.summary())
     print(f"\nAPT selects: {report.chosen}")
     return 0
@@ -220,13 +304,111 @@ def cmd_run(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    apt = _build(args)
+    apt = _build(args, quiet=args.json)
     name = args.strategy
     if name == "auto":
         name = apt.plan().chosen
     results = _traced_run(apt, name, args.epochs, args.lr, args.out)
+    if args.json:
+        print(json.dumps(
+            {
+                "strategy": name,
+                "trace_path": args.out,
+                "epochs": [
+                    {
+                        "epoch": e.epoch,
+                        "mean_loss": e.mean_loss,
+                        "wall_seconds": e.wall_seconds,
+                        "num_batches": e.num_batches,
+                    }
+                    for e in results
+                ],
+            },
+            indent=2,
+        ))
+        return 0
     print(f"ran {len(results)} epoch(s) with {name}; "
           f"chrome trace written to {args.out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.config import ServeConfig
+    from repro.core.checkpoint import CheckpointManager
+    from repro.serve import BatchingPolicy, ServeEngine
+
+    try:
+        policy = BatchingPolicy.parse(args.policy)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    apt = _build(args, quiet=args.json)
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is not None and CheckpointManager(
+        checkpoint_dir
+    ).latest() is None:
+        # Empty/missing checkpoint directory: train a model into it first,
+        # so `repro serve --checkpoint-dir fresh/` works in one command.
+        if not args.json:
+            print(f"no checkpoint under {checkpoint_dir!r}; training "
+                  f"{args.train_epochs} epoch(s) first")
+        apt.config.checkpoint_dir = checkpoint_dir
+        apt.run(num_epochs=args.train_epochs)
+        apt.config.checkpoint_dir = None
+    elif checkpoint_dir is None and args.train_epochs > 0:
+        apt.run(num_epochs=args.train_epochs)
+    config = ServeConfig(
+        max_batch_size=policy.max_batch_size,
+        max_wait_s=policy.max_wait_s,
+        cache_policy=args.cache_policy,
+        drift_threshold=args.drift_threshold,
+        drift_window=args.drift_window,
+    )
+    engine = ServeEngine(
+        apt,
+        config=config,
+        strategy=None if args.strategy == "auto" else args.strategy,
+        checkpoint_dir=checkpoint_dir,
+    )
+    stream = _make_loadgen(args, apt.dataset.num_nodes).generate(args.requests)
+    report = engine.serve(stream)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    lat, svc = report.latency, report.service
+    print(f"\nserved {report.num_requests} requests in "
+          f"{report.num_batches} batches with {report.strategy} "
+          f"(policy {args.policy}, cache {config.cache_policy}):")
+    print(f"  latency  p50={lat['p50'] * 1e3:.3f}ms "
+          f"p90={lat['p90'] * 1e3:.3f}ms p99={lat['p99'] * 1e3:.3f}ms")
+    print(f"  service  p50={svc['p50'] * 1e3:.3f}ms "
+          f"p99={svc['p99'] * 1e3:.3f}ms; "
+          f"throughput {report.throughput_rps:.0f} req/s (simulated)")
+    print(f"  cache hit fraction {report.cache['hit_fraction']:.3f}; "
+          f"{len(report.replans)} drift-triggered re-plan(s)")
+    print(f"  responses digest {report.responses_digest}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    gen = _make_loadgen(args, args.nodes)
+    stream = gen.generate(args.requests)
+    payload = {
+        "generator": gen.to_dict(),
+        "num_requests": len(stream),
+        "requests": [
+            {"request_id": r.request_id, "node": r.node, "arrival": r.arrival}
+            for r in stream
+        ],
+    }
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        if not args.json:
+            print(f"wrote {len(stream)} requests to {args.output}")
+            return 0
+    if args.json or args.output is None:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -299,28 +481,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plan = sub.add_parser("plan", help="dry-run strategies and rank them")
     _add_task_args(p_plan)
-    p_plan.add_argument("--json", action="store_true",
-                        help="emit the RunReport as JSON instead of a table")
+    _add_common_flags(p_plan)
+    p_plan.add_argument("--objective", choices=("epoch", "latency"),
+                        default="epoch",
+                        help="rank by epoch seconds (training) or predicted "
+                             "p99 per-request latency (serving)")
+    p_plan.add_argument("--policy", default="32:2", metavar="B:MS",
+                        help="serving batch policy '<max_batch>:<max_wait_ms>'"
+                             " scored by --objective latency")
     p_plan.set_defaults(func=cmd_plan)
 
     p_run = sub.add_parser("run", help="train with a strategy")
     _add_task_args(p_run)
+    _add_common_flags(p_run, checkpoint=True, inject=True)
     p_run.add_argument("--strategy", default="auto",
                        choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
     p_run.add_argument("--epochs", type=int, default=3)
     p_run.add_argument("--lr", type=float, default=1e-3)
     p_run.add_argument("--trace", metavar="FILE", default=None,
                        help="write a chrome://tracing JSON of the run")
-    p_run.add_argument("--inject", metavar="FILE", default=None,
-                       help="JSON fault schedule to apply at epoch boundaries")
     p_run.add_argument("--replan", action="store_true",
                        help="re-plan (and possibly hot-switch strategy) when "
                             "observed phase times drift from the estimates")
-    p_run.add_argument("--json", action="store_true",
-                       help="emit the RunReport as JSON instead of text")
-    p_run.add_argument("--checkpoint-dir", metavar="DIR", default=None,
-                       help="write an epoch checkpoint into DIR (atomic; "
-                            "the newest 3 are kept)")
     p_run.add_argument("--checkpoint-every", type=int, default=None,
                        metavar="N", help="checkpoint cadence in epochs "
                                          "(default 1)")
@@ -334,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run one strategy and write a chrome://tracing JSON"
     )
     _add_task_args(p_trace)
+    _add_common_flags(p_trace)
     p_trace.add_argument("--strategy", default="auto",
                          choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
     p_trace.add_argument("--epochs", type=int, default=1)
@@ -341,6 +524,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", metavar="FILE", default="trace.json",
                          help="chrome trace output path")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="answer a synthetic request stream from a trained model"
+    )
+    _add_task_args(p_serve)
+    _add_common_flags(p_serve, checkpoint=True)
+    _add_loadgen_args(p_serve)
+    p_serve.add_argument("--strategy", default="auto",
+                         choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"),
+                         help="serving strategy (auto: checkpointed strategy, "
+                              "else the latency-objective planner's choice)")
+    p_serve.add_argument("--policy", default="32:2", metavar="B:MS",
+                         help="dynamic batching policy "
+                              "'<max_batch>:<max_wait_ms>' (e.g. 32:2)")
+    p_serve.add_argument("--cache-policy", choices=("adaptive", "static"),
+                         default="adaptive",
+                         help="adaptive: re-key the GPU feature cache from "
+                              "observed request hotness under drift; static: "
+                              "keep the training census keying")
+    p_serve.add_argument("--drift-window", type=int, default=8,
+                         help="batches per serve-side drift window")
+    p_serve.add_argument("--drift-threshold", type=float, default=0.35,
+                         help="serve-side drift trigger (relative error)")
+    p_serve.add_argument("--train-epochs", type=int, default=2,
+                         help="epochs to train when no checkpoint exists "
+                              "(0 serves the untrained model)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="emit a seeded synthetic request stream as JSON"
+    )
+    _add_common_flags(p_lg)
+    _add_loadgen_args(p_lg)
+    p_lg.add_argument("--nodes", type=int, default=12_000,
+                      help="size of the node id space requests draw from")
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--output", metavar="FILE", default=None,
+                      help="write the stream to FILE instead of stdout")
+    p_lg.set_defaults(func=cmd_loadgen)
 
     p_cmp = sub.add_parser("compare", help="epoch-time table for all strategies")
     _add_task_args(p_cmp)

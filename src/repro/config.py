@@ -261,6 +261,77 @@ class APTConfig:
             out["host_chaos"] = self.host_chaos.to_dict()
         return out
 
+#: Serve-side cache policies (see repro.serve.cache).
+SERVE_CACHE_POLICIES = ("adaptive", "static")
+
+
+@dataclass
+class ServeConfig:
+    """Validated configuration of one serving session (``repro serve``).
+
+    Groups the dynamic-batching policy, the cache-adaptation knobs, and
+    the drift detector's trigger — the serving analogue of
+    :class:`APTConfig`'s online-adaptivity section.  See DESIGN.md §5.13.
+    """
+
+    #: dynamic batching: close a batch at this many requests ...
+    max_batch_size: int = 32
+    #: ... or this many simulated seconds after its first request.
+    max_wait_s: float = 0.002
+    #: ``"adaptive"`` re-keys the GPU feature cache from observed request
+    #: hotness when drift fires; ``"static"`` keeps the training census
+    #: keying for the whole session (the fixed baseline).
+    cache_policy: str = "adaptive"
+    #: relative-error trigger of the serve-side drift detector
+    drift_threshold: float = 0.35
+    #: batches per drift-detection window
+    drift_window: int = 8
+    #: hotness-count decay applied at each cache refresh (sliding window)
+    cache_decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ServeConfig":
+        if int(self.max_batch_size) <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        self.max_batch_size = int(self.max_batch_size)
+        if float(self.max_wait_s) < 0.0:
+            raise ValueError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s}"
+            )
+        self.max_wait_s = float(self.max_wait_s)
+        if self.cache_policy not in SERVE_CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be one of {SERVE_CACHE_POLICIES}, got "
+                f"{self.cache_policy!r}"
+            )
+        if float(self.drift_threshold) <= 0.0:
+            raise ValueError(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if int(self.drift_window) <= 0:
+            raise ValueError(
+                f"drift_window must be positive, got {self.drift_window}"
+            )
+        self.drift_window = int(self.drift_window)
+        if not 0.0 <= float(self.cache_decay) <= 1.0:
+            raise ValueError(
+                f"cache_decay must be in [0, 1], got {self.cache_decay}"
+            )
+        return self
+
+    def replace(self, **changes: Any) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+
 #: Feature-matrix sizes of the paper's datasets (Table 2), in GB.
 PAPER_FEATURE_GB = {"ps": 52.9, "fs": 62.6, "im": 128.0}
 

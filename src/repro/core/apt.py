@@ -10,11 +10,12 @@ Typical use::
     report = apt.run(num_epochs=5)   # execute; re-plans if phase times drift
     print(report.to_json(indent=2))  # plan + epochs + telemetry + re-plans
 
-Every entry point returns a :class:`~repro.core.report.RunReport`; the old
-kwargs surface (``APT(ds, model, cluster, fanouts=[...], seed=...)``) still
-works behind a ``DeprecationWarning``, and the report delegates the legacy
-attributes (``chosen``, ``epochs``, ``epoch_seconds``, ...), so
-pre-redesign call sites run unchanged.
+Every entry point returns a :class:`~repro.core.report.RunReport` (the
+report still delegates the legacy attributes ``chosen``, ``epochs``,
+``epoch_seconds``, ...).  The pre-redesign kwargs surface
+(``APT(ds, model, cluster, fanouts=[...], seed=...)``) is gone: passing a
+legacy kwarg raises a ``TypeError`` naming the ``APTConfig`` field to use
+instead.
 
 ``run_strategy`` executes a *fixed* strategy from the same initial model
 state — the benchmarks use it to produce the per-strategy epoch times the
@@ -30,7 +31,6 @@ carry over across a switch, and the engine's semantic-equivalence property
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -86,9 +86,8 @@ class APT:
         The GNN training task (paper "Prepare" inputs).
     config:
         An :class:`~repro.config.APTConfig`.  The pre-redesign kwargs
-        (``fanouts=...``, ``seed=...``, ...) are still accepted — they are
-        folded into a config with a ``DeprecationWarning`` — but cannot be
-        mixed with an explicit ``config``.
+        (``fanouts=...``, ``seed=...``, ...) are rejected with a
+        ``TypeError`` pointing at the config field to set instead.
     """
 
     def __init__(
@@ -101,26 +100,21 @@ class APT:
     ):
         if config is not None and not isinstance(config, APTConfig):
             # Pre-redesign signature: 4th positional argument was `fanouts`.
-            legacy = dict(legacy)
-            if "fanouts" in legacy:
-                raise TypeError("fanouts passed both positionally and by keyword")
-            legacy["fanouts"] = config
-            config = None
-        unknown = set(legacy) - set(_LEGACY_KWARGS)
-        if unknown:
-            raise TypeError(f"unexpected APT keyword arguments: {sorted(unknown)}")
-        if legacy and config is not None:
-            raise ValueError(
-                "pass either an APTConfig or the deprecated kwargs, not both"
+            raise TypeError(
+                "APT(dataset, model, cluster, fanouts) was removed; pass "
+                "APT(dataset, model, cluster, APTConfig(fanouts=...)) instead"
             )
         if legacy:
-            warnings.warn(
-                "APT(dataset, model, cluster, fanouts=..., ...) is deprecated; "
-                "pass APT(dataset, model, cluster, APTConfig(...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = APTConfig(**legacy)
+            known = sorted(set(legacy) & set(_LEGACY_KWARGS))
+            unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+            if known:
+                example = ", ".join(f"{k}=..." for k in known)
+                raise TypeError(
+                    f"APT(dataset, model, cluster, {example}) was removed; "
+                    f"pass APT(dataset, model, cluster, APTConfig({example})) "
+                    "instead"
+                )
+            raise TypeError(f"unexpected APT keyword arguments: {unknown}")
         self.config = config if config is not None else APTConfig()
 
         if model.num_layers != len(self.config.fanouts):
@@ -138,6 +132,7 @@ class APT:
         self.dryrun: Optional[DryRun] = None
         self.dryrun_stats: Dict[str, DryRunStats] = {}
         self.plan_report: Optional[PlanReport] = None
+        self.serve_plan_report: Optional[PlanReport] = None
         #: one sampled-epoch cache shared by every dry-run, census, and
         #: training context of this task (same graph, fanouts, and seed —
         #: the planner's 4 strategy dry-runs re-visit identical epochs)
@@ -272,6 +267,41 @@ class APT:
             self.dryrun_stats
         )
         return RunReport(plan=self.plan_report, config=self.config.to_dict())
+
+    def plan_serving(
+        self,
+        *,
+        batch_size: int = 32,
+        max_wait_s: float = 0.0,
+        strategies: Optional[Sequence[str]] = None,
+    ) -> RunReport:
+        """Rank strategies by predicted per-request serving latency.
+
+        Same dry-run statistics as :meth:`plan` (and reused when already
+        collected), but scored under the planner's ``"latency"`` objective
+        (DESIGN.md §5.13): predicted p99 per-request latency at the given
+        dynamic-batching shape instead of epoch seconds.  The chosen
+        strategy seeds :class:`~repro.serve.engine.ServeEngine` when no
+        strategy (or checkpoint) pins one.
+        """
+        self.config.validate()
+        self._require_prepared()
+        strategies = tuple(
+            strategies if strategies is not None else self.config.strategies
+        )
+        for name in strategies:
+            if name not in self.dryrun_stats:
+                self.dryrun_stats[name] = self.dryrun.run(name)
+        self.serve_plan_report = Planner(self._cost_model(self.cluster)).select(
+            {name: self.dryrun_stats[name] for name in strategies},
+            objective="latency",
+            batch_size=batch_size,
+            seeds_per_epoch=int(len(self.dataset.train_seeds)),
+            max_wait_s=max_wait_s,
+        )
+        return RunReport(
+            plan=self.serve_plan_report, config=self.config.to_dict()
+        )
 
     def _replan(
         self, cluster: ClusterSpec, strategies: Tuple[str, ...]

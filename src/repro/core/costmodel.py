@@ -92,6 +92,53 @@ class CostEstimate:
         }
 
 
+@dataclass
+class LatencyEstimate:
+    """Predicted per-request serving latency of one strategy.
+
+    The serving cost model (DESIGN.md §5.13) decomposes one inference
+    batch's simulated service time as ``service(b) = t_fixed +
+    t_per_seed * b``: ``t_fixed`` collects the per-batch link setup
+    latencies (one bulk transfer per touched tier, one message round per
+    shuffle partner) that a batch pays regardless of size, and
+    ``t_per_seed`` the volume terms (sampling, feature bytes, hidden
+    bytes) that scale with the seeds served.  Both are derived from the
+    same dry-run statistics the epoch objective uses — scaled from one
+    training epoch down to one serving batch.
+
+    ``p50`` is the predicted median request latency at a full batch;
+    ``p99`` adds the batching policy's worst-case formation wait.  The
+    wait terms are strategy-independent, so the *ranking* is decided by
+    ``service(batch_size)`` — but the absolute numbers stay comparable to
+    the measured serve-side percentiles.
+    """
+
+    strategy: str
+    batch_size: int
+    t_fixed: float
+    t_per_seed: float
+    p50: float
+    p99: float
+
+    def service_seconds(self, batch_size: int) -> float:
+        return self.t_fixed + self.t_per_seed * int(batch_size)
+
+    @property
+    def total(self) -> float:
+        """Ranking key (the tail is what serving objectives minimize)."""
+        return self.p99
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batch_size": self.batch_size,
+            "t_fixed": self.t_fixed,
+            "t_per_seed": self.t_per_seed,
+            "p50": self.p50,
+            "p99": self.p99,
+            "total": self.total,
+        }
+
+
 class CostModel:
     """Estimates strategy costs from dry-run statistics."""
 
@@ -244,6 +291,86 @@ class CostModel:
     ) -> Dict[str, CostEstimate]:
         return {
             name: self.estimate(stats)
+            for name, stats in stats_by_strategy.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # serving latency objective (DESIGN.md §5.13)
+    # ------------------------------------------------------------------ #
+    def shuffle_latency_seconds(self, stats: DryRunStats) -> float:
+        """Per-message latency share of T_shuffle (slowest device)."""
+        msgs = stats.recorder.shuffle_messages
+        if msgs.size == 0:
+            return 0.0
+        return float(msgs.max()) * self.profile["msg_latency"]
+
+    def latency_estimate(
+        self,
+        stats: DryRunStats,
+        *,
+        batch_size: int,
+        seeds_per_epoch: int,
+        max_wait_s: float = 0.0,
+    ) -> LatencyEstimate:
+        """Predicted p50/p99 per-request latency for one serving batch size.
+
+        The dry-run measured one training epoch over ``seeds_per_epoch``
+        seeds in ``stats.num_batches`` batches.  Volume terms (sampling,
+        feature bytes, hidden bytes, compute skew) scale linearly with the
+        seeds served, so dividing the epoch's volume seconds by its seeds
+        yields the marginal cost per request; the per-batch setup
+        latencies (tier transfers, shuffle message rounds) are paid once
+        per serving batch regardless of size.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if seeds_per_epoch <= 0:
+            raise ValueError(
+                f"seeds_per_epoch must be positive, got {seeds_per_epoch}"
+            )
+        load_fixed_epoch = self.load_latency_seconds(stats)
+        shuffle_fixed_epoch = self.shuffle_latency_seconds(stats)
+        volume_epoch = (
+            stats.t_build
+            + max(self.load_seconds(stats) - load_fixed_epoch, 0.0)
+            + max(self.shuffle_seconds(stats) - shuffle_fixed_epoch, 0.0)
+            + (
+                self.train_skew_seconds(stats)
+                if self.include_compute_skew
+                else 0.0
+            )
+        )
+        batches = max(stats.num_batches, 1)
+        t_fixed = (load_fixed_epoch + shuffle_fixed_epoch) / batches
+        t_per_seed = volume_epoch / float(seeds_per_epoch)
+        service = t_fixed + t_per_seed * batch_size
+        # Formation wait: the median request of a steadily filling batch
+        # waits about half the window, the unluckiest nearly all of it.
+        # Strategy-independent, so it shifts but never reorders rankings.
+        return LatencyEstimate(
+            strategy=stats.strategy,
+            batch_size=int(batch_size),
+            t_fixed=t_fixed,
+            t_per_seed=t_per_seed,
+            p50=service + 0.5 * float(max_wait_s),
+            p99=service + float(max_wait_s),
+        )
+
+    def latency_all(
+        self,
+        stats_by_strategy: Dict[str, DryRunStats],
+        *,
+        batch_size: int,
+        seeds_per_epoch: int,
+        max_wait_s: float = 0.0,
+    ) -> Dict[str, LatencyEstimate]:
+        return {
+            name: self.latency_estimate(
+                stats,
+                batch_size=batch_size,
+                seeds_per_epoch=seeds_per_epoch,
+                max_wait_s=max_wait_s,
+            )
             for name, stats in stats_by_strategy.items()
         }
 

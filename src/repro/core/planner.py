@@ -1,24 +1,53 @@
-"""The APT planner: rank strategies by estimated cost, pick the cheapest."""
+"""The APT planner: rank strategies by estimated cost, pick the cheapest.
+
+Two objectives share the same dry-run statistics:
+
+* ``"epoch"`` (the paper's Plan step) ranks by estimated strategy-specific
+  epoch seconds (:class:`~repro.core.costmodel.CostEstimate`);
+* ``"latency"`` (the serving extension, DESIGN.md §5.13) ranks by the
+  predicted p99 per-request latency at a given dynamic-batching policy
+  (:class:`~repro.core.costmodel.LatencyEstimate`).
+
+Both return a :class:`PlanReport`; ``estimates`` holds whichever estimate
+type the objective produced (each exposes ``.total`` and ``.as_dict()``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.costmodel import CostEstimate, CostModel
+from repro.core.costmodel import CostModel
 from repro.core.dryrun import DryRunStats
+
+#: Planner objectives and the estimate type each ranks by.
+OBJECTIVES = ("epoch", "latency")
 
 
 @dataclass
 class PlanReport:
     """Outcome of the Plan step."""
 
-    estimates: Dict[str, CostEstimate]
+    estimates: Dict[str, object]
     chosen: str
     ranking: List[str] = field(default_factory=list)
+    objective: str = "epoch"
 
     def summary(self) -> str:
         """Human-readable table of per-strategy estimates."""
+        if self.objective == "latency":
+            lines = [
+                f"{'strategy':<10}{'t_fixed':>12}{'t_per_seed':>12}"
+                f"{'p50':>12}{'p99':>12}"
+            ]
+            for name in self.ranking:
+                e = self.estimates[name]
+                star = " *" if name == self.chosen else ""
+                lines.append(
+                    f"{name:<10}{e.t_fixed:>12.6f}{e.t_per_seed:>12.8f}"
+                    f"{e.p50:>12.6f}{e.p99:>12.6f}{star}"
+                )
+            return "\n".join(lines)
         lines = [
             f"{'strategy':<10}{'t_build':>12}{'t_load':>12}{'t_shuffle':>12}"
             f"{'t_skew':>12}{'total':>12}"
@@ -34,16 +63,45 @@ class PlanReport:
 
 
 class Planner:
-    """Selects the estimated-fastest strategy from dry-run statistics."""
+    """Selects the estimated-best strategy from dry-run statistics."""
 
     def __init__(self, cost_model: CostModel):
         self.cost_model = cost_model
 
-    def select(self, stats_by_strategy: Dict[str, DryRunStats]) -> PlanReport:
+    def select(
+        self,
+        stats_by_strategy: Dict[str, DryRunStats],
+        *,
+        objective: str = "epoch",
+        batch_size: int = 32,
+        seeds_per_epoch: int = 0,
+        max_wait_s: float = 0.0,
+    ) -> PlanReport:
+        """Rank the candidates under ``objective`` and pick the best.
+
+        The latency objective additionally needs the serving batch shape
+        (``batch_size``, ``max_wait_s``) and the seed count the dry-run
+        epoch covered (``seeds_per_epoch``, for per-seed scaling).
+        """
         if not stats_by_strategy:
             raise ValueError("no dry-run statistics to plan over")
-        estimates = self.cost_model.estimate_all(stats_by_strategy)
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}"
+            )
+        if objective == "latency":
+            estimates = self.cost_model.latency_all(
+                stats_by_strategy,
+                batch_size=batch_size,
+                seeds_per_epoch=seeds_per_epoch,
+                max_wait_s=max_wait_s,
+            )
+        else:
+            estimates = self.cost_model.estimate_all(stats_by_strategy)
         ranking = sorted(estimates, key=lambda n: estimates[n].total)
         return PlanReport(
-            estimates=estimates, chosen=ranking[0], ranking=ranking
+            estimates=estimates,
+            chosen=ranking[0],
+            ranking=ranking,
+            objective=objective,
         )

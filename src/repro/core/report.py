@@ -1,4 +1,4 @@
-"""The unified :class:`RunReport` returned by every APT entry point.
+"""The public report API: :class:`ReportBase` and :class:`RunReport`.
 
 ``plan()``, ``run()``, and ``run_strategy()`` used to return three
 different shapes (``PlanReport``, ``APTRunResult``, ``APTRunResult``);
@@ -17,6 +17,14 @@ attributes of both legacy types (``chosen``, ``ranking``, ``estimates``,
 ``summary()`` / ``strategy``, ``epochs``, ``epoch_seconds``, ...), raising
 a descriptive error when the nested part is absent — so pre-redesign call
 sites keep working unchanged.
+
+:class:`ReportBase` is the serialization surface every public report
+shares: ``to_dict()`` wraps the subclass payload in a schema-versioned
+envelope (``schema_version`` + ``kind``), ``save()`` writes it as JSON,
+and ``load()`` reads it back with version/kind validation — so
+:class:`RunReport` (training) and :class:`~repro.serve.report.ServeReport`
+(serving) round-trip through the exact same API.  ``repro.core.report``
+re-exports both.
 """
 
 from __future__ import annotations
@@ -28,6 +36,75 @@ from typing import Any, Dict, List, Optional
 from repro.core.apt_result import APTRunResult
 from repro.core.planner import PlanReport
 from repro.obs.drift import DriftReading
+
+#: Version of the shared report JSON envelope.  Bump when a payload field
+#: changes meaning; ``ReportBase.load`` rejects mismatched files.
+REPORT_SCHEMA_VERSION = 1
+
+
+class ReportBase:
+    """Shared schema-versioned JSON surface of the public reports.
+
+    Subclasses set ``kind`` and implement :meth:`payload_dict`;
+    :meth:`to_dict` wraps the payload in the ``{"schema_version", "kind"}``
+    envelope, :meth:`save` / :meth:`load` round-trip it through a JSON
+    file, and :meth:`validate_dict` checks an already-parsed dict.  The
+    envelope is the contract: ``Report.load(report.save(path)) ==
+    report.to_dict()`` for every subclass.
+    """
+
+    kind: str = "report"
+
+    def payload_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload of the concrete report (no envelope)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kind": self.kind,
+        }
+        out.update(self.payload_dict())
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> str:
+        """Write the report as JSON; returns the path for chaining."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=2))
+            fh.write("\n")
+        return str(path)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def validate_dict(cls, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Check the envelope of a parsed report dict; returns it."""
+        version = payload.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"report has schema_version {version!r}, this build reads "
+                f"version {REPORT_SCHEMA_VERSION}"
+            )
+        kind = payload.get("kind")
+        if cls.kind != ReportBase.kind and kind != cls.kind:
+            raise ValueError(
+                f"expected a {cls.kind!r} report, got kind {kind!r}"
+            )
+        return payload
+
+    @classmethod
+    def load(cls, path: str) -> Dict[str, Any]:
+        """Read a saved report back as its validated dict form.
+
+        The dict equals ``report.to_dict()`` of the report that wrote it
+        (the round-trip contract pinned by ``tests/serve/test_report.py``).
+        """
+        with open(path) as fh:
+            payload = json.load(fh)
+        return cls.validate_dict(payload)
 
 
 @dataclass
@@ -60,8 +137,10 @@ class ReplanEvent:
 
 
 @dataclass
-class RunReport:
+class RunReport(ReportBase):
     """Everything one APT invocation produced.  See the module docstring."""
+
+    kind = "run"
 
     plan: Optional[PlanReport] = None
     result: Optional[APTRunResult] = None
@@ -147,7 +226,7 @@ class RunReport:
         return [r.epoch for r in self.replans if r.switched]
 
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict[str, Any]:
+    def payload_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
         if self.plan is not None:
             out["plan"] = {
@@ -186,5 +265,12 @@ class RunReport:
             out["config"] = self.config
         return out
 
-    def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.core.report is the one import site for every
+    # public report, but repro.serve itself imports this module.
+    if name == "ServeReport":
+        from repro.serve.report import ServeReport
+
+        return ServeReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -40,6 +40,10 @@ EVENT_KINDS = (
     "degraded",       # backend: failure budget spent, serial fallback on
     "checkpoint",     # APT: epoch checkpoint written
     "resume",         # APT: run continued from an epoch checkpoint
+    # -- serving (see DESIGN.md §5.13) --------------------------------- #
+    "serve_batch",    # ServeEngine: one inference batch answered
+    "serve_replan",   # ServeEngine: traffic drift crossed the threshold
+    "serve_cache",    # ServeEngine: the hotness cache was re-keyed
 )
 
 

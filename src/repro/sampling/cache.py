@@ -70,6 +70,13 @@ class SampleCacheStats:
 #: Budget pools entries can be charged against (see ``SampleCache.sample``).
 CACHE_KINDS = ("train", "eval")
 
+#: Lookup modes folded into the scope key.  Training and evaluation share
+#: one epoch numbering, but serving runs its own epoch-space (one pseudo
+#: epoch per batching window) — keying the scope by mode guarantees a
+#: serving lookup can never alias a training epoch's cached batch even
+#: when the ``(seed, epoch)`` pair collides numerically.
+CACHE_MODES = ("train", "serve")
+
 
 @dataclass
 class _Entry:
@@ -221,9 +228,9 @@ class SampleCache:
         """
         out: List[Tuple] = []
         for key, entry in self._entries.items():
-            _, sampler_type, shape, seed, epoch = key[:-1]
+            _, sampler_type, shape, seed, epoch, mode = key[:-1]
             out.append(
-                (sampler_type, shape, int(seed), int(epoch),
+                (sampler_type, shape, int(seed), int(epoch), mode,
                  key[-1].hex(), entry.kind)
             )
         return out
@@ -238,7 +245,7 @@ class SampleCache:
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _scope_of(sampler, epoch: int) -> Tuple:
+    def _scope_of(sampler, epoch: int, mode: str = "train") -> Tuple:
         shape = getattr(sampler, "fanouts", None)
         if shape is None:
             shape = getattr(sampler, "layer_budgets", None)
@@ -248,6 +255,7 @@ class SampleCache:
             tuple(shape) if shape is not None else None,
             int(sampler.global_seed),
             int(epoch),
+            mode,
         )
 
     @staticmethod
@@ -255,7 +263,12 @@ class SampleCache:
         return hashlib.blake2b(seeds_u.tobytes(), digest_size=16).digest()
 
     def sample(
-        self, sampler, seeds: np.ndarray, epoch: int = 0, kind: str = "train"
+        self,
+        sampler,
+        seeds: np.ndarray,
+        epoch: int = 0,
+        kind: str = "train",
+        mode: str = "train",
     ) -> MiniBatch:
         """Sampler-compatible entry point: ``sample(sampler, seeds, epoch)``.
 
@@ -263,12 +276,16 @@ class SampleCache:
         ``sampler.sample(seeds, epoch=epoch)`` would.  ``kind`` picks the
         budget pool the inserted entry is charged against — evaluation
         callers pass ``"eval"`` so their one-shot batch sweeps can never
-        evict training entries.
+        evict training entries.  ``mode`` is part of the scope key:
+        serving callers pass ``"serve"`` so their epoch-space can never
+        alias training entries (see :data:`CACHE_MODES`).
         """
         if kind not in CACHE_KINDS:
             raise ValueError(f"kind must be one of {CACHE_KINDS}, got {kind!r}")
+        if mode not in CACHE_MODES:
+            raise ValueError(f"mode must be one of {CACHE_MODES}, got {mode!r}")
         seeds_u = _sorted_unique(np.asarray(seeds, dtype=np.int64))
-        scope = self._scope_of(sampler, epoch)
+        scope = self._scope_of(sampler, epoch, mode)
         key = scope + (self._digest(seeds_u),)
 
         entry = self._entries.get(key)

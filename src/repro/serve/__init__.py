@@ -1,0 +1,39 @@
+"""Online inference serving over a trained APT checkpoint.
+
+The training side of this repo answers "how fast can one epoch run"; this
+package answers the ROADMAP's serving question — "how fast can one
+*request* be answered" — by reusing the training engine's components in a
+latency-oriented arrangement:
+
+* :mod:`repro.serve.loadgen` — seeded open/closed-loop request streams
+  (Zipf-skewed nodes, bursts, diurnal modulation, hot-set drift);
+* :mod:`repro.serve.queue` — request admission and dynamic batching
+  (max-batch-size / max-wait-time policy, deterministic composition);
+* :mod:`repro.serve.cache` — a request-hotness-keyed feature cache layered
+  on the :class:`~repro.featurestore.store.UnifiedFeatureStore` tiers;
+* :mod:`repro.serve.engine` — checkpoint loading + batched sample →
+  gather → forward inference through the existing strategies (no
+  backward), timed on the simulated :class:`~repro.cluster.timeline.Timeline`;
+* :mod:`repro.serve.report` — the :class:`ServeReport` sharing
+  :class:`~repro.core.report.ReportBase`'s schema-versioned JSON surface
+  with training's ``RunReport``.
+
+See DESIGN.md §5.13 for the architecture and the latency cost model.
+"""
+
+from repro.serve.cache import HotnessCache
+from repro.serve.engine import ServeEngine
+from repro.serve.loadgen import LoadGenerator, Request
+from repro.serve.queue import BatchingPolicy, RequestBatch, RequestQueue
+from repro.serve.report import ServeReport
+
+__all__ = [
+    "BatchingPolicy",
+    "HotnessCache",
+    "LoadGenerator",
+    "Request",
+    "RequestBatch",
+    "RequestQueue",
+    "ServeEngine",
+    "ServeReport",
+]

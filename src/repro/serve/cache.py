@@ -1,0 +1,137 @@
+"""Request-hotness-keyed feature caching for serving.
+
+Training keys the GPU caches by the dry-run access census — the frequency
+each node's feature is read over a *training epoch*.  Serving traffic has
+its own skew (the Zipf head of the request stream plus its sampled
+neighborhoods) and, under drift, that skew *moves*; a census-keyed cache
+slowly turns into a cache of yesterday's hot set.
+
+:class:`HotnessCache` closes the loop: it counts the feature rows each
+served batch actually read (the sampled input sets, not just the request
+seeds), decays the counts so the window slides, and on :meth:`refresh`
+re-keys the :class:`~repro.featurestore.store.UnifiedFeatureStore` GPU
+tier with the currently hottest nodes through the same
+:func:`~repro.featurestore.cache.hot_cache_nodes` /
+:meth:`~repro.featurestore.store.UnifiedFeatureStore.configure_caches`
+machinery the training policies use.  Byte budgets mirror
+:class:`~repro.sampling.cache.SampleCache`: one explicit budget, expressed
+in bytes, bounding what the re-keyed tier may hold.
+
+Re-keying changes *where* rows are read from, never their values, so
+serving outputs are bit-identical with the cache policy on or off — only
+the simulated latency moves (pinned by ``tests/serve/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.featurestore.cache import cache_capacity_nodes, hot_cache_nodes
+from repro.featurestore.store import Tier, UnifiedFeatureStore
+
+
+class HotnessCache:
+    """Sliding-window request-hotness tracker + GPU-cache re-keyer.
+
+    Parameters
+    ----------
+    store:
+        The feature store whose GPU tier this cache re-keys.
+    num_nodes / feature_dim:
+        Shape of the tracked id space and of one feature row.
+    num_devices:
+        Devices to configure (every device gets the same hot set, the
+        GDP/PaGraph replication policy — correct for any strategy because
+        tier placement never changes values).
+    cache_bytes:
+        Per-device byte budget of the re-keyed tier (defaults to the
+        cluster budget the store already uses).
+    dim_fraction:
+        Row-width fraction each device reads (1/C under NFP).
+    decay:
+        Multiplier applied to all counts at each refresh; < 1 makes the
+        window slide so drifted-away nodes cool off.
+    """
+
+    def __init__(
+        self,
+        store: UnifiedFeatureStore,
+        num_nodes: int,
+        feature_dim: int,
+        num_devices: int,
+        *,
+        cache_bytes: Optional[float] = None,
+        dim_fraction: float = 1.0,
+        decay: float = 0.5,
+    ):
+        if not 0.0 <= float(decay) <= 1.0:
+            raise ValueError(f"decay must be in [0, 1], got {decay}")
+        self.store = store
+        self.num_nodes = int(num_nodes)
+        self.feature_dim = int(feature_dim)
+        self.num_devices = int(num_devices)
+        self.cache_bytes = (
+            float(cache_bytes)
+            if cache_bytes is not None
+            else float(store.cluster.gpu_cache_bytes)
+        )
+        self.dim_fraction = float(dim_fraction)
+        self.decay = float(decay)
+        self.counts = np.zeros(self.num_nodes, dtype=np.float64)
+        self.observed_rows = 0
+        self.refreshes = 0
+        self.last_hot_size = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, node_ids: np.ndarray) -> None:
+        """Record one batch's feature-row reads (sampled input sets)."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        np.add.at(self.counts, ids, 1.0)
+        self.observed_rows += int(ids.size)
+
+    def capacity_nodes(self) -> int:
+        return cache_capacity_nodes(
+            self.cache_bytes, self.feature_dim, self.dim_fraction
+        )
+
+    def refresh(self) -> int:
+        """Re-key the store's GPU tier to the current hot set.
+
+        Returns the number of nodes now cached per device.  Counts are
+        decayed afterwards so the hotness window slides.
+        """
+        hot = hot_cache_nodes(self.counts, self.capacity_nodes())
+        self.store.configure_caches(
+            [hot] * self.num_devices, dim_fraction=self.dim_fraction
+        )
+        self.counts *= self.decay
+        self.refreshes += 1
+        self.last_hot_size = int(hot.size)
+        return self.last_hot_size
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def hit_fraction(load_rows) -> float:
+        """GPU-cache share of all feature rows in a recorder's ledger.
+
+        ``load_rows`` is ``VolumeRecorder.load_rows`` (or a per-window
+        delta of it): one ``{Tier: rows}`` dict per device.
+        """
+        hits = sum(rows.get(Tier.GPU_CACHE, 0.0) for rows in load_rows)
+        total = sum(sum(rows.values()) for rows in load_rows)
+        return hits / total if total > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "cache_bytes": self.cache_bytes,
+            "capacity_nodes": self.capacity_nodes(),
+            "dim_fraction": self.dim_fraction,
+            "decay": self.decay,
+            "observed_rows": self.observed_rows,
+            "refreshes": self.refreshes,
+            "last_hot_size": self.last_hot_size,
+        }

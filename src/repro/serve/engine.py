@@ -1,0 +1,431 @@
+"""Latency-oriented online inference over a trained APT checkpoint.
+
+:class:`ServeEngine` reuses the training engine end to end — the same
+:class:`~repro.sampling.neighbor.NeighborSampler`, the same
+:class:`~repro.featurestore.store.UnifiedFeatureStore` tiers and charging,
+and the same strategy ``assign_seeds → plan_batch → execute_batch`` path —
+but drives it per *request batch* instead of per training epoch, forward
+only, under :func:`~repro.tensor.tensor.no_grad`.
+
+Serving is a discrete-event simulation over a seeded request stream:
+
+1. the :class:`~repro.serve.queue.RequestQueue` partitions the stream into
+   dynamic batches (each with a deterministic ``ready_time``);
+2. each batch's *service time* is the simulated seconds the inference
+   charges on the :class:`~repro.cluster.timeline.Timeline` (sampling +
+   feature loads + forward compute + hidden shuffles, bulk-synchronous
+   across devices);
+3. batches execute in order on the single serving replica: ``start =
+   max(ready_time, previous finish)``, and a request's end-to-end latency
+   is ``finish - arrival`` (queue wait + service).
+
+Sampled structures are cached under ``mode="serve"`` scope keys
+(:mod:`repro.sampling.cache`), so serving can never alias a training
+epoch's cached batches.  Under the ``"adaptive"`` cache policy a
+:class:`~repro.serve.cache.HotnessCache` watches the served feature reads
+and — when the serve-side :class:`~repro.obs.drift.DriftDetector` flags a
+window whose load/sample/shuffle seconds drifted from the calibrated
+baseline — re-keys the GPU feature tier to the traffic's current hot set.
+Re-keying moves rows between tiers but never changes their values, so
+predictions are bit-identical across cache policies; only latency moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ServeConfig
+from repro.core.adapter import adapt_strategy
+from repro.core.checkpoint import Checkpoint, CheckpointManager
+from repro.featurestore.store import Tier
+from repro.obs.drift import DriftDetector
+from repro.obs.telemetry import TelemetryCollector
+from repro.serve.cache import HotnessCache
+from repro.serve.loadgen import Request
+from repro.serve.queue import BatchingPolicy, RequestBatch, RequestQueue
+from repro.serve.report import (
+    Response,
+    ServeReport,
+    latency_percentiles,
+)
+from repro.tensor.tensor import no_grad
+
+
+@dataclass
+class _WindowBaseline:
+    """Calibrated per-window phase seconds the drift detector trusts."""
+
+    t_build: float
+    t_load: float
+    t_shuffle: float
+
+
+class ServeEngine:
+    """Serves inference requests from a trained APT task.
+
+    Parameters
+    ----------
+    apt:
+        The :class:`~repro.core.apt.APT` task (prepared or preparable).
+        Its *current* model weights are served unless ``checkpoint_dir``
+        supplies trained ones.
+    config:
+        A :class:`~repro.config.ServeConfig` (batching + cache policy +
+        drift knobs); defaults to ``ServeConfig()``.
+    strategy:
+        Strategy to serve with.  ``None`` resolves, in order, to the
+        checkpoint's running strategy, else to the latency-objective
+        planner's choice (:meth:`APT.plan_serving`).
+    checkpoint_dir:
+        Directory of a checkpointed training run; its latest checkpoint's
+        model weights (and strategy, unless overridden) are loaded.
+    """
+
+    def __init__(
+        self,
+        apt,
+        *,
+        config: Optional[ServeConfig] = None,
+        strategy: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+    ):
+        self.apt = apt
+        self.config = (config if config is not None else ServeConfig()).validate()
+        apt.config.validate()
+        apt._require_prepared()
+
+        self.checkpoint: Optional[Checkpoint] = None
+        if checkpoint_dir is not None:
+            self.checkpoint = CheckpointManager(checkpoint_dir).load()
+            apt.model.load_state_dict(self.checkpoint.state["model"])
+            if strategy is None:
+                strategy = str(self.checkpoint.state["current_strategy"])
+
+        self.predicted: Optional[Dict[str, object]] = None
+        if strategy is None:
+            plan = apt.plan_serving(
+                batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+            ).plan
+            strategy = plan.chosen
+            self.predicted = {
+                "objective": plan.objective,
+                "chosen": plan.chosen,
+                "ranking": list(plan.ranking),
+                "estimates": {
+                    name: est.as_dict() for name, est in plan.estimates.items()
+                },
+            }
+
+        self.collector: Optional[TelemetryCollector] = (
+            TelemetryCollector() if apt.config.telemetry else None
+        )
+        self.ctx = apt._build_context(telemetry=self.collector)
+        self.strategy = adapt_strategy(strategy, self.ctx)
+        # Census-keyed caches first (the training policy) — the adaptive
+        # hotness cache re-keys the same tier once traffic is observed.
+        self.strategy_report = self.strategy.prepare(self.ctx)
+        self.hot_cache: Optional[HotnessCache] = None
+        if self.config.cache_policy == "adaptive":
+            self.hot_cache = HotnessCache(
+                self.ctx.store,
+                apt.dataset.num_nodes,
+                apt.dataset.feature_dim,
+                self.ctx.num_devices,
+                dim_fraction=self.strategy_report.dim_fraction,
+                decay=self.config.cache_decay,
+            )
+        self.queue = RequestQueue(
+            BatchingPolicy(
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+            )
+        )
+        self.detector = DriftDetector(threshold=self.config.drift_threshold)
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def _sample(self, seeds_per_device, batch_index: int):
+        """Per-device sampling with serve-scoped cache keys + time charges.
+
+        Mirrors :func:`repro.engine.base.sample_batches` but keys the
+        sample cache with ``mode="serve"`` (and the batch index as the
+        epoch) so serving lookups can never alias training epochs.
+        """
+        ctx = self.ctx
+        batches = []
+        for d, seeds in enumerate(seeds_per_device):
+            if seeds is None:
+                batches.append(None)
+                continue
+            if ctx.sample_cache is not None:
+                mb = ctx.sample_cache.sample(
+                    ctx.sampler,
+                    seeds,
+                    epoch=batch_index,
+                    kind="eval",
+                    mode="serve",
+                )
+            else:
+                mb = ctx.sampler.sample(seeds, epoch=batch_index)
+            batches.append(mb)
+        for d, mb in enumerate(batches):
+            if mb is None:
+                continue
+            if ctx.cpu_sampling:
+                ctx.charger.cpu_sampling(d, mb.total_edges())
+            else:
+                ctx.charger.gpu_sampling(d, mb.total_edges())
+            ctx.count("sampled_edges", mb.total_edges(), device=d, phase="sample")
+        return batches
+
+    def _infer(self, nodes: np.ndarray, batch_index: int) -> Dict[int, int]:
+        """One forward-only strategy step; returns ``{node: prediction}``.
+
+        Duplicate requests for the same node within a batch share one seed
+        (inference is read-only, so the answer is identical); the simulated
+        time is charged on the context timeline but the batch barrier is
+        left open — the caller closes it to obtain the service time.
+        """
+        ctx = self.ctx
+        unique_nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        seeds = self.strategy.assign_seeds(ctx, unique_nodes)
+        batches = self._sample(seeds, batch_index)
+        plan = self.strategy.plan_batch(ctx, batches)
+        predictions: Dict[int, int] = {}
+        with no_grad():
+            h1 = self.strategy.execute_batch(ctx, plan, batches)
+            for d, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                if self.hot_cache is not None:
+                    self.hot_cache.observe(mb.input_nodes)
+                for layer, block in zip(
+                    list(ctx.model.layers)[1:], mb.blocks[1:]
+                ):
+                    ctx.charger.dense(d, layer.forward_flops(block))
+                logits = ctx.model.upper_forward(mb, h1[d])
+                preds = logits.data.argmax(axis=1)
+                for node, pred in zip(mb.blocks[-1].dst_nodes, preds):
+                    predictions[int(node)] = int(pred)
+        return predictions
+
+    # ------------------------------------------------------------------ #
+    # the serving loop
+    # ------------------------------------------------------------------ #
+    def _load_rows_snapshot(self) -> List[Dict[Tier, float]]:
+        return [dict(rows) for rows in self.ctx.recorder.load_rows]
+
+    @staticmethod
+    def _load_rows_delta(before, after) -> List[Dict[Tier, float]]:
+        return [
+            {t: after[d].get(t, 0.0) - before[d].get(t, 0.0) for t in after[d]}
+            for d in range(len(after))
+        ]
+
+    def serve(self, requests: Sequence[Request]) -> ServeReport:
+        """Answer a request stream; returns the session's ServeReport."""
+        ctx = self.ctx
+        batches = self.queue.form_batches(requests)
+        cfg = self.config
+
+        responses: List[Response] = []
+        service_times: List[float] = []
+        latencies: List[float] = []
+        replans: List[Dict[str, object]] = []
+        window_hits: List[float] = []
+        prev_finish = 0.0
+
+        baseline: Optional[_WindowBaseline] = None
+        window_index = 0
+        phases_before = ctx.timeline.breakdown()
+        rows_before = self._load_rows_snapshot()
+
+        for index, batch in enumerate(batches):
+            predictions = self._infer(batch.nodes, index)
+            service = ctx.timeline.end_batch()
+            start = max(batch.ready_time, prev_finish)
+            finish = start + service
+            prev_finish = finish
+            service_times.append(service)
+            for req in batch.requests:
+                latency = finish - req.arrival
+                latencies.append(latency)
+                responses.append(
+                    Response(
+                        request_id=req.request_id,
+                        node=req.node,
+                        prediction=predictions[req.node],
+                        latency_s=latency,
+                    )
+                )
+            ctx.count("serve.requests", batch.size, phase="serve")
+            ctx.count("serve.batches", 1.0, phase="serve")
+            if self.collector is not None:
+                self.collector.emit(
+                    "serve_batch",
+                    sim_time=finish,
+                    epoch=index,
+                    size=batch.size,
+                    service_s=service,
+                    queue_wait_s=start - batch.ready_time,
+                )
+
+            if (index + 1) % cfg.drift_window == 0:
+                baseline, window_index = self._end_window(
+                    batch_index=index,
+                    window_index=window_index,
+                    baseline=baseline,
+                    phases_before=phases_before,
+                    rows_before=rows_before,
+                    sim_time=finish,
+                    replans=replans,
+                    window_hits=window_hits,
+                )
+                phases_before = ctx.timeline.breakdown()
+                rows_before = self._load_rows_snapshot()
+
+        return self._build_report(
+            batches=batches,
+            responses=responses,
+            latencies=latencies,
+            service_times=service_times,
+            replans=replans,
+            window_hits=window_hits,
+            sim_seconds=prev_finish,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _end_window(
+        self,
+        *,
+        batch_index: int,
+        window_index: int,
+        baseline: Optional[_WindowBaseline],
+        phases_before: Dict[str, float],
+        rows_before,
+        sim_time: float,
+        replans: List[Dict[str, object]],
+        window_hits: List[float],
+    ):
+        """Close one drift window: hit accounting, detection, re-keying.
+
+        The first full window *calibrates* the baseline instead of
+        comparing against one (serving has no dry-run of the request
+        stream to estimate from); after an adaptive refresh the baseline
+        is dropped so the next window re-calibrates against the re-keyed
+        cache.  The ``"static"`` policy does the same accounting but never
+        refreshes — it is the fixed baseline the benchmark compares
+        against.
+        """
+        ctx = self.ctx
+        phases_now = ctx.timeline.breakdown()
+        observed = {
+            name: phases_now[name] - phases_before.get(name, 0.0)
+            for name in phases_now
+        }
+        window_hits.append(
+            HotnessCache.hit_fraction(
+                self._load_rows_delta(rows_before, self._load_rows_snapshot())
+            )
+        )
+
+        refreshed = False
+        if baseline is None:
+            baseline = _WindowBaseline(
+                t_build=observed.get("sample", 0.0),
+                t_load=observed.get("load", 0.0),
+                t_shuffle=observed.get("shuffle", 0.0),
+            )
+            if self.hot_cache is not None and self.hot_cache.refreshes == 0:
+                # Warm-up re-key: adapt the census-keyed training cache to
+                # the serving traffic as soon as one window was observed,
+                # then drop the (census-era) baseline so the next window
+                # calibrates against the re-keyed tiers.
+                refreshed = True
+        else:
+            reading = self.detector.reading(window_index, baseline, observed)
+            if reading.exceeded:
+                record: Dict[str, object] = {
+                    "batch": batch_index,
+                    "window": window_index,
+                    "drift": reading.max_over,
+                    "worst_term": reading.worst_term,
+                }
+                if self.hot_cache is not None:
+                    refreshed = True
+                    record["action"] = "cache_refresh"
+                else:
+                    record["action"] = "observed_only"
+                replans.append(record)
+                if self.collector is not None:
+                    self.collector.emit(
+                        "serve_replan",
+                        sim_time=sim_time,
+                        epoch=batch_index,
+                        drift=reading.max_over,
+                        worst_term=reading.worst_term,
+                        action=record["action"],
+                    )
+
+        if refreshed:
+            hot_size = self.hot_cache.refresh()
+            baseline = None
+            if replans and replans[-1].get("action") == "cache_refresh":
+                replans[-1]["hot_size"] = hot_size
+            if self.collector is not None:
+                self.collector.emit(
+                    "serve_cache",
+                    sim_time=sim_time,
+                    epoch=batch_index,
+                    hot_size=hot_size,
+                    refreshes=self.hot_cache.refreshes,
+                )
+        return baseline, window_index + 1
+
+    # ------------------------------------------------------------------ #
+    def _build_report(
+        self,
+        *,
+        batches: List[RequestBatch],
+        responses: List[Response],
+        latencies: List[float],
+        service_times: List[float],
+        replans: List[Dict[str, object]],
+        window_hits: List[float],
+        sim_seconds: float,
+    ) -> ServeReport:
+        cache: Dict[str, object] = {
+            "policy": self.config.cache_policy,
+            "hit_fraction": HotnessCache.hit_fraction(
+                self.ctx.recorder.load_rows
+            ),
+            "window_hit_fractions": window_hits,
+        }
+        if self.hot_cache is not None:
+            cache.update(self.hot_cache.to_dict())
+        return ServeReport(
+            strategy=self.strategy.name,
+            queue=self.queue.to_dict(),
+            num_requests=len(responses),
+            num_batches=len(batches),
+            sim_seconds=float(sim_seconds),
+            throughput_rps=(
+                len(responses) / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+            latency=latency_percentiles(np.asarray(latencies)),
+            service=latency_percentiles(np.asarray(service_times)),
+            cache=cache,
+            replans=replans,
+            predicted=self.predicted,
+            telemetry=(
+                self.collector.summary() if self.collector is not None else None
+            ),
+            config=self.config.to_dict(),
+            responses_digest=ServeReport.digest_responses(responses),
+            responses=responses,
+        )

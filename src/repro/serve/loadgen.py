@@ -1,0 +1,179 @@
+"""Seeded request-stream generation for serving experiments.
+
+Real GNN inference traffic is skewed (a few entities are requested far more
+often than the tail), bursty, and non-stationary (the hot set moves as the
+day progresses).  :class:`LoadGenerator` reproduces those shapes
+deterministically from one seed:
+
+* **Zipf-skewed popularity** — request nodes are drawn from a bounded
+  Zipf(``zipf_a``) over a seeded popularity permutation, so rank 0 is the
+  hottest node and the tail is long;
+* **open / closed loop** — with ``rate > 0`` arrivals are an
+  inhomogeneous Poisson process at ``rate`` requests per simulated second
+  (open loop: the stream does not care how fast the server drains it);
+  ``rate=None`` produces a fully backlogged closed-loop stream (every
+  request available at t=0, batches form by size alone);
+* **bursts** — every ``burst_every`` seconds the instantaneous rate is
+  multiplied by ``burst_factor`` for ``burst_len`` seconds;
+* **diurnal modulation** — a sinusoid of ``diurnal_amplitude`` over
+  ``diurnal_period`` seconds scales the rate smoothly;
+* **hot-set drift** — every ``drift_every`` seconds the popularity
+  permutation rotates by ``drift_shift`` ranks, so yesterday's hot set
+  cools and a new one takes over.  This is the traffic shift that the
+  serve engine's adaptive cache re-keying (DESIGN.md §5.13) reacts to.
+
+Everything is a pure function of the constructor arguments: the same
+generator arguments produce the same request stream, which is what the
+determinism pins in ``tests/serve`` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: classify ``node``, arriving at ``arrival``
+    simulated seconds."""
+
+    request_id: int
+    node: int
+    arrival: float
+
+
+class LoadGenerator:
+    """Deterministic synthetic request streams over ``num_nodes`` entities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the id space requests are drawn from.
+    seed:
+        Seeds the popularity permutation, the Zipf draws, and the arrival
+        process.  Same seed (and same other arguments) → same stream.
+    rate:
+        Mean open-loop arrival rate in requests per simulated second;
+        ``None`` for a closed-loop (fully backlogged) stream.
+    zipf_a:
+        Zipf exponent of the popularity skew (> 1; larger = hotter head).
+    drift_every / drift_shift:
+        Rotate the popularity permutation by ``drift_shift`` ranks every
+        ``drift_every`` simulated seconds (0 disables drift).
+    burst_every / burst_len / burst_factor:
+        Periodic rate bursts (``burst_every=0`` disables).
+    diurnal_period / diurnal_amplitude:
+        Sinusoidal rate modulation (``diurnal_period=0`` disables).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        seed: int = 0,
+        rate: Optional[float] = 1000.0,
+        zipf_a: float = 1.2,
+        drift_every: float = 0.0,
+        drift_shift: Optional[int] = None,
+        burst_every: float = 0.0,
+        burst_len: float = 0.0,
+        burst_factor: float = 4.0,
+        diurnal_period: float = 0.0,
+        diurnal_amplitude: float = 0.0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        if zipf_a <= 1.0:
+            raise ValueError(f"zipf_a must exceed 1.0, got {zipf_a}")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude}"
+            )
+        self.num_nodes = int(num_nodes)
+        self.seed = int(seed)
+        self.rate = None if rate is None else float(rate)
+        self.zipf_a = float(zipf_a)
+        self.drift_every = float(drift_every)
+        self.drift_shift = (
+            max(1, self.num_nodes // 16)
+            if drift_shift is None
+            else int(drift_shift)
+        )
+        self.burst_every = float(burst_every)
+        self.burst_len = float(burst_len)
+        self.burst_factor = float(burst_factor)
+        self.diurnal_period = float(diurnal_period)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+
+    # ------------------------------------------------------------------ #
+    def _rate_at(self, t: float) -> float:
+        rate = self.rate if self.rate is not None else 1.0
+        if self.diurnal_period > 0:
+            rate *= 1.0 + self.diurnal_amplitude * np.sin(
+                2.0 * np.pi * t / self.diurnal_period
+            )
+        if self.burst_every > 0 and (t % self.burst_every) < self.burst_len:
+            rate *= self.burst_factor
+        return max(rate, 1e-9)
+
+    def generate(self, num_requests: int) -> List[Request]:
+        """The first ``num_requests`` requests of this stream."""
+        if num_requests <= 0:
+            raise ValueError(
+                f"num_requests must be positive, got {num_requests}"
+            )
+        rng = np.random.default_rng(self.seed)
+        # Popularity: rank r -> node perm[r]; bounded-Zipf rank draws via
+        # inverse CDF (exact, vectorized, no rejection loop).
+        perm = rng.permutation(self.num_nodes)
+        weights = 1.0 / np.power(
+            np.arange(1, self.num_nodes + 1, dtype=np.float64), self.zipf_a
+        )
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        ranks = np.searchsorted(cdf, rng.random(num_requests), side="right")
+
+        # Arrivals: thinned exponential gaps against the instantaneous rate.
+        gaps = rng.exponential(1.0, size=num_requests)
+        arrivals = np.zeros(num_requests, dtype=np.float64)
+        t = 0.0
+        if self.rate is not None:
+            for i in range(num_requests):
+                t += gaps[i] / self._rate_at(t)
+                arrivals[i] = t
+
+        out: List[Request] = []
+        for i in range(num_requests):
+            rank = int(ranks[i])
+            if self.drift_every > 0:
+                window = int(arrivals[i] // self.drift_every)
+                rank = (rank + window * self.drift_shift) % self.num_nodes
+            out.append(
+                Request(
+                    request_id=i,
+                    node=int(perm[rank]),
+                    arrival=float(arrivals[i]),
+                )
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe parameter snapshot (embedded in ServeReport)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "rate": self.rate,
+            "zipf_a": self.zipf_a,
+            "drift_every": self.drift_every,
+            "drift_shift": self.drift_shift,
+            "burst_every": self.burst_every,
+            "burst_len": self.burst_len,
+            "burst_factor": self.burst_factor,
+            "diurnal_period": self.diurnal_period,
+            "diurnal_amplitude": self.diurnal_amplitude,
+        }

@@ -1,0 +1,140 @@
+"""Request admission and dynamic batching.
+
+Per-request inference wastes the engine's batched sampling and gather
+paths; batching everything wastes latency.  The standard compromise — used
+by every production model server — is the **max-batch-size / max-wait**
+policy implemented here: an open batch closes the moment it holds
+``max_batch_size`` requests *or* ``max_wait_s`` simulated seconds after its
+first request arrived, whichever comes first.
+
+Batch composition is a pure function of the request stream and the policy:
+requests are consumed in ``(arrival, request_id)`` order and the closing
+rule has no randomness, so the same seeded stream always forms the same
+batches — the determinism pin of ``tests/serve/test_queue.py``, and the
+reason a served stream's outputs are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.serve.loadgen import Request
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """The max-batch-size / max-wait-time dynamic batching policy."""
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if int(self.max_batch_size) <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if float(self.max_wait_s) < 0:
+            raise ValueError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "BatchingPolicy":
+        """Parse the CLI grammar ``"<max_batch>:<max_wait_ms>"``.
+
+        Example: ``"32:2"`` = close a batch at 32 requests or 2 simulated
+        milliseconds after its first request, whichever comes first.
+        """
+        try:
+            batch_part, wait_part = str(text).split(":")
+            return cls(
+                max_batch_size=int(batch_part),
+                max_wait_s=float(wait_part) / 1e3,
+            )
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"bad batching policy {text!r}: expected "
+                f"'<max_batch>:<max_wait_ms>' (e.g. '32:2')"
+            ) from exc
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+        }
+
+
+@dataclass
+class RequestBatch:
+    """One closed batch: its requests and when it became dispatchable."""
+
+    requests: List[Request]
+    #: simulated second the batch closed (size reached → the filling
+    #: request's arrival; deadline reached → first arrival + max_wait)
+    ready_time: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Requested node ids, one per request (duplicates preserved)."""
+        return np.asarray([r.node for r in self.requests], dtype=np.int64)
+
+
+class RequestQueue:
+    """Admission + deterministic dynamic batching of a request stream.
+
+    The queue is *offline* over a generated stream (the serving simulation
+    knows every arrival up front), but the closing rule only ever looks at
+    requests at or before the decision point, so it forms exactly the
+    batches an online server applying the same policy would.
+    """
+
+    def __init__(self, policy: BatchingPolicy):
+        self.policy = policy
+        self.admitted = 0
+        self.batches_formed = 0
+
+    # ------------------------------------------------------------------ #
+    def form_batches(self, requests: Sequence[Request]) -> List[RequestBatch]:
+        """Partition the stream into dispatch-ordered batches."""
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        self.admitted += len(ordered)
+        out: List[RequestBatch] = []
+        current: List[Request] = []
+        for req in ordered:
+            if current:
+                deadline = current[0].arrival + self.policy.max_wait_s
+                if req.arrival > deadline:
+                    # The wait timer fired before this request arrived.
+                    out.append(
+                        RequestBatch(requests=current, ready_time=deadline)
+                    )
+                    current = []
+            current.append(req)
+            if len(current) >= self.policy.max_batch_size:
+                out.append(
+                    RequestBatch(requests=current, ready_time=req.arrival)
+                )
+                current = []
+        if current:
+            out.append(
+                RequestBatch(
+                    requests=current,
+                    ready_time=current[0].arrival + self.policy.max_wait_s,
+                )
+            )
+        self.batches_formed += len(out)
+        return out
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.policy.to_dict(),
+            "admitted": self.admitted,
+            "batches_formed": self.batches_formed,
+        }

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.config import APTConfig
 from repro.core import APT
 from repro.graph.datasets import small_dataset
 from repro.graph.partition import metis_like_partition
@@ -19,7 +20,12 @@ def make_apt(ds, cluster=None, **kw):
     if cluster is None:
         cluster = single_machine_cluster(4, gpu_cache_bytes=ds.feature_bytes * 0.05)
     model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=1)
-    return APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0, **kw)
+    return APT(
+        ds,
+        model,
+        cluster,
+        APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0, **kw),
+    )
 
 
 class TestPrepare:
@@ -59,7 +65,7 @@ class TestPrepare:
     def test_fanout_layer_mismatch_rejected(self, ds):
         model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 3, seed=1)
         with pytest.raises(ValueError, match="fanouts"):
-            APT(ds, model, single_machine_cluster(2), fanouts=[4, 4])
+            APT(ds, model, single_machine_cluster(2), APTConfig(fanouts=(4, 4)))
 
 
 class TestPlan:

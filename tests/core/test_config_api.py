@@ -1,4 +1,4 @@
-"""Tests for the APTConfig surface and the legacy-kwargs deprecation path."""
+"""Tests for the APTConfig surface and the removed legacy-kwargs path."""
 
 import numpy as np
 import pytest
@@ -89,27 +89,24 @@ class TestAPTConstruction:
         assert apt.fanouts == [4, 4]
         assert apt.global_batch_size == 256
 
-    def test_legacy_kwargs_warn_but_work(self, task):
+    def test_legacy_kwargs_raise_with_migration_hint(self, task):
         ds, model, cluster = task
-        with pytest.warns(DeprecationWarning):
-            apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256)
-        assert apt.config.fanouts == (4, 4)
-        assert apt.config.global_batch_size == 256
+        with pytest.raises(TypeError, match=r"APTConfig\(fanouts=\.\.\."):
+            APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256)
 
-    def test_legacy_positional_fanouts(self, task):
+    def test_legacy_positional_fanouts_raise(self, task):
         ds, model, cluster = task
-        with pytest.warns(DeprecationWarning):
-            apt = APT(ds, model, cluster, [4, 4])
-        assert apt.config.fanouts == (4, 4)
+        with pytest.raises(TypeError, match="APTConfig"):
+            APT(ds, model, cluster, [4, 4])
 
     def test_unknown_kwarg_is_a_typeerror(self, task):
         ds, model, cluster = task
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="unexpected"):
             APT(ds, model, cluster, fanout=[4, 4])
 
     def test_config_plus_legacy_kwargs_rejected(self, task):
         ds, model, cluster = task
-        with pytest.raises(ValueError):
+        with pytest.raises(TypeError, match="APTConfig"):
             APT(ds, model, cluster, APTConfig(fanouts=(4, 4)), seed=3)
 
     def test_layer_fanout_mismatch(self, task):

@@ -13,6 +13,7 @@ from repro.core.costmodel import (
 from repro.graph.datasets import small_dataset
 from repro.graph.partition import metis_like_partition
 from repro.models import GraphSAGE
+from repro.config import APTConfig
 
 
 @pytest.fixture(scope="module")
@@ -130,7 +131,7 @@ class TestCostModel:
         from repro.core import APT
 
         cm = CostModel(cluster, ds.feature_dim)
-        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
         apt.prepare()
         for name in ("gdp", "snp", "dnp", "nfp"):
             run = apt.run_strategy(name, 1, numerics=False)

@@ -14,6 +14,7 @@ from repro.core import APT
 from repro.engine import STRATEGIES
 from repro.graph.datasets import small_dataset
 from repro.models import GAT, GCN, GraphSAGE
+from repro.config import APTConfig
 
 TOL = 1e-9
 
@@ -23,9 +24,7 @@ def train_all_strategies(ds, cluster, model_factory, fanouts, epochs=1):
     states, losses = {}, {}
     for name in STRATEGIES:
         model = model_factory()
-        apt = APT(
-            ds, model, cluster, fanouts=fanouts, global_batch_size=256, seed=0
-        )
+        apt = APT(ds, model, cluster, APTConfig(fanouts=fanouts, global_batch_size=256, seed=0))
         apt.prepare()
         result = apt.run_strategy(name, epochs, lr=1e-2)
         states[name] = model.state_dict()
@@ -140,15 +139,7 @@ class TestEquivalenceUnderRandomPartition:
         states = {}
         for name in ("gdp", "snp", "dnp"):
             model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
-            apt = APT(
-                ds,
-                model,
-                cluster,
-                fanouts=[4, 4],
-                global_batch_size=256,
-                seed=0,
-                partition="random",
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0, partition="random"))
             apt.prepare()
             apt.run_strategy(name, 1, lr=1e-2)
             states[name] = model.state_dict()

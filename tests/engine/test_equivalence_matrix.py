@@ -12,6 +12,7 @@ from repro.cluster import multi_machine_cluster, single_machine_cluster
 from repro.core import APT
 from repro.graph.datasets import small_dataset
 from repro.models import GAT, GCN, GraphSAGE
+from repro.config import APTConfig
 
 TOL = 1e-9
 
@@ -40,9 +41,7 @@ def references(ds):
         for c_name, c_factory in CLUSTERS.items():
             model = m_factory(ds)
             cluster = c_factory(0.05 * ds.feature_bytes)
-            apt = APT(
-                ds, model, cluster, fanouts=[4, 4], global_batch_size=192, seed=0
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=192, seed=0))
             apt.prepare()
             result = apt.run_strategy("gdp", 1, lr=1e-2)
             refs[(m_name, c_name)] = (
@@ -59,7 +58,7 @@ def test_matches_gdp(ds, references, strategy, model_name, cluster_name):
     ref_loss, ref_state = references[(model_name, cluster_name)]
     model = MODELS[model_name](ds)
     cluster = CLUSTERS[cluster_name](0.05 * ds.feature_bytes)
-    apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=192, seed=0)
+    apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=192, seed=0))
     apt.prepare()
     result = apt.run_strategy(strategy, 1, lr=1e-2)
     assert result.final_loss == pytest.approx(ref_loss, rel=TOL)

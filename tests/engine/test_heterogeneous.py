@@ -9,6 +9,7 @@ from repro.models import GraphSAGE
 
 
 from repro.cluster import LinkSpec
+from repro.config import APTConfig
 
 
 def cluster_with_straggler(slow_factor: float) -> ClusterSpec:
@@ -36,9 +37,7 @@ class TestStraggler:
         for factor in (1.0, 4.0):
             cluster = cluster_with_straggler(factor)
             model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
-            apt = APT(
-                ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
             apt.prepare()
             runs[factor] = apt.run_strategy("gdp", 1, numerics=False)
         # The barrier makes the whole cluster wait for the straggler in the
@@ -59,9 +58,7 @@ class TestStraggler:
         for factor in (1.0, 4.0):
             cluster = cluster_with_straggler(factor)
             model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
-            apt = APT(
-                ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
             apt.prepare()
             apt.run_strategy("gdp", 1, lr=1e-2)
             states[factor] = model.state_dict()

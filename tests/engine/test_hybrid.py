@@ -11,6 +11,7 @@ from repro.engine.context import ExecutionContext
 from repro.graph.datasets import small_dataset
 from repro.graph.partition import metis_like_partition
 from repro.models import GAT, GCN, GraphSAGE
+from repro.config import APTConfig
 
 
 @pytest.fixture(scope="module")
@@ -113,9 +114,7 @@ class TestHybridEquivalence:
         states = {}
         for name in ("gdp", "hyb"):
             model = model_factory(ds)
-            apt = APT(
-                ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
             apt.prepare()
             apt.run_strategy(name, 1, lr=1e-2)
             states[name] = model.state_dict()

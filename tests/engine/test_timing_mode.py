@@ -12,6 +12,7 @@ from repro.core import APT
 from repro.engine import STRATEGIES
 from repro.graph.datasets import small_dataset
 from repro.models import GAT, GraphSAGE
+from repro.config import APTConfig
 
 
 @pytest.fixture(scope="module")
@@ -22,9 +23,7 @@ def ds():
 def compare_modes(ds, cluster, model_factory):
     for name in STRATEGIES:  # includes the hybrid extension
         model = model_factory()
-        apt = APT(
-            ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0
-        )
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
         apt.prepare()
         a = apt.run_strategy(name, 1, numerics=True)
         b = apt.run_strategy(name, 1, numerics=False)
@@ -59,7 +58,7 @@ class TestTimingMode:
     def test_timing_mode_returns_nan_loss(self, ds):
         cluster = single_machine_cluster(4)
         model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
-        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
         apt.prepare()
         r = apt.run_strategy("gdp", 1, numerics=False)
         assert np.isnan(r.final_loss)
@@ -68,7 +67,7 @@ class TestTimingMode:
         cluster = single_machine_cluster(4)
         model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=3)
         before = model.state_dict()
-        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=256, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=256, seed=0))
         apt.prepare()
         apt.run_strategy("snp", 1, numerics=False)
         after = model.state_dict()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import multi_machine_cluster, single_machine_cluster
-from repro.config import scaled_gpu_cache_bytes
+from repro.config import APTConfig, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.engine.context import ExecutionContext
 from repro.engine.trainer import evaluate_accuracy
@@ -21,7 +21,7 @@ class TestFullWorkflowOnAnalogs:
             4, gpu_cache_bytes=scaled_gpu_cache_bytes(ds)
         )
         model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
-        apt = APT(ds, model, cluster, fanouts=[5, 5], global_batch_size=512, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=512, seed=0))
         apt.prepare()
         report = apt.plan()
         assert report.chosen in ("gdp", "nfp", "snp", "dnp")
@@ -37,7 +37,7 @@ class TestDistributedGAT:
             2, 2, gpu_cache_bytes=scaled_gpu_cache_bytes(ds)
         )
         model = GAT(ds.feature_dim, 4, ds.num_classes, 2, heads=2, seed=0)
-        apt = APT(ds, model, cluster, fanouts=[5, 5], global_batch_size=256, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=256, seed=0))
         apt.prepare()
         result = apt.run_strategy("dnp", 2, lr=5e-3)
         assert result.epochs[1].mean_loss < result.epochs[0].mean_loss
@@ -51,7 +51,7 @@ class TestLayerwiseWithAPT:
             4, gpu_cache_bytes=scaled_gpu_cache_bytes(ds)
         )
         model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
-        apt = APT(ds, model, cluster, fanouts=[5, 5], global_batch_size=256, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=256, seed=0))
         apt.prepare()
         # Swap the sampler under the execution context.
         sampler = LayerWiseSampler(ds.graph, [128, 128], global_seed=0)
@@ -84,7 +84,7 @@ class TestAccuracyAcrossModels:
         ds = small_dataset(n=2000, feature_dim=16, num_classes=4, seed=1)
         cluster = single_machine_cluster(2, gpu_cache_bytes=0.1 * ds.feature_bytes)
         model = model_factory(ds)
-        apt = APT(ds, model, cluster, fanouts=[4, 4], global_batch_size=128, seed=0)
+        apt = APT(ds, model, cluster, APTConfig(fanouts=(4, 4), global_batch_size=128, seed=0))
         apt.prepare()
         apt.run_strategy("gdp", 6, lr=5e-3)
         ctx = ExecutionContext.build(ds, cluster, model, [4, 4])
@@ -102,9 +102,7 @@ class TestDeterminismEndToEnd:
 
         def run():
             model = GraphSAGE(ds.feature_dim, 16, ds.num_classes, 2, seed=0)
-            apt = APT(
-                ds, model, cluster, fanouts=[5, 5], global_batch_size=512, seed=0
-            )
+            apt = APT(ds, model, cluster, APTConfig(fanouts=(5, 5), global_batch_size=512, seed=0))
             apt.prepare()
             res = apt.run_strategy("dnp", 2, lr=5e-3)
             return res.epochs[-1].mean_loss, res.wall_seconds, model.state_dict()

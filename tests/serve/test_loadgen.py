@@ -1,0 +1,89 @@
+"""Determinism and shape pins for the synthetic load generator."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LoadGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = LoadGenerator(1000, seed=3, rate=500.0, drift_every=0.1).generate(200)
+        b = LoadGenerator(1000, seed=3, rate=500.0, drift_every=0.1).generate(200)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = LoadGenerator(1000, seed=3).generate(200)
+        b = LoadGenerator(1000, seed=4).generate(200)
+        assert a != b
+
+    def test_request_ids_sequential(self):
+        reqs = LoadGenerator(100, seed=0).generate(50)
+        assert [r.request_id for r in reqs] == list(range(50))
+
+
+class TestArrivalProcess:
+    def test_open_loop_arrivals_increase(self):
+        reqs = LoadGenerator(100, seed=0, rate=100.0).generate(100)
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0.0
+
+    def test_closed_loop_all_at_zero(self):
+        reqs = LoadGenerator(100, seed=0, rate=None).generate(64)
+        assert all(r.arrival == 0.0 for r in reqs)
+
+    def test_rate_scales_span(self):
+        slow = LoadGenerator(100, seed=0, rate=10.0).generate(100)[-1].arrival
+        fast = LoadGenerator(100, seed=0, rate=1000.0).generate(100)[-1].arrival
+        assert slow > 10 * fast
+
+    def test_burst_compresses_arrivals(self):
+        calm = LoadGenerator(100, seed=0, rate=100.0).generate(200)
+        bursty = LoadGenerator(
+            100, seed=0, rate=100.0, burst_every=0.5, burst_len=0.25,
+            burst_factor=8.0,
+        ).generate(200)
+        assert bursty[-1].arrival < calm[-1].arrival
+
+
+class TestPopularity:
+    def test_zipf_head_is_hot(self):
+        reqs = LoadGenerator(1000, seed=1, zipf_a=1.5, rate=None).generate(2000)
+        counts = np.bincount([r.node for r in reqs], minlength=1000)
+        top_share = np.sort(counts)[::-1][:50].sum() / 2000
+        assert top_share > 0.5  # 5% of nodes draw the majority of traffic
+
+    def test_drift_moves_the_hot_set(self):
+        gen = LoadGenerator(
+            500, seed=2, rate=1000.0, zipf_a=1.5, drift_every=0.5,
+            drift_shift=250,
+        )
+        reqs = gen.generate(2000)
+        early = {r.node for r in reqs if r.arrival < 0.4}
+        late = {r.node for r in reqs if 0.6 < r.arrival < 0.9}
+        overlap = len(early & late) / max(len(early | late), 1)
+        assert overlap < 0.5
+
+    def test_nodes_in_range(self):
+        reqs = LoadGenerator(77, seed=5).generate(500)
+        assert all(0 <= r.node < 77 for r in reqs)
+
+
+class TestValidation:
+    def test_bad_zipf_exponent(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(10, zipf_a=1.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(10, rate=0.0)
+
+    def test_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(10, diurnal_amplitude=1.0)
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        json.dumps(LoadGenerator(10, seed=1).to_dict())

@@ -1,0 +1,105 @@
+"""Dynamic-batching determinism pins (ISSUE 6 satellite 5).
+
+Batch composition must be a pure function of the request stream and the
+policy — same seeded stream, same batches, always.
+"""
+
+import pytest
+
+from repro.serve import BatchingPolicy, LoadGenerator, Request, RequestQueue
+
+
+def stream(n=100, seed=0, rate=500.0, **kw):
+    return LoadGenerator(200, seed=seed, rate=rate, **kw).generate(n)
+
+
+class TestPolicy:
+    def test_parse_grammar(self):
+        p = BatchingPolicy.parse("32:2")
+        assert p.max_batch_size == 32
+        assert p.max_wait_s == pytest.approx(0.002)
+
+    @pytest.mark.parametrize("bad", ["", "32", "a:b", "32:2:1", "0:2", "8:-1"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            BatchingPolicy.parse(bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-0.1)
+
+
+class TestBatchFormation:
+    def test_same_stream_same_batches(self):
+        policy = BatchingPolicy(max_batch_size=8, max_wait_s=0.005)
+        a = RequestQueue(policy).form_batches(stream(seed=3))
+        b = RequestQueue(policy).form_batches(stream(seed=3))
+        assert len(a) == len(b)
+        for batch_a, batch_b in zip(a, b):
+            assert batch_a.requests == batch_b.requests
+            assert batch_a.ready_time == batch_b.ready_time
+
+    def test_order_of_submission_is_irrelevant(self):
+        policy = BatchingPolicy(max_batch_size=8, max_wait_s=0.005)
+        reqs = stream(seed=1)
+        a = RequestQueue(policy).form_batches(reqs)
+        b = RequestQueue(policy).form_batches(list(reversed(reqs)))
+        for batch_a, batch_b in zip(a, b):
+            assert batch_a.requests == batch_b.requests
+
+    def test_every_request_batched_once(self):
+        policy = BatchingPolicy(max_batch_size=8, max_wait_s=0.005)
+        reqs = stream(n=77, seed=2)
+        batches = RequestQueue(policy).form_batches(reqs)
+        seen = [r.request_id for b in batches for r in b.requests]
+        assert sorted(seen) == list(range(77))
+
+    def test_size_cap_respected(self):
+        batches = RequestQueue(
+            BatchingPolicy(max_batch_size=4, max_wait_s=10.0)
+        ).form_batches(stream(n=30, seed=0))
+        assert all(b.size <= 4 for b in batches)
+        assert [b.size for b in batches[:-1]] == [4] * (len(batches) - 1)
+
+    def test_closed_loop_fills_by_size(self):
+        reqs = stream(n=64, seed=0, rate=None)
+        batches = RequestQueue(
+            BatchingPolicy(max_batch_size=16, max_wait_s=0.002)
+        ).form_batches(reqs)
+        assert [b.size for b in batches] == [16, 16, 16, 16]
+        assert all(b.ready_time == 0.0 for b in batches)
+
+    def test_wait_deadline_closes_sparse_stream(self):
+        # Requests 1 second apart with a 1 ms wait: every batch is size 1
+        # and becomes ready at its own arrival + max_wait.
+        reqs = [Request(i, i, float(i)) for i in range(5)]
+        batches = RequestQueue(
+            BatchingPolicy(max_batch_size=32, max_wait_s=0.001)
+        ).form_batches(reqs)
+        assert [b.size for b in batches] == [1] * 5
+        for i, b in enumerate(batches):
+            assert b.ready_time == pytest.approx(i + 0.001)
+
+    def test_size_close_ready_at_filling_arrival(self):
+        reqs = [Request(i, i, 0.0001 * i) for i in range(4)]
+        batches = RequestQueue(
+            BatchingPolicy(max_batch_size=4, max_wait_s=1.0)
+        ).form_batches(reqs)
+        assert len(batches) == 1
+        assert batches[0].ready_time == pytest.approx(0.0003)
+
+    def test_nodes_preserve_duplicates(self):
+        reqs = [Request(0, 7, 0.0), Request(1, 7, 0.0), Request(2, 3, 0.0)]
+        batches = RequestQueue(
+            BatchingPolicy(max_batch_size=8, max_wait_s=0.0)
+        ).form_batches(reqs)
+        assert batches[0].nodes.tolist() == [7, 7, 3]
+
+    def test_counters(self):
+        q = RequestQueue(BatchingPolicy(max_batch_size=8, max_wait_s=0.005))
+        q.form_batches(stream(n=50, seed=0))
+        assert q.admitted == 50
+        assert q.batches_formed >= 50 // 8
+        assert q.to_dict()["admitted"] == 50

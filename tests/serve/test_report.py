@@ -1,0 +1,118 @@
+"""Shared schema-versioned report envelope: RunReport + ServeReport.
+
+The acceptance contract for the report API redesign: both public reports
+round-trip through the exact same ``ReportBase`` save/load surface, and
+``repro.core.report`` is the single import site for both.
+"""
+
+import json
+
+import pytest
+
+from repro.core.report import REPORT_SCHEMA_VERSION, ReportBase, RunReport
+from repro.serve.report import Response, ServeReport, latency_percentiles
+
+
+def make_serve_report():
+    responses = [
+        Response(0, 5, 2, 0.004),
+        Response(1, 9, 1, 0.006),
+    ]
+    return ServeReport(
+        strategy="gdp",
+        queue={"admitted": 2, "batches_formed": 1},
+        num_requests=2,
+        num_batches=1,
+        sim_seconds=0.01,
+        throughput_rps=200.0,
+        latency=latency_percentiles([r.latency_s for r in responses]),
+        service={"p50": 0.003, "p99": 0.003, "mean": 0.003, "max": 0.003},
+        cache={"policy": "static", "hit_fraction": 0.4},
+        replans=[],
+        responses_digest=ServeReport.digest_responses(responses),
+        responses=responses,
+    )
+
+
+class TestEnvelope:
+    def test_serve_report_envelope(self):
+        out = make_serve_report().to_dict()
+        assert out["schema_version"] == REPORT_SCHEMA_VERSION
+        assert out["kind"] == "serve"
+        json.dumps(out)  # must be JSON-safe
+
+    def test_run_report_envelope(self):
+        out = RunReport().to_dict()
+        assert out["schema_version"] == REPORT_SCHEMA_VERSION
+        assert out["kind"] == "run"
+        json.dumps(out)
+
+    def test_raw_responses_not_serialized(self):
+        out = make_serve_report().to_dict()
+        assert "responses" not in out
+        assert out["responses_digest"]
+
+
+class TestRoundTrip:
+    def test_serve_report_round_trip(self, tmp_path):
+        report = make_serve_report()
+        path = report.save(str(tmp_path / "serve.json"))
+        assert ServeReport.load(path) == report.to_dict()
+
+    def test_run_report_round_trip(self, tmp_path):
+        report = RunReport(faults=[{"epoch": 1, "fault": {"kind": "kill"}}])
+        path = report.save(str(tmp_path / "run.json"))
+        assert RunReport.load(path) == report.to_dict()
+
+    def test_base_load_accepts_any_kind(self, tmp_path):
+        path = make_serve_report().save(str(tmp_path / "any.json"))
+        assert ReportBase.load(path)["kind"] == "serve"
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = make_serve_report().save(str(tmp_path / "serve.json"))
+        with pytest.raises(ValueError, match="kind"):
+            RunReport.load(path)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        payload = make_serve_report().to_dict()
+        payload["schema_version"] = 999
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema_version"):
+            ServeReport.load(str(path))
+
+
+class TestSingleImportSite:
+    def test_core_report_re_exports_serve_report(self):
+        import repro.core.report as mod
+
+        assert mod.ServeReport is ServeReport
+        with pytest.raises(AttributeError):
+            mod.NoSuchReport
+
+
+class TestDigest:
+    def test_digest_is_order_and_value_sensitive(self):
+        a = [Response(0, 1, 2, 0.1), Response(1, 3, 0, 0.2)]
+        b = [Response(1, 3, 0, 0.2), Response(0, 1, 2, 0.1)]
+        c = [Response(0, 1, 3, 0.1), Response(1, 3, 0, 0.2)]
+        assert ServeReport.digest_responses(a) != ServeReport.digest_responses(b)
+        assert ServeReport.digest_responses(a) != ServeReport.digest_responses(c)
+
+    def test_digest_ignores_latency(self):
+        # Latency is simulated placement, predictions are the answers:
+        # the digest pins the answers only.
+        a = [Response(0, 1, 2, 0.1)]
+        b = [Response(0, 1, 2, 0.9)]
+        assert ServeReport.digest_responses(a) == ServeReport.digest_responses(b)
+
+
+class TestPercentiles:
+    def test_empty_is_zeros(self):
+        out = latency_percentiles([])
+        assert out["p50"] == 0.0 and out["p99"] == 0.0
+
+    def test_ordering(self):
+        out = latency_percentiles([0.001 * i for i in range(1, 101)])
+        assert out["p50"] <= out["p90"] <= out["p99"] <= out["max"]
+        assert out["mean"] > 0.0
