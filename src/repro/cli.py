@@ -22,6 +22,11 @@ task flags, the same ``--json`` output path, and the same common flags
     dynamic batching (``--policy "<max_batch>:<max_wait_ms>"``) and report
     the latency percentiles.  ``--checkpoint-dir`` serves the latest
     checkpoint (auto-training one first when the directory is empty).
+``gen``
+    Generate an on-disk streaming dataset directory (chunked generators,
+    memory-mapped features).  ``plan``/``run``/``trace``/``serve`` consume
+    it via ``--dataset-dir``; the feature store then activates its disk
+    tier and trains without the feature matrix ever being fully resident.
 ``loadgen``
     Emit the synthetic request stream itself (for offline inspection or
     replay): Zipf skew, bursts, diurnal modulation, hot-set drift.
@@ -38,6 +43,8 @@ Examples::
     python -m repro run --dataset ps --strategy auto --epochs 3
     python -m repro run --inject faults.json --replan --epochs 8 --json
     python -m repro trace --strategy dnp --out trace.json
+    python -m repro gen /tmp/ds --nodes 1000000 --feature-dim 128
+    python -m repro run --dataset-dir /tmp/ds --epochs 2 --json
     python -m repro serve --requests 2048 --policy 32:2 --checkpoint-dir ck/
     python -m repro loadgen --requests 512 --rate 800 --drift-every 0.2
     python -m repro compare --dataset fs --machines 4 --gpus 16 --hybrid
@@ -54,15 +61,27 @@ from typing import Optional
 from repro.cluster import multi_machine_cluster, single_machine_cluster
 from repro.config import APTConfig, PAPER_CACHE_GB, scaled_gpu_cache_bytes
 from repro.core import APT
-from repro.graph import load_dataset
+from repro.graph import load_dataset, open_streaming_dataset, write_streaming_dataset
 from repro.models import GAT, GCN, GraphSAGE
 
 
 def _add_task_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", choices=("ps", "fs", "im"), default="fs",
                    help="dataset analog (paper Table 2 abbreviations)")
+    p.add_argument("--dataset-dir", metavar="DIR", default=None,
+                   help="train on an on-disk streaming dataset directory "
+                        "(from `repro gen`) instead of --dataset/--nodes; "
+                        "features stay memory-mapped and the store's disk "
+                        "tier activates (DESIGN.md §5.14)")
     p.add_argument("--nodes", type=int, default=12_000,
                    help="analog size in nodes")
+    p.add_argument("--partition", choices=("metis", "streaming", "random"),
+                   default=None,
+                   help="graph partitioner (default: metis; --dataset-dir "
+                        "defaults to the coarsen-once streaming partitioner)")
+    p.add_argument("--disk-promote-mb", type=int, default=None,
+                   help="hot-row promotion budget of the disk tier in MiB "
+                        "(default: REPRO_DISK_PROMOTE_MB env var or 64)")
     p.add_argument("--model", choices=("sage", "gat", "gcn"), default="sage")
     p.add_argument("--hidden", type=int, default=32,
                    help="hidden dim (GAT: per-head dim)")
@@ -145,7 +164,14 @@ def _make_loadgen(args, num_nodes: int):
 
 
 def _build(args, quiet: bool = False) -> APT:
-    ds = load_dataset(args.dataset, n=args.nodes)
+    dataset_dir = getattr(args, "dataset_dir", None)
+    if dataset_dir is not None:
+        try:
+            ds = open_streaming_dataset(dataset_dir)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"error: bad dataset dir {dataset_dir!r}: {exc}")
+    else:
+        ds = load_dataset(args.dataset, n=args.nodes)
     cache = scaled_gpu_cache_bytes(ds, args.cache_gb) if args.cache_gb > 0 else 0.0
     if args.machines == 1:
         cluster = single_machine_cluster(args.gpus, gpu_cache_bytes=cache)
@@ -179,11 +205,20 @@ def _build(args, quiet: bool = False) -> APT:
         config_kwargs["checkpoint_dir"] = args.checkpoint_dir
     if getattr(args, "checkpoint_every", None) is not None:
         config_kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "partition", None) is not None:
+        config_kwargs["partition"] = args.partition
+    elif dataset_dir is not None:
+        # Out-of-core graphs default to the coarsen-once partitioner — the
+        # full multilevel METIS analog would materialize per-level copies.
+        config_kwargs["partition"] = "streaming"
+    if getattr(args, "disk_promote_mb", None) is not None:
+        config_kwargs["disk_promote_mb"] = args.disk_promote_mb
     apt = APT(ds, model, cluster, APTConfig(**config_kwargs))
     apt.prepare()
     if not quiet:
+        source = dataset_dir if dataset_dir is not None else args.dataset
         print(
-            f"task: {args.dataset} ({ds.num_nodes} nodes, "
+            f"task: {source} ({ds.num_nodes} nodes, "
             f"{ds.graph.num_edges} edges, d={ds.feature_dim}), "
             f"{args.model} x{args.layers}, fanouts={fanouts}, "
             f"{cluster.num_devices} GPUs on {cluster.num_machines} machine(s)"
@@ -235,7 +270,12 @@ def cmd_plan(args) -> int:
 
 
 def _traced_run(apt: APT, name: str, epochs: int, lr: float, trace_path: str):
-    """Run one strategy with a trace-enabled timeline; returns EpochResults."""
+    """Run one strategy with a trace-enabled timeline.
+
+    Returns ``(EpochResults, ExecutionContext)`` — the context gives the
+    caller access to the feature store's disk-tier counters and the
+    recorder's per-device ledgers after the run.
+    """
     from repro.cluster import Communicator, Timeline
     from repro.cluster.compute import ComputeCharger
     from repro.engine import ParallelTrainer, make_strategy
@@ -253,7 +293,22 @@ def _traced_run(apt: APT, name: str, epochs: int, lr: float, trace_path: str):
     results = trainer.train(epochs)
     with open(trace_path, "w") as fh:
         json.dump(ctx.timeline.to_chrome_trace(), fh)
-    return results
+    return results, ctx
+
+
+def _disk_tier_summary(ctx) -> Optional[dict]:
+    """Disk-tier counters of a finished run; ``None`` for in-RAM stores."""
+    store = ctx.store
+    if not store.disk_tier_active:
+        return None
+    return {
+        "rows": store.disk_stats["rows"],
+        "bytes": store.disk_stats["bytes"],
+        "ranged_reads": store.disk_stats["ranged_reads"],
+        "promotions": store.disk_stats["promotions"],
+        "refreshes": store.disk_stats["refreshes"],
+        "resident_rows": store.disk_resident_count(),
+    }
 
 
 def cmd_run(args) -> int:
@@ -261,7 +316,7 @@ def cmd_run(args) -> int:
     strategy: Optional[str] = None if args.strategy == "auto" else args.strategy
     if args.trace:
         name = strategy or apt.plan().chosen
-        results = _traced_run(apt, name, args.epochs, args.lr, args.trace)
+        results, _ = _traced_run(apt, name, args.epochs, args.lr, args.trace)
         print(f"ran {len(results)} epoch(s) with {name}; "
               f"chrome trace written to {args.trace}")
         for e in results:
@@ -308,27 +363,35 @@ def cmd_trace(args) -> int:
     name = args.strategy
     if name == "auto":
         name = apt.plan().chosen
-    results = _traced_run(apt, name, args.epochs, args.lr, args.out)
+    results, ctx = _traced_run(apt, name, args.epochs, args.lr, args.out)
+    disk = _disk_tier_summary(ctx)
     if args.json:
-        print(json.dumps(
-            {
-                "strategy": name,
-                "trace_path": args.out,
-                "epochs": [
-                    {
-                        "epoch": e.epoch,
-                        "mean_loss": e.mean_loss,
-                        "wall_seconds": e.wall_seconds,
-                        "num_batches": e.num_batches,
-                    }
-                    for e in results
-                ],
-            },
-            indent=2,
-        ))
+        payload = {
+            "strategy": name,
+            "trace_path": args.out,
+            "epochs": [
+                {
+                    "epoch": e.epoch,
+                    "mean_loss": e.mean_loss,
+                    "wall_seconds": e.wall_seconds,
+                    "num_batches": e.num_batches,
+                }
+                for e in results
+            ],
+        }
+        if disk is not None:
+            payload["disk"] = disk
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"ran {len(results)} epoch(s) with {name}; "
           f"chrome trace written to {args.out}")
+    if disk is not None:
+        print(f"  disk tier: {disk['rows']:.0f} rows "
+              f"({disk['bytes'] / 2**20:.1f} MiB) in "
+              f"{disk['ranged_reads']:.0f} ranged reads; "
+              f"{disk['promotions']:.0f} rows promoted over "
+              f"{disk['refreshes']:.0f} refreshes "
+              f"({disk['resident_rows']} resident)")
     return 0
 
 
@@ -386,6 +449,43 @@ def cmd_serve(args) -> int:
     print(f"  cache hit fraction {report.cache['hit_fraction']:.3f}; "
           f"{len(report.replans)} drift-triggered re-plan(s)")
     print(f"  responses digest {report.responses_digest}")
+    return 0
+
+
+def cmd_gen(args) -> int:
+    out = write_streaming_dataset(
+        args.out,
+        num_nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        feature_dim=args.feature_dim,
+        num_classes=args.classes,
+        kind=args.kind,
+        seed=args.seed,
+        train_fraction=args.train_fraction,
+        exponent=args.exponent,
+    )
+    import numpy as np
+
+    with open(out / "meta.json") as fh:
+        meta = json.load(fh)
+    num_train = int(np.load(out / "train_seeds.npy").size)
+    if args.json:
+        print(json.dumps(
+            {"path": str(out), "num_train_seeds": num_train, "meta": meta},
+            indent=2,
+        ))
+        return 0
+    feat_bytes = (
+        meta["num_nodes"] * meta["feature_dim"]
+        * np.dtype(meta["feature_dtype"]).itemsize
+    )
+    print(f"wrote streaming dataset to {out}:")
+    print(f"  {meta['num_nodes']} nodes, {meta['num_edges']} edges "
+          f"({meta['kind']}, seed {meta['seed']})")
+    print(f"  features {meta['num_nodes']}x{meta['feature_dim']} "
+          f"({feat_bytes / 2**20:.1f} MiB on disk, never fully resident)")
+    print(f"  {num_train} train seeds, {meta['num_classes']} classes")
+    print(f"train on it with: repro run --dataset-dir {out}")
     return 0
 
 
@@ -551,6 +651,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="epochs to train when no checkpoint exists "
                               "(0 serves the untrained model)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_gen = sub.add_parser(
+        "gen", help="generate an on-disk streaming dataset directory"
+    )
+    p_gen.add_argument("out", metavar="DIR",
+                       help="output dataset directory (created if missing)")
+    p_gen.add_argument("--nodes", type=int, default=1_000_000,
+                       help="graph size in nodes")
+    p_gen.add_argument("--avg-degree", type=float, default=8.0)
+    p_gen.add_argument("--feature-dim", type=int, default=128)
+    p_gen.add_argument("--classes", type=int, default=16,
+                       help="number of label classes")
+    p_gen.add_argument("--kind", choices=("power_law", "rmat"),
+                       default="power_law", help="graph generator family")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--train-fraction", type=float, default=0.01,
+                       help="fraction of nodes used as training seeds")
+    p_gen.add_argument("--exponent", type=float, default=2.0,
+                       help="power-law degree exponent")
+    _add_common_flags(p_gen)
+    p_gen.set_defaults(func=cmd_gen)
 
     p_lg = sub.add_parser(
         "loadgen", help="emit a seeded synthetic request stream as JSON"

@@ -64,6 +64,11 @@ class MachineSpec:
     #: Fast GPU <-> GPU link; ``None`` models the T4 platform (no NVLink),
     #: in which case peer-GPU traffic goes over PCIe.
     nvlink: Optional[LinkSpec] = None
+    #: Local NVMe storage serving the out-of-core feature tier
+    #: (``Tier.DISK``): sequential-read bandwidth plus a per-ranged-read
+    #: setup latency (seek + submission).  g4dn.metal ships 2x 900 GB
+    #: NVMe; ~2 GB/s effective and ~100 us per read request.
+    disk: LinkSpec = field(default_factory=lambda: LinkSpec(bandwidth=2e9, latency=1e-4))
     #: CPU-based sampling throughput (edges/s) across the whole machine;
     #: used by the DistDGL-style baseline in the Fig. 7 sanity check.
     cpu_sampling_edges_per_sec: float = 2.5e7

@@ -47,7 +47,8 @@ class APTConfig:
     fanouts: Tuple[int, ...] = (10, 10, 10)
     #: seeds per synchronized step, summed over GPUs
     global_batch_size: int = 1024
-    #: ``"metis"``, ``"random"``, or an explicit node->device array
+    #: ``"metis"``, ``"streaming"`` (coarsen-once, bounded memory — the
+    #: out-of-core default), ``"random"``, or an explicit node->device array
     partition: Union[str, np.ndarray] = "metis"
     seed: int = 0
     #: relative measurement error of the bandwidth-profiling trials
@@ -83,6 +84,12 @@ class APTConfig:
     #: whose load set is the input set (GDP).  Pays off only when workers
     #: overlap a numerics-bound main process, hence off by default.
     gather_prefetch: bool = False
+    # ---- out-of-core feature tier (DESIGN.md §5.14) ------------------- #
+    #: byte budget (MiB) of CPU-resident hot rows promoted out of the disk
+    #: tier for memmap-backed datasets; 0 disables promotion entirely and
+    #: ``None`` defers to ``REPRO_DISK_PROMOTE_MB`` (default 64).  In-RAM
+    #: datasets ignore this field.
+    disk_promote_mb: Optional[int] = None
     # ---- fault tolerance (process backend + checkpointing) ----------- #
     #: supervision knobs of the process backend — a
     #: :class:`~repro.parallel.supervisor.FaultPolicy` or a dict of its
@@ -125,10 +132,10 @@ class APTConfig:
             )
         self.global_batch_size = int(self.global_batch_size)
         if isinstance(self.partition, str):
-            if self.partition not in ("metis", "random"):
+            if self.partition not in ("metis", "streaming", "random"):
                 raise ValueError(
-                    f"partition must be 'metis', 'random', or an explicit "
-                    f"node->device array, got {self.partition!r}"
+                    f"partition must be 'metis', 'streaming', 'random', or an "
+                    f"explicit node->device array, got {self.partition!r}"
                 )
         else:
             self.partition = np.asarray(self.partition, dtype=np.int64)
@@ -184,6 +191,15 @@ class APTConfig:
             "set via --prefetch-depth or REPRO_PREFETCH_DEPTH",
         )
         self.gather_prefetch = bool(self.gather_prefetch)
+        if self.disk_promote_mb is not None:
+            self.disk_promote_mb = self._int_field(
+                "disk_promote_mb",
+                self.disk_promote_mb,
+                minimum=0,
+                maximum=1_048_576,
+                hint="MiB of hot disk-tier rows kept CPU-resident; 0 disables "
+                "promotion, None defers to REPRO_DISK_PROMOTE_MB",
+            )
         self._validate_fault_fields()
         return self
 

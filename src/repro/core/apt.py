@@ -54,7 +54,11 @@ from repro.engine import STRATEGIES
 from repro.engine.context import ExecutionContext
 from repro.engine.trainer import ParallelTrainer
 from repro.graph.datasets import GraphDataset
-from repro.graph.partition import metis_like_partition, random_partition
+from repro.graph.partition import (
+    metis_like_partition,
+    random_partition,
+    streaming_partition,
+)
 from repro.models.base import GNNModel
 from repro.obs.drift import DriftDetector
 from repro.obs.telemetry import TelemetryCollector
@@ -207,6 +211,10 @@ class APT:
             self.parts = metis_like_partition(
                 self.dataset.graph, self.cluster.num_devices, seed=self.seed
             )
+        elif partition == "streaming":
+            self.parts = streaming_partition(
+                self.dataset.graph, self.cluster.num_devices, seed=self.seed
+            )
         elif partition == "random":
             self.parts = random_partition(
                 self.dataset.num_nodes, self.cluster.num_devices, seed=self.seed
@@ -219,6 +227,10 @@ class APT:
         )
         self.node_machine = machine_of_device[self.parts]
         self.dryrun = self._make_dryrun(self.cluster)
+
+    def _disk_promote_bytes(self) -> Optional[float]:
+        mb = self.config.disk_promote_mb
+        return None if mb is None else float(mb) * 2**20
 
     def _make_dryrun(self, cluster: ClusterSpec) -> DryRun:
         return DryRun(
@@ -233,6 +245,7 @@ class APT:
             shuffle_seed=self.seed,
             sample_cache=self.sample_cache,
             reuse_samples=self.sample_cache is not None,
+            disk_promote_bytes=self._disk_promote_bytes(),
         )
 
     def _require_prepared(self) -> None:
@@ -342,6 +355,7 @@ class APT:
             telemetry=telemetry,
             sample_cache=self.sample_cache,
             backend=backend,
+            disk_promote_bytes=self._disk_promote_bytes(),
         )
 
     def _make_trainer(

@@ -104,6 +104,7 @@ def recorder_state(recorder) -> Dict[str, Any]:
         "n_dst": int(recorder.n_dst),
         "n_virtual": int(recorder.n_virtual),
         "shuffle_messages": recorder.shuffle_messages.copy(),
+        "disk_ranged_reads": recorder.disk_ranged_reads.copy(),
         "peak_intermediate_bytes": recorder.peak_intermediate_bytes.copy(),
         "layer1_flops": recorder.layer1_flops.copy(),
         "access_frequency": (
@@ -120,12 +121,22 @@ def restore_recorder(recorder, state: Dict[str, Any]) -> None:
             f"recorder state is for {len(state['load_rows'])} devices, "
             f"this recorder has {recorder.num_devices}"
         )
-    recorder.load_rows = [dict(rows) for rows in state["load_rows"]]
+    # Older checkpoints predate the disk tier: normalize missing per-tier
+    # keys to zero rather than rejecting the state.
+    from repro.featurestore.store import Tier
+
+    recorder.load_rows = [
+        {t: float(rows.get(t, 0.0)) for t in Tier} for rows in state["load_rows"]
+    ]
     recorder.hidden_bytes[...] = state["hidden_bytes"]
     recorder.structure_send_bytes[...] = state["structure_send_bytes"]
     recorder.n_dst = int(state["n_dst"])
     recorder.n_virtual = int(state["n_virtual"])
     recorder.shuffle_messages[...] = state["shuffle_messages"]
+    if "disk_ranged_reads" in state:
+        recorder.disk_ranged_reads[...] = state["disk_ranged_reads"]
+    else:
+        recorder.disk_ranged_reads[...] = 0.0
     recorder.peak_intermediate_bytes[...] = state["peak_intermediate_bytes"]
     recorder.layer1_flops[...] = state["layer1_flops"]
     recorder.access_frequency = (

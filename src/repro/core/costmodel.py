@@ -183,6 +183,8 @@ class CostModel:
             "net_latency": measured(cluster.network.latency)
             if cluster.network.latency > 0
             else 0.0,
+            "disk": measured(m0.disk.bandwidth),
+            "disk_latency": measured(m0.disk.latency) if m0.disk.latency > 0 else 0.0,
         }
 
     # ------------------------------------------------------------------ #
@@ -200,12 +202,17 @@ class CostModel:
             Tier.LOCAL_CPU: self.profile["pcie_latency"],
             Tier.REMOTE_CPU: self.profile["net_latency"],
         }
+        reads = getattr(stats.recorder, "disk_ranged_reads", None)
         per_device = []
-        for rows in stats.recorder.load_rows:
-            per_device.append(
-                stats.num_batches
-                * sum(lat for t, lat in tier_latency.items() if rows[t] > 0)
+        for d, rows in enumerate(stats.recorder.load_rows):
+            lat = stats.num_batches * sum(
+                lat for t, lat in tier_latency.items() if rows.get(t, 0.0) > 0
             )
+            if reads is not None:
+                # Disk pays one setup latency per coalesced ranged read, not
+                # per batch — scattered misses are what make disk slow.
+                lat += float(reads[d]) * self.profile["disk_latency"]
+            per_device.append(lat)
         return float(max(per_device)) if per_device else 0.0
 
     def load_seconds(self, stats: DryRunStats) -> float:
@@ -217,21 +224,23 @@ class CostModel:
             Tier.PEER_GPU: self.profile["peer"],
             Tier.LOCAL_CPU: self.profile["pcie"],
             Tier.REMOTE_CPU: self.profile["net_per_gpu"],
+            Tier.DISK: self.profile["disk"],
         }
         tier_latency = {
             Tier.PEER_GPU: self.profile["msg_latency"],
             Tier.LOCAL_CPU: self.profile["pcie_latency"],
             Tier.REMOTE_CPU: self.profile["net_latency"],
         }
+        reads = getattr(stats.recorder, "disk_ranged_reads", None)
         per_device = []
-        for rows in stats.recorder.load_rows:
-            per_device.append(
-                sum(rows[t] * row_bytes / tier_bw[t] for t in Tier)
-                + stats.num_batches
-                * sum(
-                    lat for t, lat in tier_latency.items() if rows[t] > 0
-                )
+        for d, rows in enumerate(stats.recorder.load_rows):
+            secs = sum(rows.get(t, 0.0) * row_bytes / tier_bw[t] for t in Tier)
+            secs += stats.num_batches * sum(
+                lat for t, lat in tier_latency.items() if rows.get(t, 0.0) > 0
             )
+            if reads is not None:
+                secs += float(reads[d]) * self.profile["disk_latency"]
+            per_device.append(secs)
         return float(max(per_device)) if per_device else 0.0
 
     def shuffle_seconds(self, stats: DryRunStats) -> float:

@@ -102,6 +102,7 @@ class DryRun:
         shuffle_seed: int = 0,
         sample_cache: Optional[SampleCache] = None,
         reuse_samples: bool = True,
+        disk_promote_bytes: Optional[float] = None,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -112,6 +113,7 @@ class DryRun:
         self.global_batch_size = int(global_batch_size)
         self.sampler_seed = int(sampler_seed)
         self.shuffle_seed = int(shuffle_seed)
+        self.disk_promote_bytes = disk_promote_bytes
         self._access_freq: Optional[np.ndarray] = None
         # One cache shared by the census and every strategy's context: the
         # census samples each whole global batch once, and the per-strategy
@@ -152,6 +154,7 @@ class DryRun:
             sampler_seed=self.sampler_seed,
             shuffle_seed=self.shuffle_seed,
             sample_cache=self.sample_cache,
+            disk_promote_bytes=self.disk_promote_bytes,
         )
         report = strategy.prepare(ctx)
         iterator = EpochIterator(

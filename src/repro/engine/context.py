@@ -50,6 +50,10 @@ class VolumeRecorder:
         #: shuffling (drives the latency part of the T_shuffle estimate —
         #: dominant when hidden dimensions are small)
         self.shuffle_messages = np.zeros(self.num_devices)
+        #: coalesced ranged reads issued against the disk tier per device
+        #: (drives the per-read setup latency in the T_load estimate —
+        #: dominant when out-of-core misses are scattered)
+        self.disk_ranged_reads = np.zeros(self.num_devices)
         #: peak layer-1 intermediate bytes per device (OOM analysis, Fig. 10)
         self.peak_intermediate_bytes = np.zeros(self.num_devices)
         #: estimated first-layer forward FLOPs per device.  The paper's cost
@@ -63,9 +67,17 @@ class VolumeRecorder:
         self.access_frequency: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
-    def record_load(self, device: int, rows_per_tier: Dict[Tier, int]) -> None:
+    def record_load(
+        self,
+        device: int,
+        rows_per_tier: Dict[Tier, int],
+        *,
+        ranged_reads: int = 0,
+    ) -> None:
         for tier, rows in rows_per_tier.items():
             self.load_rows[device][tier] += float(rows)
+        if ranged_reads:
+            self.disk_ranged_reads[device] += float(ranged_reads)
 
     def record_hidden(self, src: int, dst: int, nbytes: float) -> None:
         if src != dst:
@@ -184,10 +196,16 @@ class ExecutionContext:
         telemetry=None,
         sample_cache: Optional[SampleCache] = None,
         backend=None,
+        disk_promote_bytes: Optional[float] = None,
     ) -> "ExecutionContext":
         """Assemble a fresh context with new ledgers."""
         timeline = Timeline(cluster.num_devices, overlap=overlap, telemetry=telemetry)
-        store = UnifiedFeatureStore(dataset, cluster, node_machine=node_machine)
+        store = UnifiedFeatureStore(
+            dataset,
+            cluster,
+            node_machine=node_machine,
+            disk_promote_bytes=disk_promote_bytes,
+        )
         return cls(
             dataset=dataset,
             cluster=cluster,

@@ -34,6 +34,7 @@ from repro.engine.base import (
 )
 from repro.engine.context import ExecutionContext
 from repro.featurestore.cache import cache_capacity_nodes, dnp_cache_nodes
+from repro.featurestore.store import Tier, count_ranges
 from repro.sampling.block import Block
 from repro.tensor import concat as tensor_concat
 from repro.tensor.sparse import segment_sum
@@ -173,7 +174,9 @@ class DNPStrategy(Strategy):
                 plan.owner_nodes[o] = nodes
                 split = ctx.store.classify(o, nodes)
                 ctx.recorder.record_load(
-                    o, {t: ids.size for t, ids in split.items()}
+                    o,
+                    {t: ids.size for t, ids in split.items()},
+                    ranged_reads=count_ranges(split[Tier.DISK]),
                 )
                 for t, ids in split.items():
                     ctx.count(

@@ -28,6 +28,7 @@ from repro.featurestore.cache import (
     hot_cache_nodes,
     unified_cache_nodes,
 )
+from repro.featurestore.store import Tier, count_ranges
 from repro.tensor.tensor import Tensor
 
 
@@ -83,7 +84,11 @@ class GDPStrategy(Strategy):
                 continue
             nodes = mb.input_nodes
             split = ctx.store.classify(d, nodes)
-            ctx.recorder.record_load(d, {t: ids.size for t, ids in split.items()})
+            ctx.recorder.record_load(
+                d,
+                {t: ids.size for t, ids in split.items()},
+                ranged_reads=count_ranges(split[Tier.DISK]),
+            )
             for t, ids in split.items():
                 ctx.count(f"load_rows.{t.value}", ids.size, device=d, phase="load")
             ctx.recorder.n_dst += mb.blocks[0].num_dst

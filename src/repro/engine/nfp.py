@@ -38,6 +38,7 @@ from repro.engine.base import (
 )
 from repro.engine.context import ExecutionContext
 from repro.featurestore.cache import cache_capacity_nodes, hot_cache_nodes
+from repro.featurestore.store import Tier, count_ranges
 from repro.models.base import extend_with_self_edges
 from repro.models.gat import GATLayer
 from repro.models.sage import SAGELayer
@@ -122,7 +123,11 @@ class NFPStrategy(Strategy):
         # Every device loads its dimension shard of the whole union.
         for dev in range(C):
             split = ctx.store.classify(dev, union)
-            ctx.recorder.record_load(dev, {t: ids.size for t, ids in split.items()})
+            ctx.recorder.record_load(
+                dev,
+                {t: ids.size for t, ids in split.items()},
+                ranged_reads=count_ranges(split[Tier.DISK]),
+            )
             for t, ids in split.items():
                 ctx.count(f"load_rows.{t.value}", ids.size, device=dev, phase="load")
 

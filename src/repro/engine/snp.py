@@ -41,6 +41,7 @@ from repro.engine.base import (
 )
 from repro.engine.context import ExecutionContext
 from repro.featurestore.cache import cache_capacity_nodes, snp_cache_nodes
+from repro.featurestore.store import Tier, count_ranges
 from repro.models.gat import GATLayer
 from repro.models.sage import SAGELayer
 from repro.tensor import concat as tensor_concat
@@ -234,7 +235,9 @@ class SNPStrategy(Strategy):
                 plan.server_nodes[p] = nodes
                 split = ctx.store.classify(p, nodes)
                 ctx.recorder.record_load(
-                    p, {t: ids.size for t, ids in split.items()}
+                    p,
+                    {t: ids.size for t, ids in split.items()},
+                    ranged_reads=count_ranges(split[Tier.DISK]),
                 )
                 for t, ids in split.items():
                     ctx.count(

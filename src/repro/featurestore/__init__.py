@@ -8,7 +8,15 @@ resolved through a feature map and charged to the timeline at the
 corresponding link's bandwidth.
 """
 
-from repro.featurestore.store import LoadReport, Tier, UnifiedFeatureStore
+from repro.featurestore.store import (
+    LoadReport,
+    Tier,
+    UnifiedFeatureStore,
+    coalesce_ranges,
+    count_ranges,
+    is_disk_backed,
+    ranged_gather,
+)
 from repro.featurestore.cache import (
     cache_capacity_nodes,
     dnp_cache_nodes,
@@ -26,4 +34,8 @@ __all__ = [
     "snp_cache_nodes",
     "dnp_cache_nodes",
     "cache_capacity_nodes",
+    "is_disk_backed",
+    "coalesce_ranges",
+    "count_ranges",
+    "ranged_gather",
 ]

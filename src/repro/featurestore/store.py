@@ -7,11 +7,16 @@ Resolution order for a feature read by GPU ``d`` (paper §4.2):
    (NVLink) exist* — the T4 preset has none, so this tier is inactive by
    default, exactly as on the paper's platform;
 3. the local CPU's feature shard (PCIe UVA read);
-4. a remote machine's CPU (shared NIC).
+4. a remote machine's CPU (shared NIC);
+5. local NVMe storage (``Tier.DISK``) — active only for memory-mapped
+   out-of-core datasets (DESIGN.md §5.14), where the feature matrix never
+   fits in RAM and a row is CPU-resident only after hot-row promotion.
 
 Every read returns the actual feature rows (for the real numerics) plus a
 :class:`LoadReport`, and charges simulated load time at each tier's
-bandwidth.
+bandwidth.  Disk reads are charged per *ranged read*: sorted node ids are
+coalesced into contiguous runs and each run pays one setup latency, which
+is also how :func:`ranged_gather` materializes them from the memmap.
 """
 
 from __future__ import annotations
@@ -65,6 +70,82 @@ def gather_rows(features: np.ndarray, node_ids: np.ndarray) -> np.ndarray:
     return features[np.asarray(node_ids, dtype=np.int64)]
 
 
+def is_disk_backed(features) -> bool:
+    """Whether a feature matrix is memory-mapped (out-of-core) storage."""
+    return isinstance(features, np.memmap)
+
+
+#: Runs of sorted ids separated by at most this many rows are coalesced
+#: into one ranged read (reading a few dead rows beats a second seek).
+COALESCE_GAP = 8
+
+
+def coalesce_ranges(sorted_ids: np.ndarray, gap: int = COALESCE_GAP) -> np.ndarray:
+    """Coalesce sorted node ids into ``(start, stop)`` half-open row ranges.
+
+    Consecutive ids whose spacing is ``<= gap`` share one range; the result
+    is a ``(num_ranges, 2)`` int64 array.  The range count is the number of
+    read requests an out-of-core gather issues (the ``messages`` term of
+    the disk link's latency charge).
+    """
+    ids = np.asarray(sorted_ids, dtype=np.int64)
+    if ids.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(ids) > gap) + 1
+    starts = ids[np.concatenate(([0], breaks))]
+    stops = ids[np.concatenate((breaks - 1, [ids.size - 1]))] + 1
+    return np.stack([starts, stops], axis=1)
+
+
+def count_ranges(node_ids: np.ndarray, gap: int = COALESCE_GAP) -> int:
+    """Number of coalesced ranged reads needed to fetch ``node_ids``.
+
+    Unsorted inputs are sorted first (the gather sorts too), so the count
+    matches what :func:`ranged_gather` would actually issue.
+    """
+    ids = np.asarray(node_ids, dtype=np.int64)
+    if ids.size == 0:
+        return 0
+    if ids.size > 1 and np.any(np.diff(ids) < 0):
+        ids = np.sort(ids)
+    return int(np.count_nonzero(np.diff(ids) > gap)) + 1
+
+
+def ranged_gather(
+    features: np.ndarray,
+    sorted_ids: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    gap: int = COALESCE_GAP,
+) -> np.ndarray:
+    """Gather rows from a (typically memmap-backed) matrix via ranged reads.
+
+    Sorted unique ids are coalesced into contiguous runs and each run is
+    read with one slice — sequential I/O instead of the page-by-page random
+    access a fancy index performs on a memmap.  The produced rows are
+    bit-identical to ``features[sorted_ids]`` (same bytes, different access
+    pattern).  When the ids coalesce poorly (more than one range per four
+    rows) the slice loop would dominate, so the gather falls back to one
+    fancy index.
+    """
+    ids = np.asarray(sorted_ids, dtype=np.int64)
+    shape = (ids.size,) + features.shape[1:]
+    if out is None:
+        out = np.empty(shape, dtype=features.dtype)
+    if ids.size == 0:
+        return out
+    ranges = coalesce_ranges(ids, gap)
+    if ranges.shape[0] * 4 > ids.size:
+        out[...] = features[ids]
+        return out
+    pos = 0
+    for start, stop in ranges:
+        hi = pos + int(np.searchsorted(ids[pos:], stop))
+        block = np.asarray(features[start:stop])
+        out[pos:hi] = block[ids[pos:hi] - start]
+        pos = hi
+    return out
+
+
 class Tier(enum.Enum):
     """Memory tier a feature row was served from."""
 
@@ -72,6 +153,10 @@ class Tier(enum.Enum):
     PEER_GPU = "peer_gpu"
     LOCAL_CPU = "local_cpu"
     REMOTE_CPU = "remote_cpu"
+    #: Memory-mapped on-disk features (out-of-core datasets only): rows not
+    #: promoted into a cache/CPU tier are read from local NVMe in coalesced
+    #: ranged reads.
+    DISK = "disk"
 
 
 @dataclass
@@ -88,6 +173,9 @@ class LoadReport:
     rows: Dict[Tier, int] = field(default_factory=dict)
     bytes: Dict[Tier, float] = field(default_factory=dict)
     seconds: float = 0.0
+    #: coalesced read requests issued against the disk tier (0 unless the
+    #: store serves a memory-mapped out-of-core dataset)
+    ranged_reads: int = 0
 
     def total_rows(self) -> int:
         return sum(self.rows.values())
@@ -97,12 +185,19 @@ class LoadReport:
         total = self.total_rows()
         return self.rows.get(Tier.GPU_CACHE, 0) / total if total else 0.0
 
+    def disk_rows(self) -> int:
+        return int(self.rows.get(Tier.DISK, 0))
+
+    def disk_bytes(self) -> float:
+        return float(self.bytes.get(Tier.DISK, 0.0))
+
     def merge(self, other: "LoadReport") -> None:
         for t, v in other.rows.items():
             self.rows[t] = self.rows.get(t, 0) + v
         for t, v in other.bytes.items():
             self.bytes[t] = self.bytes.get(t, 0.0) + v
         self.seconds += other.seconds
+        self.ranged_reads += other.ranged_reads
 
 
 class UnifiedFeatureStore:
@@ -125,6 +220,8 @@ class UnifiedFeatureStore:
         dataset: GraphDataset,
         cluster: ClusterSpec,
         node_machine: Optional[np.ndarray] = None,
+        *,
+        disk_promote_bytes: Optional[float] = None,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -145,6 +242,24 @@ class UnifiedFeatureStore:
         # Shared-gather scope state (see begin_shared_gather).
         self._shared_uniq: Optional[np.ndarray] = None
         self._shared_rows: Optional[np.ndarray] = None
+        # Disk-tier state (inactive for in-RAM datasets): position of each
+        # node's row in the promoted CPU-resident buffer, -1 = on disk.
+        self._disk_pos: Optional[np.ndarray] = None
+        self._disk_rows_buf: Optional[np.ndarray] = None
+        self._disk_hot: Optional[np.ndarray] = None
+        self._promote_capacity = 0
+        self._promote_every = 0
+        self._disk_classify_calls = 0
+        #: cumulative disk-tier counters (telemetry / `repro trace`)
+        self.disk_stats: Dict[str, float] = {
+            "rows": 0.0,
+            "bytes": 0.0,
+            "ranged_reads": 0.0,
+            "promotions": 0.0,
+            "refreshes": 0.0,
+        }
+        if is_disk_backed(dataset.features):
+            self.configure_disk_tier(promote_bytes=disk_promote_bytes)
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -166,6 +281,132 @@ class UnifiedFeatureStore:
 
     def cached_node_count(self, device: int) -> int:
         return int(self._cached[device].sum())
+
+    # ------------------------------------------------------------------ #
+    # disk tier (out-of-core datasets, DESIGN.md §5.14)
+    # ------------------------------------------------------------------ #
+    @property
+    def disk_tier_active(self) -> bool:
+        return self._disk_pos is not None
+
+    def configure_disk_tier(
+        self,
+        *,
+        promote_bytes: Optional[float] = None,
+        promote_every: int = 32,
+        decay: float = 0.5,
+        resident_nodes: Optional[np.ndarray] = None,
+    ) -> None:
+        """Activate the disk tier: rows live on disk until promoted.
+
+        ``promote_bytes`` bounds the CPU-resident side buffer holding
+        promoted hot rows (default ``REPRO_DISK_PROMOTE_MB``, 64 MiB);
+        every ``promote_every`` disk-touching classifies the hottest rows
+        are re-promoted from decayed access counts — the same
+        decayed-hotness scheme :class:`repro.serve.cache.HotnessCache`
+        uses for the GPU tier.  ``resident_nodes`` pins rows CPU-resident
+        up front (e.g. the training seeds).  Promotion moves rows between
+        *tiers*, never changes their values, so losses stay bit-identical
+        to an in-RAM store.
+        """
+        n = self.dataset.num_nodes
+        if promote_bytes is None:
+            promote_bytes = (
+                float(os.environ.get("REPRO_DISK_PROMOTE_MB", "64")) * 2**20
+            )
+        row_bytes = max(self.dataset.feature_dim * 8, 1)
+        self._promote_capacity = max(int(promote_bytes // row_bytes), 0)
+        self._promote_every = max(int(promote_every), 1)
+        self._disk_decay = float(decay)
+        self._disk_pos = np.full(n, -1, dtype=np.int64)
+        self._disk_hot = np.zeros(n, dtype=np.float64)
+        self._disk_rows_buf = None
+        self._disk_classify_calls = 0
+        if resident_nodes is not None and np.asarray(resident_nodes).size:
+            pinned = np.unique(np.asarray(resident_nodes, dtype=np.int64))
+            pinned = pinned[: self._promote_capacity] if self._promote_capacity else pinned[:0]
+            self._install_resident(pinned)
+
+    def disable_disk_tier(self) -> None:
+        """Deactivate the disk tier (every row counts as CPU-resident)."""
+        self._disk_pos = None
+        self._disk_rows_buf = None
+        self._disk_hot = None
+
+    def _install_resident(self, nodes: np.ndarray) -> None:
+        """Replace the promoted set with ``nodes`` (sorted unique ids)."""
+        assert self._disk_pos is not None
+        self._disk_pos.fill(-1)
+        if nodes.size == 0:
+            self._disk_rows_buf = None
+            return
+        self._disk_pos[nodes] = np.arange(nodes.size, dtype=np.int64)
+        # Copy the promoted rows off disk in one coalesced pass; the copies
+        # are the same bytes, so served values never depend on residency.
+        self._disk_rows_buf = ranged_gather(self.dataset.features, nodes)
+
+    def _observe_disk(self, disk_ids: np.ndarray) -> None:
+        """Count disk accesses; periodically re-promote the hottest rows."""
+        if disk_ids.size:
+            np.add.at(self._disk_hot, disk_ids, 1.0)
+        self._disk_classify_calls += 1
+        if (
+            self._promote_capacity > 0
+            and self._disk_classify_calls % self._promote_every == 0
+            and self._disk_hot.max() > 0.0
+        ):
+            self._promote_hot_rows()
+
+    def _promote_hot_rows(self) -> None:
+        from repro.featurestore.cache import hot_cache_nodes
+
+        hot = hot_cache_nodes(self._disk_hot, self._promote_capacity)
+        hot = hot[self._disk_hot[hot] > 0.0]
+        before = self._disk_pos[hot] >= 0
+        self._install_resident(hot)
+        self._disk_hot *= self._disk_decay
+        self.disk_stats["promotions"] += float(np.count_nonzero(~before))
+        self.disk_stats["refreshes"] += 1.0
+
+    def disk_resident_count(self) -> int:
+        """Number of rows currently promoted CPU-resident."""
+        if self._disk_pos is None:
+            return self.dataset.num_nodes
+        return int(np.count_nonzero(self._disk_pos >= 0))
+
+    def _materialize(
+        self, node_ids: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Rows for ``node_ids``, bit-identical to ``features[node_ids]``.
+
+        For in-RAM stores this is a plain gather.  With the disk tier
+        active, promoted rows come from the resident buffer (copies of the
+        same bytes) and the rest from the memmap via coalesced ranged
+        reads — the chunked row-gather fast path.
+        """
+        features = self.dataset.features
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if self._disk_pos is None:
+            if out is None:
+                return gather_rows(features, ids)
+            np.take(features, ids, axis=0, out=out)
+            return out
+        if out is None:
+            out = np.empty((ids.size,) + features.shape[1:], dtype=features.dtype)
+        if ids.size == 0:
+            return out
+        pos = self._disk_pos[ids]
+        hit = pos >= 0
+        if hit.any():
+            out[hit] = self._disk_rows_buf[pos[hit]]
+        n_miss = int(ids.size - np.count_nonzero(hit))
+        if n_miss:
+            miss_idx = np.flatnonzero(~hit)
+            miss_ids = ids[miss_idx]
+            order = np.argsort(miss_ids, kind="stable")
+            rows = ranged_gather(features, miss_ids[order])
+            out[miss_idx[order]] = rows
+        return out
 
     # ------------------------------------------------------------------ #
     # shared gather (cross-device dedup, one global batch at a time)
@@ -199,7 +440,7 @@ class UnifiedFeatureStore:
         buf = arena.take((uniq.size,) + features.shape[1:], features.dtype)
         if buf is None:
             buf = np.empty((uniq.size,) + features.shape[1:], dtype=features.dtype)
-        np.take(features, uniq, axis=0, out=buf)
+        self._materialize(uniq, out=buf)
         self._shared_uniq = uniq
         self._shared_rows = buf
         return total, int(uniq.size)
@@ -284,6 +525,17 @@ class UnifiedFeatureStore:
         else:
             out[Tier.PEER_GPU] = np.empty(0, dtype=np.int64)
 
+        if self._disk_pos is not None and rest.size:
+            # CPU tiers hold only promoted rows; the rest hit local NVMe.
+            on_disk = self._disk_pos[rest] < 0
+            out[Tier.DISK] = rest[on_disk]
+            rest = rest[~on_disk]
+            self._observe_disk(out[Tier.DISK])
+        else:
+            out[Tier.DISK] = np.empty(0, dtype=np.int64)
+            if self._disk_pos is not None:
+                self._observe_disk(out[Tier.DISK])
+
         local = self.node_machine[rest] == machine
         out[Tier.LOCAL_CPU] = rest[local]
         out[Tier.REMOTE_CPU] = rest[~local]
@@ -308,7 +560,7 @@ class UnifiedFeatureStore:
         if self._shared_uniq is not None:
             features = self._shared_lookup(node_ids)
         if features is None:
-            features = gather_rows(self.dataset.features, node_ids)
+            features = self._materialize(node_ids)
         return features, report
 
     def charge_load(
@@ -334,6 +586,7 @@ class UnifiedFeatureStore:
             Tier.PEER_GPU: mspec.gpu_peer_link(),
             Tier.LOCAL_CPU: mspec.pcie,
             Tier.REMOTE_CPU: self.cluster.inter_machine_link_per_gpu(device),
+            Tier.DISK: mspec.disk,
         }
         report = LoadReport()
         for tier, ids in split.items():
@@ -345,6 +598,15 @@ class UnifiedFeatureStore:
             link = tier_links[tier]
             if link is None:
                 report.seconds += dspec.memory_bound_seconds(nbytes)
+            elif tier is Tier.DISK:
+                # One setup latency per coalesced ranged read, not per bulk
+                # transfer — scattered reads pay for their seeks.
+                nranges = count_ranges(ids)
+                report.ranged_reads += nranges
+                report.seconds += link.seconds(nbytes, messages=nranges)
+                self.disk_stats["rows"] += float(ids.size)
+                self.disk_stats["bytes"] += float(nbytes)
+                self.disk_stats["ranged_reads"] += float(nranges)
             else:
                 report.seconds += link.seconds(nbytes, messages=1)
         if timeline is not None:
@@ -374,6 +636,8 @@ class UnifiedFeatureStore:
                 total += mspec.gpu_peer_link().seconds(nbytes)
             elif tier is Tier.LOCAL_CPU:
                 total += mspec.pcie.seconds(nbytes)
+            elif tier is Tier.DISK:
+                total += mspec.disk.seconds(nbytes)
             else:
                 total += self.cluster.inter_machine_link_per_gpu(device).seconds(nbytes)
         return total

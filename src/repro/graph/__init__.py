@@ -13,12 +13,22 @@ paper Fig. 11.
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import GraphDataset, fs_like, im_like, load_dataset, ps_like
 from repro.graph.generators import power_law_graph, rmat_graph, community_graph
-from repro.graph.io import load_dataset_file, load_partition, save_dataset, save_partition
+from repro.graph.io import (
+    is_dataset_dir,
+    load_dataset_file,
+    load_partition,
+    open_streaming_dataset,
+    save_dataset,
+    save_partition,
+    write_dataset_dir,
+    write_streaming_dataset,
+)
 from repro.graph.metrics import edge_cut_fraction, partition_balance, replication_factor
 from repro.graph.partition import (
     hash_partition,
     metis_like_partition,
     random_partition,
+    streaming_partition,
 )
 
 __all__ = [
@@ -34,8 +44,13 @@ __all__ = [
     "metis_like_partition",
     "random_partition",
     "hash_partition",
+    "streaming_partition",
     "save_dataset",
     "load_dataset_file",
+    "is_dataset_dir",
+    "open_streaming_dataset",
+    "write_dataset_dir",
+    "write_streaming_dataset",
     "save_partition",
     "load_partition",
     "edge_cut_fraction",

@@ -14,6 +14,14 @@ Three families cover the structure the paper's evaluation depends on:
   accuracy sanity checks (paper Fig. 6/7).
 
 All generators are fully vectorized and deterministic under a seed.
+
+For multi-million-edge graphs the generators draw edges in fixed-size
+chunks with incremental dedup (an accumulating sorted set of canonical
+undirected edge keys) instead of materializing one giant stub/random
+array per draw — peak intermediate memory is ``O(chunk_edges + unique
+edges)`` instead of ``O(scale * num_edges)``.  Graphs that fit in a
+single chunk take exactly the historical code path, so every existing
+seed reproduces bit-for-bit.
 """
 
 from __future__ import annotations
@@ -25,6 +33,40 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.utils.random import rng_from
 from repro.utils.validation import check_positive, check_probability
+
+#: Edges generated per chunk by the chunked generator paths.  Everything
+#: at or below this size uses the historical single-shot path.
+DEFAULT_CHUNK_EDGES = 1 << 20
+
+
+def _canonical_edge_keys(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Pack undirected edges into sortable int64 keys ``min * n + max``."""
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    return lo * np.int64(n) + hi
+
+
+class _EdgeAccumulator:
+    """Incremental undirected-edge dedup in bounded memory.
+
+    Each chunk is deduplicated locally (``np.unique``) then merged into the
+    accumulated sorted key set (``np.union1d``), so peak memory is one chunk
+    plus the running unique-edge set — never the raw multi-set of all draws.
+    """
+
+    def __init__(self, n: int):
+        if n > 3_000_000_000:
+            raise ValueError(f"edge keys overflow int64 for n = {n}")
+        self.n = int(n)
+        self.keys = np.empty(0, dtype=np.int64)
+
+    def add(self, src: np.ndarray, dst: np.ndarray) -> None:
+        fresh = np.unique(_canonical_edge_keys(src, dst, self.n))
+        self.keys = fresh if self.keys.size == 0 else np.union1d(self.keys, fresh)
+
+    def edges(self):
+        """The deduplicated edge list as ``(src, dst)`` with ``src <= dst``."""
+        return self.keys // self.n, self.keys % self.n
 
 
 def _power_law_degrees(
@@ -62,20 +104,49 @@ def power_law_graph(
     seed: int = 0,
     *,
     max_degree: Optional[int] = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
 ) -> CSRGraph:
     """Configuration-model graph with power-law degrees (undirected).
 
     Stubs are paired by a random permutation; multi-edges and self-loops are
     dropped, so realized degrees are slightly below nominal for hubs.
+
+    Above ``chunk_edges`` edges the full stub shuffle (O(sum of degrees)
+    peak memory, twice) is replaced by chunked degree-proportional partner
+    sampling with incremental dedup: same degree sequence and the same
+    power-law edge-endpoint distribution, bounded peak memory.  At or below
+    the threshold the historical exact path runs, so existing seeds
+    reproduce bit-for-bit.
     """
+    check_positive("chunk_edges", chunk_edges)
     rng = rng_from(seed, 0xC0DE)
     deg = _power_law_degrees(n, avg_degree, exponent, rng, max_degree)
     if deg.sum() % 2 == 1:
         deg[int(rng.integers(n))] += 1
-    stubs = np.repeat(np.arange(n, dtype=np.int64), deg)
-    rng.shuffle(stubs)
-    half = stubs.shape[0] // 2
-    src, dst = stubs[:half], stubs[half : 2 * half]
+    total_stubs = int(deg.sum())
+    if total_stubs <= 2 * chunk_edges:
+        stubs = np.repeat(np.arange(n, dtype=np.int64), deg)
+        rng.shuffle(stubs)
+        half = stubs.shape[0] // 2
+        src, dst = stubs[:half], stubs[half : 2 * half]
+        return CSRGraph.from_edges(src, dst, n, symmetrize=True, dedupe=True)
+
+    # Chunked path: walk the stub sequence (node i owns stubs
+    # [cdeg[i], cdeg[i+1])) in fixed-size windows and draw each stub's
+    # partner degree-proportionally — the configuration model's endpoint
+    # distribution without ever materializing the full stub array.
+    half = total_stubs // 2
+    cdeg = np.concatenate(([0], np.cumsum(deg)))
+    p = deg.astype(np.float64) / float(deg.sum())
+    acc = _EdgeAccumulator(n)
+    start = 0
+    while start < half:
+        m = int(min(chunk_edges, half - start))
+        src = np.searchsorted(cdeg, np.arange(start, start + m), side="right") - 1
+        dst = rng.choice(n, size=m, p=p)
+        acc.add(src.astype(np.int64), dst.astype(np.int64))
+        start += m
+    src, dst = acc.edges()
     return CSRGraph.from_edges(src, dst, n, symmetrize=True, dedupe=True)
 
 
@@ -87,32 +158,53 @@ def rmat_graph(
     a: float = 0.57,
     b: float = 0.19,
     c: float = 0.19,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
 ) -> CSRGraph:
-    """R-MAT (Chakrabarti et al., 2004) graph, vectorized over all edges.
+    """R-MAT (Chakrabarti et al., 2004) graph, vectorized per chunk.
 
     ``n`` is rounded up to a power of two internally; nodes beyond ``n - 1``
     are folded back with a modulo, which preserves the skew structure.
+
+    Edges are drawn in chunks of at most ``chunk_edges`` (per-bit random
+    draws are sized to the chunk, not to ``num_edges``) and merged through
+    the incremental dedup accumulator, bounding peak memory for
+    multi-million-edge graphs.  A graph that fits in one chunk consumes
+    the rng in exactly the historical order, so existing seeds reproduce
+    bit-for-bit.
     """
     check_positive("num_edges", num_edges)
+    check_positive("chunk_edges", chunk_edges)
     d = 1.0 - a - b - c
     if d < 0:
         raise ValueError(f"R-MAT probabilities exceed 1: a+b+c = {a + b + c}")
     rng = rng_from(seed, 0x12A7)
     scale = int(np.ceil(np.log2(max(n, 2))))
-    src = np.zeros(num_edges, dtype=np.int64)
-    dst = np.zeros(num_edges, dtype=np.int64)
     p_right = b + d  # probability the src bit is 1
-    for bit in range(scale):
-        u = rng.random(num_edges)
-        v = rng.random(num_edges)
-        src_bit = (u >= a + c).astype(np.int64)
-        # Conditional distribution of dst bit given src bit.
-        thresh = np.where(src_bit == 1, b / max(p_right, 1e-12), a / max(a + c, 1e-12))
-        dst_bit = (v >= thresh).astype(np.int64)
-        src = (src << 1) | src_bit
-        dst = (dst << 1) | dst_bit
-    src %= n
-    dst %= n
+    acc = _EdgeAccumulator(n)
+    single_chunk = num_edges <= chunk_edges
+    produced = 0
+    while produced < num_edges:
+        m = int(min(chunk_edges, num_edges - produced))
+        src = np.zeros(m, dtype=np.int64)
+        dst = np.zeros(m, dtype=np.int64)
+        for bit in range(scale):
+            u = rng.random(m)
+            v = rng.random(m)
+            src_bit = (u >= a + c).astype(np.int64)
+            # Conditional distribution of dst bit given src bit.
+            thresh = np.where(
+                src_bit == 1, b / max(p_right, 1e-12), a / max(a + c, 1e-12)
+            )
+            dst_bit = (v >= thresh).astype(np.int64)
+            src = (src << 1) | src_bit
+            dst = (dst << 1) | dst_bit
+        src %= n
+        dst %= n
+        if single_chunk:
+            return CSRGraph.from_edges(src, dst, n, symmetrize=True, dedupe=True)
+        acc.add(src, dst)
+        produced += m
+    src, dst = acc.edges()
     return CSRGraph.from_edges(src, dst, n, symmetrize=True, dedupe=True)
 
 

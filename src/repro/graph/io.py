@@ -1,20 +1,48 @@
-"""Dataset and partition persistence (NumPy ``.npz`` containers).
+"""Dataset and partition persistence.
 
-Generating an analog and a METIS-like partition takes seconds; benchmark
-sessions and downstream users can persist them once and reload instantly.
+Two formats:
+
+* **``.npz`` containers** (:func:`save_dataset` / :func:`load_dataset_file`)
+  for the in-RAM analogs — generating one takes seconds, loading is instant.
+* **Streaming dataset directories** (:func:`write_streaming_dataset` /
+  :func:`open_streaming_dataset`) for out-of-core graphs: topology and
+  labels as ``.npy`` files plus a raw ``features.dat`` written chunk by
+  chunk and opened as a read-only ``np.memmap``.  Features are never fully
+  resident — neither while generating nor while training — which is what
+  activates the feature store's disk tier (DESIGN.md §5.14).
+
+Directory layout::
+
+    <dir>/meta.json        format/version, sizes, dtype, generator params
+    <dir>/indptr.npy       CSR row pointer   (num_nodes + 1,)
+    <dir>/indices.npy      CSR neighbor ids  (num_edges,)
+    <dir>/features.dat     raw row-major     (num_nodes, feature_dim)
+    <dir>/labels.npy       int64             (num_nodes,)
+    <dir>/train_seeds.npy  int64 sorted seed node ids
+    <dir>/communities.npy  optional int64    (num_nodes,)
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import GraphDataset
+from repro.utils.random import rng_from
+from repro.utils.validation import check_positive
 
 PathLike = Union[str, pathlib.Path]
+
+STREAMING_FORMAT_VERSION = 1
+META_FILE = "meta.json"
+FEATURES_FILE = "features.dat"
+
+#: Feature rows written per chunk by the streaming writers.
+DEFAULT_CHUNK_ROWS = 65_536
 
 
 def save_dataset(dataset: GraphDataset, path: PathLike) -> None:
@@ -92,6 +120,217 @@ def write_edgelist(graph: CSRGraph, path: PathLike) -> None:
         fmt="%d",
         header="source target",
         comments="# ",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# streaming dataset directories (out-of-core features)
+# ---------------------------------------------------------------------- #
+def is_dataset_dir(path: PathLike) -> bool:
+    """Whether ``path`` is a streaming dataset directory."""
+    return (pathlib.Path(path) / META_FILE).is_file()
+
+
+def _write_meta(out: pathlib.Path, meta: Dict) -> None:
+    with open(out / META_FILE, "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _write_graph_and_labels(
+    out: pathlib.Path,
+    graph: CSRGraph,
+    labels: np.ndarray,
+    train_seeds: np.ndarray,
+    communities: Optional[np.ndarray],
+) -> None:
+    np.save(out / "indptr.npy", graph.indptr)
+    np.save(out / "indices.npy", graph.indices)
+    np.save(out / "labels.npy", np.asarray(labels, dtype=np.int64))
+    np.save(out / "train_seeds.npy", np.asarray(train_seeds, dtype=np.int64))
+    if communities is not None:
+        np.save(out / "communities.npy", np.asarray(communities, dtype=np.int64))
+
+
+def write_dataset_dir(
+    dataset: GraphDataset,
+    out_dir: PathLike,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> pathlib.Path:
+    """Persist an existing :class:`GraphDataset` to the streaming layout.
+
+    Features are copied into ``features.dat`` ``chunk_rows`` rows at a time
+    — the produced file holds the exact same bytes as the in-RAM matrix, so
+    a store opened from the directory reads bit-identical rows (pinned by
+    ``tests/featurestore/test_disk_tier.py``).
+    """
+    check_positive("chunk_rows", chunk_rows)
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    n = dataset.num_nodes
+    feats = dataset.features
+    mm = np.memmap(
+        out / FEATURES_FILE, dtype=feats.dtype, mode="w+", shape=feats.shape
+    )
+    for start in range(0, n, int(chunk_rows)):
+        stop = min(start + int(chunk_rows), n)
+        mm[start:stop] = feats[start:stop]
+    mm.flush()
+    del mm
+    _write_graph_and_labels(
+        out, dataset.graph, dataset.labels, dataset.train_seeds, dataset.communities
+    )
+    _write_meta(
+        out,
+        {
+            "format": "repro-streaming-dataset",
+            "version": STREAMING_FORMAT_VERSION,
+            "name": dataset.name,
+            "num_nodes": int(n),
+            "num_edges": int(dataset.graph.num_edges),
+            "feature_dim": int(dataset.feature_dim),
+            "feature_dtype": str(feats.dtype),
+            "num_classes": int(dataset.num_classes),
+        },
+    )
+    return out
+
+
+def write_streaming_dataset(
+    out_dir: PathLike,
+    *,
+    num_nodes: int,
+    avg_degree: float = 8.0,
+    feature_dim: int = 128,
+    num_classes: int = 16,
+    kind: str = "power_law",
+    seed: int = 0,
+    train_fraction: float = 0.01,
+    exponent: float = 2.0,
+    feature_noise: float = 1.0,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    chunk_edges: Optional[int] = None,
+) -> pathlib.Path:
+    """Generate a power-law/RMAT graph straight to the streaming layout.
+
+    The graph comes from the chunked generators (bounded peak memory); the
+    feature matrix is written ``chunk_rows`` rows at a time as noisy class
+    centroids — at no point is the full ``(num_nodes, feature_dim)`` array
+    resident.  Labels are uniform classes; the signal lives in the features,
+    like the in-RAM analogs.  Deterministic under ``(seed, chunk sizes)``.
+    """
+    from repro.graph.generators import (
+        DEFAULT_CHUNK_EDGES,
+        power_law_graph,
+        rmat_graph,
+    )
+
+    check_positive("num_nodes", num_nodes)
+    check_positive("feature_dim", feature_dim)
+    check_positive("num_classes", num_classes)
+    check_positive("chunk_rows", chunk_rows)
+    if chunk_edges is None:
+        chunk_edges = DEFAULT_CHUNK_EDGES
+    if kind == "power_law":
+        graph = power_law_graph(
+            num_nodes, avg_degree, exponent, seed=seed, chunk_edges=chunk_edges
+        )
+    elif kind == "rmat":
+        graph = rmat_graph(
+            num_nodes,
+            int(round(num_nodes * avg_degree / 2)),
+            seed=seed,
+            chunk_edges=chunk_edges,
+        )
+    else:
+        raise ValueError(f"unknown generator kind {kind!r}; use power_law|rmat")
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    n = int(num_nodes)
+    rng = rng_from(seed, 0xD15C)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    centers = rng.normal(size=(num_classes, feature_dim))
+    mm = np.memmap(
+        out / FEATURES_FILE, dtype=np.float64, mode="w+", shape=(n, feature_dim)
+    )
+    for start in range(0, n, int(chunk_rows)):
+        stop = min(start + int(chunk_rows), n)
+        noise = rng.normal(size=(stop - start, feature_dim))
+        mm[start:stop] = centers[labels[start:stop]] + feature_noise * noise
+    mm.flush()
+    del mm
+
+    n_train = max(int(round(train_fraction * n)), 1)
+    train_seeds = rng.choice(n, size=n_train, replace=False).astype(np.int64)
+    train_seeds.sort()
+    _write_graph_and_labels(out, graph, labels, train_seeds, None)
+    _write_meta(
+        out,
+        {
+            "format": "repro-streaming-dataset",
+            "version": STREAMING_FORMAT_VERSION,
+            "name": f"{kind}-{n}",
+            "num_nodes": n,
+            "num_edges": int(graph.num_edges),
+            "feature_dim": int(feature_dim),
+            "feature_dtype": "float64",
+            "num_classes": int(num_classes),
+            "kind": kind,
+            "seed": int(seed),
+            "avg_degree": float(avg_degree),
+            "exponent": float(exponent),
+            "train_fraction": float(train_fraction),
+        },
+    )
+    return out
+
+
+def open_streaming_dataset(
+    path: PathLike, *, mmap_graph: bool = False
+) -> GraphDataset:
+    """Open a streaming dataset directory with memory-mapped features.
+
+    ``features`` is a read-only ``np.memmap`` — the feature store detects it
+    and activates the disk tier; rows are only paged in as sampled batches
+    touch them.  ``mmap_graph=True`` additionally memory-maps the CSR
+    ``indices`` array (useful above ~10M edges).
+    """
+    root = pathlib.Path(path)
+    if not is_dataset_dir(root):
+        raise FileNotFoundError(f"{root} is not a dataset directory (no {META_FILE})")
+    with open(root / META_FILE) as fh:
+        meta = json.load(fh)
+    if meta.get("format") != "repro-streaming-dataset":
+        raise ValueError(f"{root}: unrecognized dataset format {meta.get('format')!r}")
+    if int(meta.get("version", 0)) > STREAMING_FORMAT_VERSION:
+        raise ValueError(
+            f"{root}: dataset version {meta['version']} is newer than "
+            f"supported version {STREAMING_FORMAT_VERSION}"
+        )
+    indptr = np.load(root / "indptr.npy")
+    indices = np.load(root / "indices.npy", mmap_mode="r" if mmap_graph else None)
+    graph = CSRGraph(indptr, indices)
+    n = int(meta["num_nodes"])
+    dim = int(meta["feature_dim"])
+    features = np.memmap(
+        root / FEATURES_FILE,
+        dtype=np.dtype(meta["feature_dtype"]),
+        mode="r",
+        shape=(n, dim),
+    )
+    comm_path = root / "communities.npy"
+    return GraphDataset(
+        name=str(meta.get("name", root.name)),
+        graph=graph,
+        features=features,
+        labels=np.load(root / "labels.npy").astype(np.int64),
+        train_seeds=np.load(root / "train_seeds.npy").astype(np.int64),
+        num_classes=int(meta["num_classes"]),
+        communities=(
+            np.load(comm_path).astype(np.int64) if comm_path.is_file() else None
+        ),
     )
 
 

@@ -145,14 +145,36 @@ def read_array(buf, spec: ArraySpec) -> np.ndarray:
 # task data: graph + features, exported once per pool
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
+class MemmapSpec:
+    """Location of a memory-mapped array on disk (picklable).
+
+    Out-of-core feature matrices are *not* copied into the shared segment —
+    that copy is exactly what out-of-core training must avoid.  Workers map
+    the same file read-only instead; the OS page cache shares the physical
+    pages of whatever slice of the working set each worker touches, so the
+    bytes are identical to the main process's by construction and resident
+    memory stays bounded by the touched slice, not the matrix.
+    """
+
+    path: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
 class TaskDataDescriptor:
-    """Everything a worker needs to attach the task data (picklable)."""
+    """Everything a worker needs to attach the task data (picklable).
+
+    ``features`` is an :class:`ArraySpec` into the shared segment for
+    in-RAM datasets, or a :class:`MemmapSpec` for disk-backed ones.
+    """
 
     segment_name: str
     num_nodes: int
     indptr: ArraySpec
     indices: ArraySpec
-    features: ArraySpec
+    features: "ArraySpec | MemmapSpec"
 
 
 class TaskDataExport:
@@ -168,25 +190,45 @@ class TaskDataExport:
 
 
 def export_task_data(dataset) -> TaskDataExport:
-    """Copy the dataset's CSR graph and features into one shared segment."""
+    """Export the dataset's CSR graph and features for worker attachment.
+
+    In-RAM features are copied into the shared segment alongside the graph.
+    Memory-mapped (out-of-core) features are exported as a
+    :class:`MemmapSpec` pointing at their backing file instead — the
+    segment then holds only the topology.
+    """
+    from repro.featurestore.store import is_disk_backed
+
     graph = dataset.graph
+    feats = dataset.features
+    disk_backed = is_disk_backed(feats)
     arrays = {
         "indptr": graph.indptr,
-        "indices": graph.indices,
-        "features": dataset.features,
+        "indices": np.asarray(graph.indices),
     }
+    if not disk_backed:
+        arrays["features"] = feats
     total = sum(_aligned(np.ascontiguousarray(a).nbytes) for a in arrays.values())
     segment = create_segment(max(total, _ALIGN))
     offset = 0
     specs: Dict[str, ArraySpec] = {}
     for name, arr in arrays.items():
         offset, specs[name] = write_array(segment.buf, offset, arr)
+    if disk_backed:
+        feature_spec = MemmapSpec(
+            path=str(feats.filename),
+            dtype=feats.dtype.str,
+            shape=tuple(feats.shape),
+            offset=int(feats.offset),
+        )
+    else:
+        feature_spec = specs["features"]
     descriptor = TaskDataDescriptor(
         segment_name=segment.name,
         num_nodes=int(graph.num_nodes),
         indptr=specs["indptr"],
         indices=specs["indices"],
-        features=specs["features"],
+        features=feature_spec,
     )
     return TaskDataExport(segment, descriptor)
 
@@ -196,7 +238,8 @@ def attach_task_data(descriptor: TaskDataDescriptor):
 
     The returned graph is a :class:`~repro.graph.csr.CSRGraph` whose arrays
     are views into the shared segment; the caller must keep the segment
-    object alive for as long as the graph is used.
+    object alive for as long as the graph is used.  A :class:`MemmapSpec`
+    feature source is opened read-only from its backing file.
     """
     from repro.graph.csr import CSRGraph
 
@@ -205,7 +248,17 @@ def attach_task_data(descriptor: TaskDataDescriptor):
         read_array(segment.buf, descriptor.indptr),
         read_array(segment.buf, descriptor.indices),
     )
-    features = read_array(segment.buf, descriptor.features)
+    if isinstance(descriptor.features, MemmapSpec):
+        spec = descriptor.features
+        features = np.memmap(
+            spec.path,
+            dtype=np.dtype(spec.dtype),
+            mode="r",
+            shape=spec.shape,
+            offset=spec.offset,
+        )
+    else:
+        features = read_array(segment.buf, descriptor.features)
     return segment, graph, features
 
 

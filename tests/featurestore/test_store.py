@@ -169,6 +169,8 @@ class TestClassifyPeerGather:
             rest = rest[~peer_hit]
         else:
             out[Tier.PEER_GPU] = np.empty(0, dtype=np.int64)
+        # In-RAM stores have no disk tier; classify still reports it (empty).
+        out[Tier.DISK] = np.empty(0, dtype=np.int64)
         local = store.node_machine[rest] == machine
         out[Tier.LOCAL_CPU] = rest[local]
         out[Tier.REMOTE_CPU] = rest[~local]

@@ -1,0 +1,160 @@
+"""Tests for the streaming dataset pipeline (DESIGN.md §5.14).
+
+Covers the on-disk layout round-trip, generator determinism, format
+validation, and the chunked generators' bit-identity with the historical
+single-shot paths.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    is_dataset_dir,
+    open_streaming_dataset,
+    power_law_graph,
+    rmat_graph,
+    write_dataset_dir,
+    write_streaming_dataset,
+)
+from repro.graph.datasets import small_dataset
+from repro.graph.io import META_FILE, STREAMING_FORMAT_VERSION
+
+
+class TestChunkedGenerators:
+    """chunk_edges bounds peak memory without changing the output graph."""
+
+    def test_power_law_single_chunk_matches_unchunked(self):
+        a = power_law_graph(800, 6.0, 2.0, seed=4)
+        b = power_law_graph(800, 6.0, 2.0, seed=4, chunk_edges=10**9)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rmat_single_chunk_matches_unchunked(self):
+        a = rmat_graph(512, 2000, seed=5)
+        b = rmat_graph(512, 2000, seed=5, chunk_edges=10**9)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_chunked_deterministic(self):
+        a = rmat_graph(512, 5000, seed=6, chunk_edges=512)
+        b = rmat_graph(512, 5000, seed=6, chunk_edges=512)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_chunked_graph_is_valid(self):
+        g = power_law_graph(600, 5.0, 2.0, seed=7, chunk_edges=256)
+        assert g.num_nodes == 600
+        assert g.indptr[-1] == g.indices.size
+        assert g.indices.min() >= 0 and g.indices.max() < 600
+        # Symmetric (undirected) and deduplicated, like the seed generators.
+        degs = np.diff(g.indptr)
+        assert degs.sum() == g.indices.size
+
+
+class TestStreamingDataset:
+    def test_round_trip(self, tmp_path):
+        out = write_streaming_dataset(
+            tmp_path / "ds", num_nodes=1200, feature_dim=12, num_classes=5,
+            seed=2,
+        )
+        assert is_dataset_dir(out)
+        ds = open_streaming_dataset(out)
+        assert ds.num_nodes == 1200
+        assert ds.feature_dim == 12
+        assert ds.num_classes == 5
+        assert isinstance(ds.features, np.memmap)
+        assert not ds.features.flags.writeable
+        assert ds.labels.shape == (1200,)
+        assert ds.labels.max() < 5
+        assert np.all(np.diff(ds.train_seeds) > 0)  # sorted, unique
+
+    def test_deterministic_under_seed(self, tmp_path):
+        a = open_streaming_dataset(write_streaming_dataset(
+            tmp_path / "a", num_nodes=700, feature_dim=8, seed=9))
+        b = open_streaming_dataset(write_streaming_dataset(
+            tmp_path / "b", num_nodes=700, feature_dim=8, seed=9))
+        np.testing.assert_array_equal(np.asarray(a.features), np.asarray(b.features))
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.train_seeds, b.train_seeds)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+
+    def test_chunk_size_does_not_change_features(self, tmp_path):
+        """Chunked normal draws consume the bit stream sequentially, so the
+        written bytes are invariant to the chunk size."""
+        a = open_streaming_dataset(write_streaming_dataset(
+            tmp_path / "a", num_nodes=500, feature_dim=8, seed=3,
+            chunk_rows=500))
+        b = open_streaming_dataset(write_streaming_dataset(
+            tmp_path / "b", num_nodes=500, feature_dim=8, seed=3,
+            chunk_rows=64))
+        np.testing.assert_array_equal(np.asarray(a.features), np.asarray(b.features))
+        np.testing.assert_array_equal(a.train_seeds, b.train_seeds)
+
+    def test_rmat_kind(self, tmp_path):
+        ds = open_streaming_dataset(write_streaming_dataset(
+            tmp_path / "ds", num_nodes=600, feature_dim=8, kind="rmat", seed=1))
+        assert ds.graph.num_edges > 0
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="power_law|rmat"):
+            write_streaming_dataset(tmp_path / "ds", num_nodes=100, kind="geo")
+
+    def test_mmap_graph(self, tmp_path):
+        out = write_streaming_dataset(tmp_path / "ds", num_nodes=400,
+                                      feature_dim=8, seed=0)
+        eager = open_streaming_dataset(out)
+        lazy = open_streaming_dataset(out, mmap_graph=True)
+        # CSRGraph re-wraps the array as a base ndarray view; the backing
+        # storage must still be the memmap (no copy was made).
+        assert isinstance(lazy.graph.indices.base, np.memmap)
+        np.testing.assert_array_equal(
+            np.asarray(lazy.graph.indices), eager.graph.indices
+        )
+
+
+class TestWriteDatasetDir:
+    def test_round_trip_bit_identical(self, tmp_path):
+        src = small_dataset(n=300, feature_dim=8, num_classes=2)
+        ds = open_streaming_dataset(write_dataset_dir(src, tmp_path / "ds"))
+        np.testing.assert_array_equal(np.asarray(ds.features), src.features)
+        np.testing.assert_array_equal(ds.labels, src.labels)
+        np.testing.assert_array_equal(ds.train_seeds, src.train_seeds)
+        np.testing.assert_array_equal(ds.graph.indptr, src.graph.indptr)
+        np.testing.assert_array_equal(ds.graph.indices, src.graph.indices)
+        assert ds.num_classes == src.num_classes
+
+    def test_communities_preserved(self, tmp_path):
+        src = small_dataset(n=300, feature_dim=8, num_classes=2)
+        if src.communities is None:
+            pytest.skip("analog has no communities")
+        ds = open_streaming_dataset(write_dataset_dir(src, tmp_path / "ds"))
+        np.testing.assert_array_equal(ds.communities, src.communities)
+
+
+class TestFormatValidation:
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            open_streaming_dataset(tmp_path / "nope")
+
+    def test_bad_format_rejected(self, tmp_path):
+        d = tmp_path / "ds"
+        d.mkdir()
+        (d / META_FILE).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="format"):
+            open_streaming_dataset(d)
+
+    def test_newer_version_rejected(self, tmp_path):
+        out = write_streaming_dataset(tmp_path / "ds", num_nodes=100,
+                                      feature_dim=4)
+        meta = json.loads((out / META_FILE).read_text())
+        meta["version"] = STREAMING_FORMAT_VERSION + 1
+        (out / META_FILE).write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            open_streaming_dataset(out)
+
+    def test_is_dataset_dir(self, tmp_path):
+        assert not is_dataset_dir(tmp_path)
+        write_streaming_dataset(tmp_path / "ds", num_nodes=100, feature_dim=4)
+        assert is_dataset_dir(tmp_path / "ds")

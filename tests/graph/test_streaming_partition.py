@@ -1,0 +1,89 @@
+"""Tests for the coarsen-once streaming partitioner (DESIGN.md §5.14).
+
+The contract: one capacity-bounded label-propagation pass over node-range
+chunks produces a coarse graph small enough for the in-memory multilevel
+machinery, and the projected partition's edge cut stays within tolerance
+of :func:`metis_like_partition` on community-structured graphs while
+never materializing per-level graph copies of the fine graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    community_graph,
+    edge_cut_fraction,
+    metis_like_partition,
+    partition_balance,
+    power_law_graph,
+    streaming_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def comm_graph():
+    return community_graph(3000, 8.0, num_communities=24, intra_prob=0.95,
+                           seed=0)
+
+
+class TestStreamingPartition:
+    def test_valid_partition(self, comm_graph):
+        parts = streaming_partition(comm_graph, 4, seed=0)
+        assert parts.shape == (comm_graph.num_nodes,)
+        assert parts.dtype == np.int64
+        assert set(np.unique(parts)) == set(range(4))
+
+    def test_deterministic(self, comm_graph):
+        a = streaming_partition(comm_graph, 4, seed=1)
+        b = streaming_partition(comm_graph, 4, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_balance_within_tolerance(self, comm_graph):
+        parts = streaming_partition(comm_graph, 4, seed=0, balance_tol=0.08)
+        assert partition_balance(parts, 4) <= 1.15
+
+    def test_edge_cut_within_tolerance_of_metis(self, comm_graph):
+        """The headline property: coarsen-once quality tracks the full
+        multilevel partitioner on community graphs (1.5x cut tolerance,
+        plus slack for graphs where both cuts are tiny)."""
+        metis_cut = edge_cut_fraction(
+            comm_graph, metis_like_partition(comm_graph, 4, seed=0)
+        )
+        stream_cut = edge_cut_fraction(
+            comm_graph, streaming_partition(comm_graph, 4, seed=0)
+        )
+        assert stream_cut <= 1.5 * metis_cut + 0.05
+
+    def test_beats_random_partition(self, comm_graph):
+        rng = np.random.default_rng(0)
+        random_cut = edge_cut_fraction(
+            comm_graph, rng.integers(0, 4, size=comm_graph.num_nodes)
+        )
+        stream_cut = edge_cut_fraction(
+            comm_graph, streaming_partition(comm_graph, 4, seed=0)
+        )
+        assert stream_cut < 0.6 * random_cut
+
+    def test_chunk_size_changes_nothing_structural(self, comm_graph):
+        """Different chunk sizes may change the labels but must keep the
+        partition valid and comparably balanced."""
+        for chunk in (256, 1024):
+            parts = streaming_partition(comm_graph, 4, seed=0,
+                                        chunk_nodes=chunk)
+            assert set(np.unique(parts)) == set(range(4))
+            assert partition_balance(parts, 4) <= 1.2
+
+    def test_power_law_graph(self):
+        g = power_law_graph(2000, 6.0, 2.0, seed=2)
+        parts = streaming_partition(g, 8, seed=0)
+        assert set(np.unique(parts)) <= set(range(8))
+        assert partition_balance(parts, 8) <= 1.25
+
+    def test_more_parts_than_fits_cluster_budget(self, comm_graph):
+        """num_clusters clamps sanely when parts are large."""
+        parts = streaming_partition(comm_graph, 16, seed=0)
+        assert set(np.unique(parts)) <= set(range(16))
+
+    def test_single_part_trivial(self, comm_graph):
+        parts = streaming_partition(comm_graph, 1, seed=0)
+        assert np.all(parts == 0)

@@ -68,3 +68,84 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hyb" in out
         assert "actual best:" in out
+
+
+class TestGenAndDatasetDir:
+    """The out-of-core surface: `repro gen` plus `--dataset-dir` consumers."""
+
+    def test_gen_parser_defaults(self):
+        args = build_parser().parse_args(["gen", "/tmp/x"])
+        assert args.nodes == 1_000_000
+        assert args.kind == "power_law"
+        assert args.seed == 0
+
+    def test_gen_writes_dataset(self, capsys, tmp_path):
+        out = tmp_path / "ds"
+        assert main(["gen", str(out), "--nodes", "800", "--feature-dim", "8",
+                     "--classes", "4", "--seed", "1"]) == 0
+        assert (out / "meta.json").is_file()
+        assert (out / "features.dat").is_file()
+        text = capsys.readouterr().out
+        assert "800 nodes" in text
+        assert "--dataset-dir" in text
+
+    def test_gen_json_output(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "ds"
+        assert main(["gen", str(out), "--nodes", "500", "--feature-dim", "4",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["num_nodes"] == 500
+        assert payload["num_train_seeds"] > 0
+
+    def test_plan_on_dataset_dir(self, capsys, tmp_path):
+        out = tmp_path / "ds"
+        assert main(["gen", str(out), "--nodes", "2000", "--feature-dim", "8",
+                     "--classes", "4"]) == 0
+        capsys.readouterr()
+        assert main(["plan", "--dataset-dir", str(out), "--layers", "2",
+                     "--fanout", "4", "4", "--gpus", "4"]) == 0
+        text = capsys.readouterr().out
+        assert "APT selects:" in text
+
+    def test_run_on_dataset_dir(self, capsys, tmp_path):
+        out = tmp_path / "ds"
+        assert main(["gen", str(out), "--nodes", "2000", "--feature-dim", "8",
+                     "--classes", "4"]) == 0
+        capsys.readouterr()
+        assert main(["run", "--dataset-dir", str(out), "--strategy", "gdp",
+                     "--epochs", "1", "--layers", "2", "--fanout", "4", "4",
+                     "--gpus", "2"]) == 0
+        assert "loss=" in capsys.readouterr().out
+
+    def test_trace_reports_disk_counters(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "ds"
+        assert main(["gen", str(out), "--nodes", "2000", "--feature-dim", "8",
+                     "--classes", "4"]) == 0
+        capsys.readouterr()
+        trace = tmp_path / "t.json"
+        assert main(["trace", "--dataset-dir", str(out), "--strategy", "gdp",
+                     "--layers", "2", "--fanout", "4", "4", "--gpus", "2",
+                     "--out", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["disk"]["rows"] > 0
+        assert payload["disk"]["ranged_reads"] > 0
+
+    def test_trace_without_disk_tier_omits_counters(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.json"
+        assert main(["trace", "--dataset", "ps", "--nodes", "2500",
+                     "--strategy", "gdp", "--layers", "2", "--fanout", "4",
+                     "4", "--gpus", "2", "--out", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "disk" not in payload
+
+    def test_bad_dataset_dir_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--dataset-dir", str(tmp_path / "nope"),
+                  "--epochs", "1"])
+        assert "bad dataset dir" in str(exc.value)
