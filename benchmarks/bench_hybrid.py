@@ -1,0 +1,205 @@
+"""Per-layer hybrid composition: searched layouts beat every single strategy.
+
+The P3 regime (DESIGN.md §5.15): fat input features with a thin hidden
+dimension make the *first* layer's layout the expensive decision while the
+upper layers want something else entirely.  On community-structured
+analogs with 256-dim features and a 16-dim hidden layer, the beam search
+(`APT.plan_layerwise`) composes ``layerwise:gdp,snp`` — GDP's cached
+feature gather on layer 0, but seeds split by graph partition so the
+node-partitioned top layer is both re-layout-free and community-local —
+and that composition beats **every** single strategy end-to-end.
+
+For each case this benchmark:
+
+* runs the beam-search planner and records its full ranking + estimates;
+* measures the searched hybrid and all four singles end-to-end
+  (timing-only simulated epoch seconds, identical initial state);
+* compares the dry-run cost ranking against the measured ranking over
+  the five candidates (the ISSUE 8 acceptance pin: they must match).
+
+A 3-layer re-layout probe (``layerwise:gdp,snp,gdp``) additionally runs
+with numerics to pin that mismatched adjacent layouts charge real
+all-to-all re-layout bytes into the Timeline's shuffle term.
+
+Writes ``BENCH_hybrid.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/bench_hybrid.py            # default, update JSON
+    python benchmarks/bench_hybrid.py --quick    # smaller graphs (CI)
+    python benchmarks/bench_hybrid.py --quick --check  # CI gate
+
+``--check`` fails if the planner stops choosing a composition, if the
+searched hybrid loses to any single strategy in either estimated or
+measured time, if the predicted ranking diverges from the measured one,
+or if the re-layout probe charges no bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import common
+
+from repro.graph import fs_like, metis_like_partition, ps_like
+from repro.models import GraphSAGE
+
+BASELINE_PATH = REPO_ROOT / "BENCH_hybrid.json"
+SINGLES = ("gdp", "nfp", "snp", "dnp")
+FEATURE_DIM = 256
+HIDDEN = 16
+
+
+def _build_apt(ds, *, layers=2, cache_gb=0.5):
+    cluster = common.cluster_for(ds, num_gpus=8, num_machines=1,
+                                 cache_gb=cache_gb)
+    parts = metis_like_partition(ds.graph, cluster.num_devices, seed=0)
+    model = GraphSAGE(ds.feature_dim, HIDDEN, ds.num_classes, layers, seed=1)
+    return common.build_apt(
+        ds, model, cluster, fanouts=(10,) * layers, parts=parts
+    )
+
+
+def run_case(label: str, ds) -> dict:
+    """Beam-search one fat-feature analog, then measure hybrid vs singles."""
+    apt = _build_apt(ds)
+    report = apt.plan_layerwise(beam_width=3)
+    plan = report.plan
+    chosen = plan.chosen
+
+    candidates = [chosen, *SINGLES] if chosen not in SINGLES else list(SINGLES)
+    results = apt.compare_all(num_epochs=1, numerics=False,
+                              strategies=candidates)
+    measured = {s: r.epoch_seconds for s, r in results.items()}
+    estimated = {s: plan.estimates[s].total for s in candidates}
+    measured_order = sorted(measured, key=measured.get)
+    estimated_order = sorted(estimated, key=estimated.get)
+
+    best_single = min(SINGLES, key=measured.get)
+    speedup = measured[best_single] / measured[chosen]
+    print(f"\ncase {label} ({ds.num_nodes} nodes, d={ds.feature_dim}, "
+          f"h={HIDDEN}):")
+    print(f"  planner chose {chosen} "
+          f"(assignment {' -> '.join(plan.layer_assignments.get(chosen, [chosen]))})")
+    for s in measured_order:
+        print(f"    {s:24s} measured {measured[s] * 1e3:8.3f} ms   "
+              f"estimated {estimated[s] * 1e3:8.3f} ms")
+    print(f"  predicted ranking: {' > '.join(estimated_order)}")
+    print(f"  measured ranking:  {' > '.join(measured_order)}")
+    print(f"  hybrid speedup over best single ({best_single}): {speedup:.2f}x")
+    return {
+        "label": label,
+        "num_nodes": ds.num_nodes,
+        "feature_dim": ds.feature_dim,
+        "hidden_dim": HIDDEN,
+        "chosen": chosen,
+        "layer_assignment": plan.layer_assignments.get(chosen, [chosen]),
+        "search_ranking": list(plan.ranking),
+        "measured_ms": {s: measured[s] * 1e3 for s in candidates},
+        "estimated_ms": {s: estimated[s] * 1e3 for s in candidates},
+        "measured_order": measured_order,
+        "estimated_order": estimated_order,
+        "best_single": best_single,
+        "speedup_over_best_single": speedup,
+        "rankings_match": measured_order == estimated_order,
+    }
+
+
+def run_relayout_probe(num_nodes: int) -> dict:
+    """3-layer gdp->snp->gdp: mismatched adjacent layouts pay all-to-alls."""
+    ds = ps_like(n=num_nodes, feature_dim=64)
+    apt = _build_apt(ds, layers=3)
+    report = apt.run_strategy("layerwise:gdp,snp,gdp", 1)
+    recorder = report.result.recorder
+    total = recorder.total_relayout_bytes()
+    per_layer = {str(k): float(v)
+                 for k, v in sorted(recorder.relayout_layer_bytes.items())}
+    print(f"\nre-layout probe (layerwise:gdp,snp,gdp, {num_nodes} nodes): "
+          f"{total / 1024:.1f} KiB shuffled across layout boundaries "
+          f"{per_layer}")
+    return {
+        "spec": "layerwise:gdp,snp,gdp",
+        "relayout_bytes": float(total),
+        "relayout_layer_bytes": per_layer,
+        "hidden_bytes": float(recorder.total_hidden_bytes()),
+        "loss": report.result.epochs[-1].mean_loss,
+    }
+
+
+def run_all(quick: bool) -> dict:
+    n = 6_000 if quick else 12_000
+    cases = [
+        run_case("ps_fat_features", ps_like(n=n, feature_dim=FEATURE_DIM)),
+        run_case("fs_fat_features", fs_like(n=n, feature_dim=FEATURE_DIM)),
+    ]
+    return {
+        "quick": quick,
+        "cases": cases,
+        "relayout_probe": run_relayout_probe(n),
+    }
+
+
+def check(results: dict) -> int:
+    failures = []
+    for case in results["cases"]:
+        label = case["label"]
+        chosen = case["chosen"]
+        if not chosen.startswith("layerwise:"):
+            failures.append(f"{label}: planner chose single {chosen!r}, "
+                            "not a composition")
+            continue
+        for table in ("measured_ms", "estimated_ms"):
+            hybrid = case[table][chosen]
+            for s in SINGLES:
+                if case[table][s] <= hybrid:
+                    failures.append(
+                        f"{label}: {s} beat the searched hybrid in {table} "
+                        f"({case[table][s]:.3f} <= {hybrid:.3f} ms)"
+                    )
+        if not case["rankings_match"]:
+            failures.append(
+                f"{label}: predicted ranking "
+                f"{' > '.join(case['estimated_order'])} != measured "
+                f"{' > '.join(case['measured_order'])}"
+            )
+    probe = results["relayout_probe"]
+    if probe["relayout_bytes"] <= 0:
+        failures.append("re-layout probe charged no bytes")
+    if probe["hidden_bytes"] < probe["relayout_bytes"]:
+        failures.append("re-layout bytes missing from the shuffle term's "
+                        "hidden-byte matrix")
+    for line in failures:
+        print(f"FAIL {line}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graphs (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if the hybrid stops winning or "
+                             "the predicted ranking diverges")
+    parser.add_argument("--output", type=pathlib.Path, default=BASELINE_PATH,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    results = run_all(args.quick)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if args.check:
+        return check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

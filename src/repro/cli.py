@@ -244,27 +244,66 @@ def _load_schedule(args):
         raise SystemExit(f"error: bad fault schedule {args.inject!r}: {exc}")
 
 
+def _strategy_spec(value: str) -> str:
+    """argparse type for ``--strategy``: 'auto', a single strategy name, or
+    a per-layer composition ``layerwise:<s0>,<s1>,...``."""
+    from repro.engine import STRATEGIES, is_layerwise_spec, parse_layerwise
+
+    v = value.strip().lower()
+    if v == "auto" or v in STRATEGIES:
+        return v
+    if is_layerwise_spec(v):
+        try:
+            parse_layerwise(v)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return v
+    raise argparse.ArgumentTypeError(
+        f"unknown strategy {value!r}: expected auto, one of "
+        f"{sorted(STRATEGIES)}, or 'layerwise:<s0>,<s1>,...'"
+    )
+
+
 def cmd_plan(args) -> int:
     apt = _build(args, quiet=args.json)
+    candidates = None
+    if args.strategy:
+        candidates = [s for s in args.strategy if s != "auto"] or None
     if args.objective == "latency":
         from repro.serve import BatchingPolicy
 
         policy = BatchingPolicy.parse(args.policy)
         report = apt.plan_serving(
-            batch_size=policy.max_batch_size, max_wait_s=policy.max_wait_s
+            batch_size=policy.max_batch_size,
+            max_wait_s=policy.max_wait_s,
+            strategies=candidates,
         )
         header = (
             "\ncost-model estimates (predicted per-request serving "
             f"latency at policy {args.policy}):"
         )
+    elif args.layerwise:
+        report = apt.plan_layerwise(beam_width=args.beam_width)
+        header = (
+            "\ncost-model estimates (beam-searched per-layer compositions "
+            "+ single strategies, seconds per epoch):"
+        )
     else:
-        report = apt.plan()
+        report = apt.plan(strategies=candidates)
         header = "\ncost-model estimates (strategy-specific seconds per epoch):"
     if args.json:
         print(report.to_json(indent=2))
         return 0
     print(header)
     print(report.summary())
+    plan = report.plan
+    if plan.layer_assignments:
+        print("\nper-layer assignments:")
+        for name in plan.ranking:
+            if name in plan.layer_assignments:
+                layers = " -> ".join(plan.layer_assignments[name])
+                nbytes = plan.relayout_bytes.get(name, 0.0)
+                print(f"  {name}: {layers} (re-layout {nbytes / 1e3:.1f} KB)")
     print(f"\nAPT selects: {report.chosen}")
     return 0
 
@@ -365,6 +404,18 @@ def cmd_trace(args) -> int:
         name = apt.plan().chosen
     results, ctx = _traced_run(apt, name, args.epochs, args.lr, args.out)
     disk = _disk_tier_summary(ctx)
+    layerwise = None
+    if name.startswith("layerwise:"):
+        layerwise = {
+            "layer_assignment": name[len("layerwise:"):].split(","),
+            "relayout_bytes": ctx.recorder.total_relayout_bytes(),
+            "relayout_layer_bytes": {
+                str(layer): nbytes
+                for layer, nbytes in sorted(
+                    ctx.recorder.relayout_layer_bytes.items()
+                )
+            },
+        }
     if args.json:
         payload = {
             "strategy": name,
@@ -381,10 +432,25 @@ def cmd_trace(args) -> int:
         }
         if disk is not None:
             payload["disk"] = disk
+        if layerwise is not None:
+            payload["layerwise"] = layerwise
         print(json.dumps(payload, indent=2))
         return 0
     print(f"ran {len(results)} epoch(s) with {name}; "
           f"chrome trace written to {args.out}")
+    if layerwise is not None:
+        print("  per-layer strategies:", " -> ".join(layerwise["layer_assignment"]))
+        print(f"  re-layout traffic: "
+              f"{layerwise['relayout_bytes'] / 1e3:.1f} KB total", end="")
+        per = layerwise["relayout_layer_bytes"]
+        if per:
+            detail = ", ".join(
+                f"layer {layer}: {nbytes / 1e3:.1f} KB"
+                for layer, nbytes in per.items()
+            )
+            print(f" ({detail})")
+        else:
+            print(" (all re-layouts device-local)")
     if disk is not None:
         print(f"  disk tier: {disk['rows']:.0f} rows "
               f"({disk['bytes'] / 2**20:.1f} MiB) in "
@@ -589,13 +655,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--policy", default="32:2", metavar="B:MS",
                         help="serving batch policy '<max_batch>:<max_wait_ms>'"
                              " scored by --objective latency")
+    p_plan.add_argument("--strategy", type=_strategy_spec, nargs="+",
+                        default=None, metavar="SPEC",
+                        help="explicit candidate set to rank (names and/or "
+                             "layerwise:<s0>,<s1>,... specs); default: the "
+                             "config's single-strategy candidates")
+    p_plan.add_argument("--layerwise", action="store_true",
+                        help="beam-search per-layer strategy compositions "
+                             "(DESIGN.md §5.15) instead of ranking a fixed "
+                             "candidate set")
+    p_plan.add_argument("--beam-width", type=int, default=3,
+                        help="beam width of the --layerwise search")
     p_plan.set_defaults(func=cmd_plan)
 
     p_run = sub.add_parser("run", help="train with a strategy")
     _add_task_args(p_run)
     _add_common_flags(p_run, checkpoint=True, inject=True)
-    p_run.add_argument("--strategy", default="auto",
-                       choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
+    p_run.add_argument("--strategy", default="auto", type=_strategy_spec,
+                       metavar="SPEC",
+                       help="auto, gdp/nfp/snp/dnp/hyb, or a per-layer "
+                            "composition 'layerwise:<s0>,<s1>,...' (one "
+                            "name per model layer)")
     p_run.add_argument("--epochs", type=int, default=3)
     p_run.add_argument("--lr", type=float, default=1e-3)
     p_run.add_argument("--trace", metavar="FILE", default=None,
@@ -617,8 +697,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_task_args(p_trace)
     _add_common_flags(p_trace)
-    p_trace.add_argument("--strategy", default="auto",
-                         choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"))
+    p_trace.add_argument("--strategy", default="auto", type=_strategy_spec,
+                         metavar="SPEC",
+                         help="auto, a single strategy, or "
+                              "'layerwise:<s0>,<s1>,...'")
     p_trace.add_argument("--epochs", type=int, default=1)
     p_trace.add_argument("--lr", type=float, default=1e-3)
     p_trace.add_argument("--out", metavar="FILE", default="trace.json",
@@ -631,10 +713,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_task_args(p_serve)
     _add_common_flags(p_serve, checkpoint=True)
     _add_loadgen_args(p_serve)
-    p_serve.add_argument("--strategy", default="auto",
-                         choices=("auto", "gdp", "nfp", "snp", "dnp", "hyb"),
+    p_serve.add_argument("--strategy", default="auto", type=_strategy_spec,
+                         metavar="SPEC",
                          help="serving strategy (auto: checkpointed strategy, "
-                              "else the latency-objective planner's choice)")
+                              "else the latency-objective planner's choice); "
+                              "accepts 'layerwise:<s0>,<s1>,...' specs")
     p_serve.add_argument("--policy", default="32:2", metavar="B:MS",
                          help="dynamic batching policy "
                               "'<max_batch>:<max_wait_ms>' (e.g. 32:2)")

@@ -151,11 +151,22 @@ class APTConfig:
                 f"drift_threshold must be positive, got {self.drift_threshold}"
             )
         self.strategies = tuple(str(s).lower() for s in self.strategies)
-        unknown = [s for s in self.strategies if s not in PLAN_STRATEGIES + ("hyb",)]
+        unknown = []
+        for s in self.strategies:
+            if s in PLAN_STRATEGIES + ("hyb",):
+                continue
+            if s.startswith("layerwise:"):
+                # Lazy import: config stays importable without the engine.
+                from repro.engine.layerwise import parse_layerwise
+
+                parse_layerwise(s)  # raises ValueError when malformed
+                continue
+            unknown.append(s)
         if not self.strategies or unknown:
             raise ValueError(
                 f"strategies must be a non-empty subset of "
-                f"{PLAN_STRATEGIES + ('hyb',)}, got {self.strategies}"
+                f"{PLAN_STRATEGIES + ('hyb',)} plus 'layerwise:...' specs, "
+                f"got {self.strategies}"
             )
         if int(self.replan_cooldown) < 0:
             raise ValueError(

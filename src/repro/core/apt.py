@@ -50,7 +50,7 @@ from repro.core.costmodel import CostEstimate, CostModel
 from repro.core.dryrun import DryRun, DryRunStats
 from repro.core.planner import Planner, PlanReport
 from repro.core.report import ReplanEvent, RunReport
-from repro.engine import STRATEGIES
+from repro.engine import STRATEGIES, is_layerwise_spec, parse_layerwise
 from repro.engine.context import ExecutionContext
 from repro.engine.trainer import ParallelTrainer
 from repro.graph.datasets import GraphDataset
@@ -281,6 +281,35 @@ class APT:
         )
         return RunReport(plan=self.plan_report, config=self.config.to_dict())
 
+    def plan_layerwise(
+        self, *, beam_width: int = 3, include_singles: bool = True
+    ) -> RunReport:
+        """Beam-search per-layer strategy compositions (DESIGN.md §5.15).
+
+        Every candidate's dry-run shares ``self.dryrun`` (and therefore one
+        :class:`~repro.sampling.cache.SampleCache`), so sweeping dozens of
+        compositions samples each global batch exactly once.  Single
+        strategies participate in the final ranking; the chosen spec may be
+        either kind and feeds :meth:`run` unchanged.
+        """
+        self.config.validate()
+        self._require_prepared()
+
+        def evaluate(spec: str):
+            if spec not in self.dryrun_stats:
+                self.dryrun_stats[spec] = self.dryrun.run(spec)
+            return self.dryrun_stats[spec]
+
+        self.plan_report = Planner(
+            self._cost_model(self.cluster)
+        ).search_layerwise(
+            evaluate,
+            self.model.num_layers,
+            beam_width=beam_width,
+            include_singles=include_singles,
+        )
+        return RunReport(plan=self.plan_report, config=self.config.to_dict())
+
     def plan_serving(
         self,
         *,
@@ -398,7 +427,14 @@ class APT:
         DESIGN.md §5.11).
         """
         if name not in STRATEGIES:
-            raise KeyError(f"unknown strategy {name!r}")
+            if not is_layerwise_spec(name):
+                raise KeyError(f"unknown strategy {name!r}")
+            names = parse_layerwise(name)  # raises ValueError if malformed
+            if len(names) != self.model.num_layers:
+                raise ValueError(
+                    f"layerwise spec {name!r} assigns {len(names)} layers "
+                    f"but the model has {self.model.num_layers}"
+                )
         self.config.validate()
         self._require_prepared()
         return self._run_loop(

@@ -107,6 +107,8 @@ def recorder_state(recorder) -> Dict[str, Any]:
         "disk_ranged_reads": recorder.disk_ranged_reads.copy(),
         "peak_intermediate_bytes": recorder.peak_intermediate_bytes.copy(),
         "layer1_flops": recorder.layer1_flops.copy(),
+        "relayout_bytes": recorder.relayout_bytes.copy(),
+        "relayout_layer_bytes": dict(recorder.relayout_layer_bytes),
         "access_frequency": (
             recorder.access_frequency.copy()
             if recorder.access_frequency is not None
@@ -139,6 +141,15 @@ def restore_recorder(recorder, state: Dict[str, Any]) -> None:
         recorder.disk_ranged_reads[...] = 0.0
     recorder.peak_intermediate_bytes[...] = state["peak_intermediate_bytes"]
     recorder.layer1_flops[...] = state["layer1_flops"]
+    # Older checkpoints predate layerwise re-layout accounting.
+    if "relayout_bytes" in state:
+        recorder.relayout_bytes[...] = state["relayout_bytes"]
+        recorder.relayout_layer_bytes = {
+            int(k): float(v) for k, v in state["relayout_layer_bytes"].items()
+        }
+    else:
+        recorder.relayout_bytes[...] = 0.0
+        recorder.relayout_layer_bytes = {}
     recorder.access_frequency = (
         state["access_frequency"].copy()
         if state["access_frequency"] is not None

@@ -76,6 +76,11 @@ class CostEstimate:
     t_load: float
     t_shuffle: float
     t_skew: float = 0.0
+    #: informational: re-layout traffic of a layerwise composition.  Its
+    #: *time* is already inside ``t_shuffle`` (re-layouts record into the
+    #: hidden-byte matrix); the byte count is kept for reports and the
+    #: trace output (DESIGN.md §5.15).
+    relayout_bytes: float = 0.0
 
     @property
     def total(self) -> float:
@@ -83,13 +88,16 @@ class CostEstimate:
         return self.t_build + self.t_load + self.t_shuffle + self.t_skew
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "t_build": self.t_build,
             "t_load": self.t_load,
             "t_shuffle": self.t_shuffle,
             "t_skew": self.t_skew,
             "total": self.total,
         }
+        if self.relayout_bytes:
+            out["relayout_bytes"] = self.relayout_bytes
+        return out
 
 
 @dataclass
@@ -293,6 +301,7 @@ class CostModel:
                 if self.include_compute_skew
                 else 0.0
             ),
+            relayout_bytes=stats.recorder.total_relayout_bytes(),
         )
 
     def estimate_all(

@@ -164,7 +164,7 @@ class DryRun:
         for global_batch in batches_list:
             seeds = strategy.assign_seeds(ctx, global_batch)
             batches = sample_batches(ctx, seeds, epoch)
-            strategy.plan_batch(ctx, batches)  # records volumes, charges T_build
+            strategy.plan_batch(ctx, batches, epoch)  # records volumes, charges T_build
             ctx.timeline.end_batch()
         ctx.recorder.access_frequency = self.access_freq
         return DryRunStats(

@@ -19,6 +19,13 @@ from typing import Dict, List
 
 from repro.core.costmodel import CostModel
 from repro.core.dryrun import DryRunStats
+from repro.engine.layerwise import (
+    LAYER_STRATEGIES,
+    canonical_spec,
+    format_spec,
+    is_layerwise_spec,
+    parse_layerwise,
+)
 
 #: Planner objectives and the estimate type each ranks by.
 OBJECTIVES = ("epoch", "latency")
@@ -32,31 +39,36 @@ class PlanReport:
     chosen: str
     ranking: List[str] = field(default_factory=list)
     objective: str = "epoch"
+    #: per-layer strategy assignment per candidate (layerwise specs only)
+    layer_assignments: Dict[str, List[str]] = field(default_factory=dict)
+    #: total re-layout bytes each candidate's dry-run recorded
+    relayout_bytes: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable table of per-strategy estimates."""
+        width = max(10, max((len(n) for n in self.ranking), default=0) + 2)
         if self.objective == "latency":
             lines = [
-                f"{'strategy':<10}{'t_fixed':>12}{'t_per_seed':>12}"
+                f"{'strategy':<{width}}{'t_fixed':>12}{'t_per_seed':>12}"
                 f"{'p50':>12}{'p99':>12}"
             ]
             for name in self.ranking:
                 e = self.estimates[name]
                 star = " *" if name == self.chosen else ""
                 lines.append(
-                    f"{name:<10}{e.t_fixed:>12.6f}{e.t_per_seed:>12.8f}"
+                    f"{name:<{width}}{e.t_fixed:>12.6f}{e.t_per_seed:>12.8f}"
                     f"{e.p50:>12.6f}{e.p99:>12.6f}{star}"
                 )
             return "\n".join(lines)
         lines = [
-            f"{'strategy':<10}{'t_build':>12}{'t_load':>12}{'t_shuffle':>12}"
+            f"{'strategy':<{width}}{'t_build':>12}{'t_load':>12}{'t_shuffle':>12}"
             f"{'t_skew':>12}{'total':>12}"
         ]
         for name in self.ranking:
             e = self.estimates[name]
             star = " *" if name == self.chosen else ""
             lines.append(
-                f"{name:<10}{e.t_build:>12.4f}{e.t_load:>12.4f}"
+                f"{name:<{width}}{e.t_build:>12.4f}{e.t_load:>12.4f}"
                 f"{e.t_shuffle:>12.4f}{e.t_skew:>12.4f}{e.total:>12.4f}{star}"
             )
         return "\n".join(lines)
@@ -99,9 +111,91 @@ class Planner:
         else:
             estimates = self.cost_model.estimate_all(stats_by_strategy)
         ranking = sorted(estimates, key=lambda n: estimates[n].total)
+        layer_assignments: Dict[str, List[str]] = {}
+        relayout: Dict[str, float] = {}
+        for name, stats in stats_by_strategy.items():
+            if is_layerwise_spec(name):
+                layer_assignments[name] = parse_layerwise(name)
+            recorder = getattr(stats, "recorder", None)
+            if recorder is not None and hasattr(recorder, "total_relayout_bytes"):
+                nbytes = recorder.total_relayout_bytes()
+                if nbytes or name in layer_assignments:
+                    relayout[name] = nbytes
         return PlanReport(
             estimates=estimates,
             chosen=ranking[0],
             ranking=ranking,
             objective=objective,
+            layer_assignments=layer_assignments,
+            relayout_bytes=relayout,
         )
+
+    # ------------------------------------------------------------------ #
+    def search_layerwise(
+        self,
+        evaluate,
+        num_layers: int,
+        *,
+        beam_width: int = 3,
+        include_singles: bool = True,
+        first_layer=LAYER_STRATEGIES,
+        upper_layers=("gdp", "snp"),
+    ) -> PlanReport:
+        """Beam-search per-layer strategy assignments (DESIGN.md §5.15).
+
+        ``evaluate(spec) -> DryRunStats`` dry-runs one candidate spec (a
+        single strategy name or ``layerwise:...``); candidates sharing a
+        behavior collapse onto one :func:`canonical_spec` key so each
+        distinct composition is dry-run exactly once.  Prefixes are scored
+        by completing them with their last assignment (the cheapest
+        extension that adds no re-layout), the ``beam_width`` best survive
+        each layer, and the surviving completions — plus the single
+        strategies — are ranked by the epoch cost model.
+
+        Upper layers search over layouts, not strategies: ``gdp`` denotes
+        replicated-data-parallel and ``snp`` node-partitioned (``nfp``
+        partitions input features, so it only appears at layer 0; ``dnp``
+        above layer 0 is layout-equal to ``snp``).
+        """
+        if num_layers < 1:
+            raise ValueError("model must have at least one layer")
+        cache: Dict[tuple, object] = {}
+
+        def spec_string(key: tuple) -> str:
+            return key[0] if len(key) == 1 else format_spec(key)
+
+        def stats_for(names: tuple):
+            """Dry-run stats for a (completed) assignment, canonicalized;
+            ``None`` when the candidate is infeasible on this config."""
+            key = canonical_spec(names)
+            if key not in cache:
+                try:
+                    cache[key] = evaluate(spec_string(key))
+                except ValueError:
+                    cache[key] = None
+            return key, cache[key]
+
+        def completed(prefix: tuple) -> tuple:
+            return prefix + (prefix[-1],) * (num_layers - len(prefix))
+
+        def score(prefix: tuple) -> float:
+            _, stats = stats_for(completed(prefix))
+            if stats is None:
+                return float("inf")
+            return self.cost_model.estimate(stats).total
+
+        beam = [(s,) for s in first_layer]
+        beam = sorted(beam, key=score)[:beam_width]
+        for _ in range(1, num_layers):
+            frontier = [p + (u,) for p in beam for u in upper_layers]
+            beam = sorted(frontier, key=score)[:beam_width]
+
+        finalists = {canonical_spec(completed(p)) for p in beam}
+        if include_singles:
+            finalists |= {(s,) for s in first_layer}
+        stats_map = {}
+        for key in finalists:
+            key, stats = stats_for(key)
+            if stats is not None:
+                stats_map[spec_string(key)] = stats
+        return self.select(stats_map)

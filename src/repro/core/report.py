@@ -39,7 +39,9 @@ from repro.obs.drift import DriftReading
 
 #: Version of the shared report JSON envelope.  Bump when a payload field
 #: changes meaning; ``ReportBase.load`` rejects mismatched files.
-REPORT_SCHEMA_VERSION = 1
+#: v2: per-layer strategy assignments + re-layout byte counters
+#: (DESIGN.md §5.15) in both the plan and result sections.
+REPORT_SCHEMA_VERSION = 2
 
 
 class ReportBase:
@@ -236,6 +238,13 @@ class RunReport(ReportBase):
                     name: est.as_dict() for name, est in self.plan.estimates.items()
                 },
             }
+            if self.plan.layer_assignments:
+                out["plan"]["layer_assignments"] = {
+                    name: list(layers)
+                    for name, layers in self.plan.layer_assignments.items()
+                }
+            if self.plan.relayout_bytes:
+                out["plan"]["relayout_bytes"] = dict(self.plan.relayout_bytes)
         if self.result is not None:
             out["result"] = {
                 "strategy": self.result.strategy,
@@ -255,6 +264,23 @@ class RunReport(ReportBase):
                     for e in self.result.epochs
                 ],
             }
+            if self.result.strategy.startswith("layerwise:"):
+                out["result"]["layer_assignment"] = self.result.strategy[
+                    len("layerwise:") :
+                ].split(",")
+            recorder = self.result.recorder
+            if recorder is not None and hasattr(
+                recorder, "total_relayout_bytes"
+            ):
+                total = recorder.total_relayout_bytes()
+                if total:
+                    out["result"]["relayout_bytes"] = total
+                    out["result"]["relayout_layer_bytes"] = {
+                        str(layer): nbytes
+                        for layer, nbytes in sorted(
+                            recorder.relayout_layer_bytes.items()
+                        )
+                    }
         if self.strategy_by_epoch:
             out["strategy_by_epoch"] = list(self.strategy_by_epoch)
         out["replans"] = [r.to_dict() for r in self.replans]

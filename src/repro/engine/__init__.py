@@ -26,6 +26,14 @@ from repro.engine.nfp import NFPStrategy
 from repro.engine.snp import SNPStrategy
 from repro.engine.dnp import DNPStrategy
 from repro.engine.hybrid import HybridGDPSNPStrategy
+from repro.engine.layerwise import (
+    LayerwisePlan,
+    LayerwiseStrategy,
+    canonical_spec,
+    format_spec,
+    is_layerwise_spec,
+    parse_layerwise,
+)
 from repro.engine.trainer import EpochResult, ParallelTrainer, evaluate_accuracy
 
 STRATEGIES = {
@@ -40,12 +48,17 @@ STRATEGIES = {
 
 
 def make_strategy(name: str) -> Strategy:
-    """Instantiate a strategy by its paper abbreviation."""
+    """Instantiate a strategy by its paper abbreviation, or a per-layer
+    composition from a ``layerwise:<s0>,<s1>,...`` spec (DESIGN.md §5.15)."""
+    key = name.lower() if isinstance(name, str) else name
+    if is_layerwise_spec(key):
+        return LayerwiseStrategy(parse_layerwise(key))
     try:
-        return STRATEGIES[name.lower()]()
+        return STRATEGIES[key]()
     except KeyError:
         raise KeyError(
-            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)} "
+            "or 'layerwise:<s0>,<s1>,...'"
         ) from None
 
 
@@ -59,6 +72,12 @@ __all__ = [
     "SNPStrategy",
     "DNPStrategy",
     "HybridGDPSNPStrategy",
+    "LayerwisePlan",
+    "LayerwiseStrategy",
+    "canonical_spec",
+    "format_spec",
+    "is_layerwise_spec",
+    "parse_layerwise",
     "ParallelTrainer",
     "EpochResult",
     "evaluate_accuracy",

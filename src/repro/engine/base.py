@@ -23,6 +23,22 @@ class StrategyReport:
     dim_fraction: float
 
 
+# ---------------------------------------------------------------------- #
+# partition layouts (DESIGN.md §5.15)
+# ---------------------------------------------------------------------- #
+#: every device computes its own seeds' destinations end to end (GDP, and
+#: the upper layers of every single strategy)
+LAYOUT_REPLICATED = "replicated"
+#: the layer's input rows are partitioned by feature dimension (NFP)
+LAYOUT_FEATURE = "feature"
+#: each destination node is computed once, at the device owning it in the
+#: node->device partition (SNP/DNP first layers; partitioned upper layers)
+LAYOUT_NODE = "node"
+#: slot-partitioned within each machine, replicated across machines (the
+#: hyb strategy's cache-partitioned layout)
+LAYOUT_CACHE = "cache"
+
+
 class Strategy(abc.ABC):
     """A parallelization strategy over the unified execution engine.
 
@@ -45,6 +61,14 @@ class Strategy(abc.ABC):
 
     #: paper abbreviation ("gdp", "nfp", "snp", "dnp")
     name: str = "base"
+    #: partition layout of the layer(s) this strategy repartitions (one of
+    #: the ``LAYOUT_*`` constants) — the re-layout algebra of
+    #: :mod:`repro.engine.layerwise` composes strategies by these layouts
+    layout: str = LAYOUT_REPLICATED
+    #: how the strategy splits a global seed batch over devices
+    #: ("round_robin" or "partition"); the layerwise driver follows the
+    #: *top* layer's policy so its output layout needs no final re-layout
+    seed_split: str = "round_robin"
     #: whether the strategy needs a node->device graph partition
     requires_partition: bool = False
     #: whether the strategy's per-device feature-load set equals the
@@ -64,8 +88,19 @@ class Strategy(abc.ABC):
         """Distribute a global seed batch over devices (None = no seeds)."""
 
     @abc.abstractmethod
-    def plan_batch(self, ctx: ExecutionContext, batches: List[Optional[MiniBatch]]):
-        """Permute+Shuffle: route first-layer blocks, record volumes."""
+    def plan_batch(
+        self,
+        ctx: ExecutionContext,
+        batches: List[Optional[MiniBatch]],
+        epoch: int = 0,
+    ):
+        """Permute+Shuffle: route first-layer blocks, record volumes.
+
+        ``epoch`` identifies the sampling epoch the batches came from —
+        strategies whose routing derives additional blocks (the layerwise
+        driver's regrouped upper layers) need it to reproduce the
+        per-node-deterministic draws; the single strategies ignore it.
+        """
 
     @abc.abstractmethod
     def execute_batch(
@@ -78,6 +113,34 @@ class Strategy(abc.ABC):
         each device's ``blocks[0].dst_nodes``."""
 
     # ------------------------------------------------------------------ #
+    def upper_forward(
+        self,
+        ctx: ExecutionContext,
+        plan,
+        batches: List[Optional[MiniBatch]],
+        h1: List[Optional[Tensor]],
+    ) -> List[Optional[Tensor]]:
+        """Layers >= 2 given the first layer's outputs; per-device logits.
+
+        The default runs every upper layer data-parallel on the seed-owning
+        device (the behavior all four single strategies share); the
+        layerwise driver overrides it to re-layout embeddings between
+        differently-partitioned layers.  Returned logits align with each
+        device's ``blocks[-1].dst_nodes`` (``None`` per seedless device,
+        and everywhere in timing-only mode).
+        """
+        logits: List[Optional[Tensor]] = []
+        for d, mb in enumerate(batches):
+            if mb is None:
+                logits.append(None)
+                continue
+            for layer, block in zip(list(ctx.model.layers)[1:], mb.blocks[1:]):
+                ctx.charger.dense(d, layer.forward_flops(block))
+            logits.append(
+                ctx.model.upper_forward(mb, h1[d]) if ctx.numerics else None
+            )
+        return logits
+
     def load_requests(
         self, ctx: ExecutionContext, plan, batches: List[Optional[MiniBatch]]
     ) -> Optional[List[Optional[np.ndarray]]]:

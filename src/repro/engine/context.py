@@ -63,6 +63,12 @@ class VolumeRecorder:
         #: popularity.  This record feeds the planner's optional
         #: compute-skew extension (ablated in the benchmarks).
         self.layer1_flops = np.zeros(self.num_devices)
+        #: hidden-embedding bytes moved by layerwise re-layout stages
+        #: (``[holder, new_owner]``; a subset of ``hidden_bytes`` kept
+        #: separately for reporting — DESIGN.md §5.15)
+        self.relayout_bytes = np.zeros((self.num_devices, self.num_devices))
+        #: re-layout bytes attributed per model layer index
+        self.relayout_layer_bytes: Dict[int, float] = {}
         #: per-node feature-access frequency census
         self.access_frequency: Optional[np.ndarray] = None
 
@@ -106,6 +112,19 @@ class VolumeRecorder:
             nz.sum(axis=1) + nz.sum(axis=0)
         ).astype(np.float64)
 
+    def record_relayout(
+        self, layer: int, holder: int, new_owner: int, nbytes: float
+    ) -> None:
+        """One re-layout row movement: embedding rows of ``layer``'s input
+        changing owners.  Doubles as ``record_hidden`` so the cost model's
+        T_shuffle term prices re-layout traffic with no extra plumbing."""
+        if holder != new_owner:
+            self.relayout_bytes[holder, new_owner] += nbytes
+            self.relayout_layer_bytes[layer] = (
+                self.relayout_layer_bytes.get(layer, 0.0) + nbytes
+            )
+            self.record_hidden(holder, new_owner, nbytes)
+
     def record_intermediate(self, device: int, nbytes: float) -> None:
         self.peak_intermediate_bytes[device] = max(
             self.peak_intermediate_bytes[device], nbytes
@@ -120,6 +139,9 @@ class VolumeRecorder:
 
     def total_load_rows(self, tier: Tier) -> float:
         return sum(rows[tier] for rows in self.load_rows)
+
+    def total_relayout_bytes(self) -> float:
+        return float(self.relayout_bytes.sum())
 
 
 @dataclass

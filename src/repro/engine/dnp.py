@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.base import (
+    LAYOUT_NODE,
     Strategy,
     StrategyReport,
     local_index_of,
@@ -64,6 +65,8 @@ class DNPPlan:
 
 class DNPStrategy(Strategy):
     name = "dnp"
+    layout = LAYOUT_NODE
+    seed_split = "partition"
     requires_partition = True
 
     def __init__(self):
@@ -91,7 +94,9 @@ class DNPStrategy(Strategy):
         return split_by_partition(global_batch, self._parts, ctx.num_devices)
 
     # ------------------------------------------------------------------ #
-    def plan_batch(self, ctx: ExecutionContext, batches) -> DNPPlan:
+    def plan_batch(
+        self, ctx: ExecutionContext, batches, epoch: int = 0
+    ) -> DNPPlan:
         C = ctx.num_devices
         parts = self._parts
         layer = ctx.model.first_layer

@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.engine.base import (
+    LAYOUT_REPLICATED,
     Strategy,
     StrategyReport,
     read_features,
@@ -41,6 +42,7 @@ class GDPPlan:
 
 class GDPStrategy(Strategy):
     name = "gdp"
+    layout = LAYOUT_REPLICATED
     requires_partition = False
     #: GDP's per-device load set is exactly ``blocks[0].src_nodes``, so a
     #: pipelined backend can gather the rows in workers alongside sampling.
@@ -76,7 +78,9 @@ class GDPStrategy(Strategy):
         return split_round_robin(global_batch, ctx.num_devices)
 
     # ------------------------------------------------------------------ #
-    def plan_batch(self, ctx: ExecutionContext, batches) -> GDPPlan:
+    def plan_batch(
+        self, ctx: ExecutionContext, batches, epoch: int = 0
+    ) -> GDPPlan:
         load_nodes: List[Optional[np.ndarray]] = []
         for d, mb in enumerate(batches):
             if mb is None:

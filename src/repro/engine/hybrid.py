@@ -34,7 +34,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.engine.base import StrategyReport
+from repro.engine.base import LAYOUT_CACHE, StrategyReport
 from repro.engine.context import ExecutionContext
 from repro.engine.snp import SNPStrategy
 from repro.featurestore.cache import cache_capacity_nodes, snp_cache_nodes
@@ -44,6 +44,7 @@ class HybridGDPSNPStrategy(SNPStrategy):
     """GDP between machines + SNP inside each machine (paper future work)."""
 
     name = "hyb"
+    layout = LAYOUT_CACHE
     requires_partition = True
 
     def __init__(self):

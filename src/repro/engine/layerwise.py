@@ -1,0 +1,556 @@
+"""Per-layer hybrid strategy composition (DESIGN.md §5.15).
+
+A *layerwise spec* assigns one strategy name per GNN layer —
+``layerwise:nfp,gdp`` reads "NFP for the first layer, GDP above it".  The
+driver generalizes the engine from "one strategy per run" to "one layout
+per layer":
+
+* **layer 0** keeps the full mechanics of its assigned strategy (cache
+  policy, routing, partial aggregation) — the existing GDP/NFP/SNP/DNP
+  code paths run unchanged;
+* **upper layers** are interpreted as *layouts*: ``gdp``/``nfp`` mean
+  replicated-data-parallel (every seed device computes its own
+  destinations — the behavior all single strategies share), while
+  ``snp``/``dnp`` mean node-partitioned (every destination is computed
+  exactly once, on the device owning it in the node->device partition);
+* between layers of different layouts the driver inserts **re-layout
+  stages**: the embedding rows that change owners travel in one
+  all-to-all, charged on the Timeline (phase ``shuffle``) and recorded
+  into the :class:`~repro.engine.context.VolumeRecorder` so the cost
+  model prices them like any other hidden-embedding traffic.
+
+Node-partitioned upper layers rebuild each owner's bipartite block with
+:meth:`NeighborSampler._sample_layer` over the owned frontier — the
+sampler's per-node determinism guarantees each destination gets exactly
+the edge set it had in the per-device minibatches, so regrouping is pure
+re-bucketing, never re-sampling.
+
+Semantics contract: a spec naming the *same* strategy for every layer
+delegates wholesale to that strategy and is bit-identical to it (losses,
+parameters, Timeline); mixed specs follow the layout algebra above, with
+the global seed batch split by the *top* layer's policy so the final
+output layout needs no re-layout back to the loss devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.base import (
+    LAYOUT_NODE,
+    LAYOUT_REPLICATED,
+    Strategy,
+    StrategyReport,
+    local_index_of,
+    split_by_partition,
+    split_round_robin,
+)
+from repro.engine.context import ExecutionContext
+from repro.engine.dnp import DNPStrategy
+from repro.engine.gdp import GDPStrategy
+from repro.engine.nfp import NFPStrategy
+from repro.engine.snp import SNPStrategy
+from repro.sampling.block import Block, MiniBatch
+from repro.tensor import concat as tensor_concat
+from repro.tensor.tensor import Tensor
+
+#: spec prefix understood by ``make_strategy`` and the CLI
+SPEC_PREFIX = "layerwise:"
+#: strategies composable per layer (``hyb`` is itself a composition)
+LAYER_STRATEGIES = ("gdp", "nfp", "snp", "dnp")
+
+_BASE = {
+    "gdp": GDPStrategy,
+    "nfp": NFPStrategy,
+    "snp": SNPStrategy,
+    "dnp": DNPStrategy,
+}
+
+
+# ---------------------------------------------------------------------- #
+# spec grammar
+# ---------------------------------------------------------------------- #
+def parse_layerwise(spec) -> List[str]:
+    """Parse ``"layerwise:nfp,gdp"`` (or ``"nfp,gdp"``, or a sequence)
+    into a validated per-layer name list."""
+    if isinstance(spec, str):
+        s = spec.strip().lower()
+        if s.startswith(SPEC_PREFIX):
+            s = s[len(SPEC_PREFIX):]
+        names = [p.strip() for p in s.split(",") if p.strip()]
+    else:
+        names = [str(p).strip().lower() for p in spec]
+    if not names:
+        raise ValueError(f"empty layerwise spec {spec!r}")
+    for n in names:
+        if n not in LAYER_STRATEGIES:
+            raise ValueError(
+                f"layerwise specs compose {LAYER_STRATEGIES}, got {n!r}"
+            )
+    if len(set(names)) > 1 and "nfp" in names[1:]:
+        raise ValueError(
+            "nfp partitions the *input feature* dimension and is only valid "
+            f"at layer 0 of a mixed spec (got {names})"
+        )
+    return names
+
+
+def format_spec(names: Sequence[str]) -> str:
+    """The canonical spec string for a per-layer name list."""
+    return SPEC_PREFIX + ",".join(names)
+
+
+def is_layerwise_spec(name) -> bool:
+    return isinstance(name, str) and name.strip().lower().startswith(SPEC_PREFIX)
+
+
+def upper_layout(name: str) -> str:
+    """The layout an upper-layer assignment denotes."""
+    return LAYOUT_NODE if name in ("snp", "dnp") else LAYOUT_REPLICATED
+
+
+def canonical_spec(names: Sequence[str]) -> Tuple[str, ...]:
+    """Collapse behaviorally-equal specs onto one key (for search caching).
+
+    A homogeneous spec *is* its single strategy.  A mixed spec's behavior
+    is determined by the layer-0 strategy, the upper-layer layouts, and
+    the seed-split policy (which follows the top layer) — so upper
+    ``dnp`` folds onto ``snp``, and a mixed spec whose upper layers are
+    all replicated with the base strategy's native seed split folds onto
+    the single strategy (e.g. ``layerwise:nfp,gdp`` == ``nfp``).
+    """
+    names = tuple(n.lower() for n in names)
+    if all(n == names[0] for n in names):
+        return (names[0],)
+    base = names[0]
+    uppers = tuple("snp" if n in ("snp", "dnp") else "gdp" for n in names[1:])
+    seed = "partition" if uppers[-1] == "snp" else "round_robin"
+    base_native = "partition" if base in ("snp", "dnp") else "round_robin"
+    if all(u == "gdp" for u in uppers) and seed == base_native:
+        return (base,)
+    return (base,) + uppers
+
+
+# ---------------------------------------------------------------------- #
+# plan structures
+# ---------------------------------------------------------------------- #
+@dataclass
+class GatherSpec:
+    """Assemble one target's input rows from the current holders."""
+
+    target: int
+    #: global ids the target needs, in consumption order
+    ids: np.ndarray
+    #: ``(holder, positions-within-holder)`` in ascending holder order
+    pieces: List[Tuple[int, np.ndarray]]
+    #: ``concat(piece rows)[perm]`` aligns with ``ids``
+    perm: np.ndarray
+
+
+@dataclass
+class UpperStage:
+    """One upper layer's execution recipe."""
+
+    layer: int
+    layout: str
+    #: per-target row gathers (``None`` = target idle, or no re-layout)
+    gathers: List[Optional[GatherSpec]]
+    #: node layout: the regrouped block each owner executes
+    blocks: List[Optional[Block]]
+    #: re-layout row bytes ``[holder, new_owner]`` (zero off the stages
+    #: that keep their layout)
+    move_bytes: np.ndarray
+
+
+@dataclass
+class LayerwisePlan:
+    """Base-strategy plan plus the upper-layer stage recipes."""
+
+    base: object
+    stages: List[UpperStage] = field(default_factory=list)
+    #: partitioned top layer only: per seed-device gathers back to the
+    #: loss layout (free when seeds were split by partition)
+    final_gathers: Optional[List[Optional[GatherSpec]]] = None
+    final_move_bytes: Optional[np.ndarray] = None
+
+
+# ---------------------------------------------------------------------- #
+def _first_holders(
+    need_ids: np.ndarray,
+    holder_ids: List[Optional[np.ndarray]],
+    target: int,
+) -> np.ndarray:
+    """Resolve a replicated (seed-follower) layout's row holders.
+
+    Rows may exist on several devices; prefer the target itself (free),
+    then the lowest-numbered holder — deterministic, so the plan and the
+    execution agree without negotiation.
+    """
+    holder = np.full(need_ids.size, -1, dtype=np.int64)
+    C = len(holder_ids)
+    for d in [target] + [d for d in range(C) if d != target]:
+        ids = holder_ids[d]
+        if ids is None or ids.size == 0:
+            continue
+        undecided = np.flatnonzero(holder < 0)
+        if undecided.size == 0:
+            break
+        present = np.isin(need_ids[undecided], ids)
+        holder[undecided[present]] = d
+    if (holder < 0).any():
+        missing = need_ids[holder < 0][:5]
+        raise RuntimeError(
+            f"re-layout cannot source rows for ids {missing} — no holder "
+            "covers them (sampler determinism violated?)"
+        )
+    return holder
+
+
+def _gather_spec(
+    target: int,
+    need_ids: np.ndarray,
+    holder_of: np.ndarray,
+    holder_ids: List[Optional[np.ndarray]],
+    num_devices: int,
+) -> GatherSpec:
+    order = np.argsort(holder_of, kind="stable")
+    sorted_ids = need_ids[order]
+    bounds = np.searchsorted(holder_of[order], np.arange(num_devices + 1))
+    pieces: List[Tuple[int, np.ndarray]] = []
+    for h in range(num_devices):
+        chunk = sorted_ids[bounds[h] : bounds[h + 1]]
+        if chunk.size:
+            pieces.append((h, local_index_of(holder_ids[h], chunk)))
+    perm = np.empty(need_ids.size, dtype=np.int64)
+    perm[order] = np.arange(need_ids.size)
+    return GatherSpec(target=target, ids=need_ids, pieces=pieces, perm=perm)
+
+
+# ---------------------------------------------------------------------- #
+class LayerwiseStrategy(Strategy):
+    """Drives a per-layer strategy composition (see module docstring)."""
+
+    def __init__(self, layer_names: Sequence[str]):
+        names = parse_layerwise(layer_names)
+        self.layer_names: List[str] = names
+        self.homogeneous = all(n == names[0] for n in names)
+        self.base = _BASE[names[0]]()
+        self.name = format_spec(names)
+        self.layout = self.base.layout
+        self.seed_split = (
+            "partition" if names[-1] in ("snp", "dnp") else "round_robin"
+        )
+        self.requires_partition = self.base.requires_partition or any(
+            n in ("snp", "dnp") for n in names
+        )
+        self.gather_prefetch = self.base.gather_prefetch
+        #: layout per upper layer (index ``li - 1`` for model layer ``li``)
+        self.upper_layouts = [upper_layout(n) for n in names[1:]]
+        self._parts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, ctx: ExecutionContext) -> StrategyReport:
+        if len(self.layer_names) != ctx.model.num_layers:
+            raise ValueError(
+                f"layerwise spec has {len(self.layer_names)} assignments but "
+                f"the model has {ctx.model.num_layers} layers"
+            )
+        if self.requires_partition:
+            self._parts = self.check_partition(ctx)
+        report = self.base.prepare(ctx)
+        return StrategyReport(
+            name=self.name,
+            cached_nodes_per_device=report.cached_nodes_per_device,
+            dim_fraction=report.dim_fraction,
+        )
+
+    def assign_seeds(self, ctx, global_batch):
+        if self.homogeneous:
+            return self.base.assign_seeds(ctx, global_batch)
+        if self.seed_split == "partition":
+            return split_by_partition(global_batch, self._parts, ctx.num_devices)
+        return split_round_robin(global_batch, ctx.num_devices)
+
+    def grad_sync_bytes(self, model) -> float:
+        return self.base.grad_sync_bytes(model)
+
+    def load_requests(self, ctx, plan: LayerwisePlan, batches):
+        return self.base.load_requests(ctx, plan.base, batches)
+
+    # ------------------------------------------------------------------ #
+    def plan_batch(
+        self,
+        ctx: ExecutionContext,
+        batches: List[Optional[MiniBatch]],
+        epoch: int = 0,
+    ) -> LayerwisePlan:
+        base_plan = self.base.plan_batch(ctx, batches, epoch)
+        plan = LayerwisePlan(base=base_plan)
+        if not self.homogeneous:
+            self._plan_upper(ctx, batches, epoch, plan)
+        return plan
+
+    def execute_batch(self, ctx, plan: LayerwisePlan, batches):
+        return self.base.execute_batch(ctx, plan.base, batches)
+
+    # ------------------------------------------------------------------ #
+    # upper-layer routing (Permute/Shuffle of the re-layout stages)
+    # ------------------------------------------------------------------ #
+    def _plan_upper(
+        self,
+        ctx: ExecutionContext,
+        batches: List[Optional[MiniBatch]],
+        epoch: int,
+        plan: LayerwisePlan,
+    ) -> None:
+        C = ctx.num_devices
+        parts = self._parts
+        num_layers = ctx.model.num_layers
+        #: "follower" = rows live per seed device, aligned to the next
+        #: layer's ``src_nodes``; "node" = rows live at partition owners
+        mode = "follower"
+        owned_ids: List[Optional[np.ndarray]] = [None] * C
+
+        for li in range(1, num_layers):
+            layer = ctx.model.layers[li]
+            layout = self.upper_layouts[li - 1]
+            row_bytes = 8.0 * layer.in_dim
+            follower_ids = [
+                mb.blocks[li].src_nodes if mb is not None else None
+                for mb in batches
+            ]
+            move = np.zeros((C, C))
+            gathers: List[Optional[GatherSpec]] = [None] * C
+            blocks: List[Optional[Block]] = [None] * C
+
+            if layout == LAYOUT_REPLICATED:
+                if mode == "node":
+                    # node -> replicated: every seed device pulls its own
+                    # src rows back from the partition owners.
+                    for d, mb in enumerate(batches):
+                        if mb is None:
+                            continue
+                        need = mb.blocks[li].src_nodes
+                        holder_of = parts[need]
+                        spec = _gather_spec(d, need, holder_of, owned_ids, C)
+                        gathers[d] = spec
+                        for h, idx in spec.pieces:
+                            if h != d:
+                                move[h, d] += idx.size * row_bytes
+                    mode = "follower"
+                # follower -> replicated needs no re-layout at all.
+            else:  # LAYOUT_NODE
+                dsts = [
+                    mb.blocks[li].dst_nodes
+                    for mb in batches
+                    if mb is not None
+                ]
+                V = (
+                    np.unique(np.concatenate(dsts))
+                    if dsts
+                    else np.empty(0, np.int64)
+                )
+                holder_ids = owned_ids if mode == "node" else follower_ids
+                for p in range(C):
+                    F = V[parts[V] == p]
+                    if F.size == 0:
+                        continue
+                    blk = ctx.sampler._sample_layer(
+                        F, ctx.sampler.fanouts[li], epoch, li
+                    )
+                    blocks[p] = blk
+                    need = blk.src_nodes
+                    if mode == "node":
+                        holder_of = parts[need]
+                    else:
+                        holder_of = _first_holders(need, follower_ids, p)
+                    spec = _gather_spec(p, need, holder_of, holder_ids, C)
+                    gathers[p] = spec
+                    for h, idx in spec.pieces:
+                        if h != p:
+                            move[h, p] += idx.size * row_bytes
+                self._charge_structure(ctx, batches, li, parts)
+                owned_ids = [
+                    blk.dst_nodes if blk is not None else None
+                    for blk in blocks
+                ]
+                mode = "node"
+
+            if move.any():
+                ctx.recorder.record_message_pattern(move, calls=2)
+                for h in range(C):
+                    for t in range(C):
+                        if move[h, t]:
+                            ctx.recorder.record_relayout(li, h, t, move[h, t])
+            plan.stages.append(
+                UpperStage(
+                    layer=li,
+                    layout=layout,
+                    gathers=gathers,
+                    blocks=blocks,
+                    move_bytes=move,
+                )
+            )
+
+        if mode == "node":
+            # Back to the loss layout: each seed device collects its own
+            # final destinations.  Free when seeds were partition-split.
+            row_bytes = 8.0 * ctx.model.layers[-1].out_dim
+            move = np.zeros((C, C))
+            finals: List[Optional[GatherSpec]] = [None] * C
+            for d, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                need = mb.blocks[-1].dst_nodes
+                spec = _gather_spec(d, need, parts[need], owned_ids, C)
+                finals[d] = spec
+                for h, idx in spec.pieces:
+                    if h != d:
+                        move[h, d] += idx.size * row_bytes
+            if move.any():
+                ctx.recorder.record_message_pattern(move, calls=2)
+                for h in range(C):
+                    for t in range(C):
+                        if move[h, t]:
+                            ctx.recorder.record_relayout(
+                                num_layers, h, t, move[h, t]
+                            )
+            plan.final_gathers = finals
+            plan.final_move_bytes = move
+
+    @staticmethod
+    def _charge_structure(ctx, batches, li: int, parts: np.ndarray) -> None:
+        """Ship each destination's edge list to its partition owner.
+
+        Every destination's block structure lives with the device that
+        sampled it; regrouping a layer by ownership moves each node's
+        in-edge list (endpoint pairs + ids, 8 bytes per entry) from its
+        first holder to its owner — charged like the single strategies'
+        structure shuffles (phase ``sample``, i.e. T_build).
+        """
+        all_dst, all_dev, all_deg = [], [], []
+        for d, mb in enumerate(batches):
+            if mb is None:
+                continue
+            block = mb.blocks[li]
+            all_dst.append(block.dst_nodes)
+            all_dev.append(np.full(block.num_dst, d, dtype=np.int64))
+            all_deg.append(block.degree_per_dst())
+        if not all_dst:
+            return
+        dst = np.concatenate(all_dst)
+        dev = np.concatenate(all_dev)
+        deg = np.concatenate(all_deg)
+        order = np.argsort(dst, kind="stable")  # lowest device first per id
+        dst, dev, deg = dst[order], dev[order], deg[order]
+        first = np.ones(dst.size, dtype=bool)
+        first[1:] = dst[1:] != dst[:-1]
+        v, holder, degree = dst[first], dev[first], deg[first]
+        owner = parts[v]
+        nbytes = 8.0 * (2.0 * degree + 2.0)
+        C = ctx.num_devices
+        struct = np.zeros((C, C))
+        np.add.at(struct, (holder, owner), nbytes)
+        np.fill_diagonal(struct, 0.0)
+        if struct.any():
+            ctx.comm.alltoall_bytes(struct, phase="sample")
+            for h in range(C):
+                ctx.recorder.record_structure(h, float(struct[h].sum()))
+
+    # ------------------------------------------------------------------ #
+    # upper-layer execution (Execute/Reshuffle of the re-layout stages)
+    # ------------------------------------------------------------------ #
+    def upper_forward(self, ctx, plan: LayerwisePlan, batches, h1):
+        if self.homogeneous:
+            return super().upper_forward(ctx, plan, batches, h1)
+        state: List[Optional[Tensor]] = list(h1)
+        for stage in plan.stages:
+            layer = ctx.model.layers[stage.layer]
+            if stage.layout == LAYOUT_REPLICATED:
+                inputs = (
+                    self._apply_gathers(ctx, stage.gathers, stage.move_bytes, state)
+                    if any(g is not None for g in stage.gathers)
+                    else state
+                )
+                new_state: List[Optional[Tensor]] = []
+                for d, mb in enumerate(batches):
+                    if mb is None:
+                        new_state.append(None)
+                        continue
+                    block = mb.blocks[stage.layer]
+                    ctx.charger.dense(d, layer.forward_flops(block))
+                    new_state.append(
+                        layer.full_forward(block, inputs[d])
+                        if ctx.numerics
+                        else None
+                    )
+            else:
+                inputs = self._apply_gathers(
+                    ctx, stage.gathers, stage.move_bytes, state
+                )
+                new_state = []
+                for p, blk in enumerate(stage.blocks):
+                    if blk is None:
+                        new_state.append(None)
+                        continue
+                    ctx.charger.dense(p, layer.forward_flops(blk))
+                    ctx.recorder.record_intermediate(
+                        p,
+                        8.0
+                        * (
+                            blk.num_src * layer.in_dim
+                            + blk.num_dst * layer.out_dim
+                        ),
+                    )
+                    new_state.append(
+                        layer.full_forward(blk, inputs[p])
+                        if ctx.numerics
+                        else None
+                    )
+            state = new_state
+
+        if plan.final_gathers is not None:
+            state = self._apply_gathers(
+                ctx, plan.final_gathers, plan.final_move_bytes, state
+            )
+        return state
+
+    @staticmethod
+    def _apply_gathers(
+        ctx,
+        gathers: List[Optional[GatherSpec]],
+        move_bytes: np.ndarray,
+        state: List[Optional[Tensor]],
+    ) -> List[Optional[Tensor]]:
+        """Execute one re-layout: route rows holder -> target.
+
+        Numerics mode moves autograd-connected row tensors through the
+        communicator's all-to-all (gradients flow back to each holder's
+        tape); timing mode charges the identical byte matrix.
+        """
+        C = len(gathers)
+        if not ctx.numerics:
+            if move_bytes is not None and move_bytes.any():
+                ctx.comm.alltoall_bytes(
+                    move_bytes, phase="shuffle", count_backward=True
+                )
+            return [None] * C
+        grid: List[List[Optional[Tensor]]] = [[None] * C for _ in range(C)]
+        for t, spec in enumerate(gathers):
+            if spec is None:
+                continue
+            for h, idx in spec.pieces:
+                grid[h][t] = state[h].index_rows(idx)
+        received = ctx.comm.alltoall_tensors(grid, phase="shuffle")
+        out: List[Optional[Tensor]] = []
+        for t, spec in enumerate(gathers):
+            if spec is None:
+                out.append(None)
+                continue
+            rows = [received[t][h] for h, _ in spec.pieces]
+            stacked = rows[0] if len(rows) == 1 else tensor_concat(rows, axis=0)
+            out.append(stacked.index_rows(spec.perm))
+        return out

@@ -30,6 +30,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.engine.base import (
+    LAYOUT_FEATURE,
     Strategy,
     StrategyReport,
     local_index_of,
@@ -58,6 +59,7 @@ class NFPPlan:
 
 class NFPStrategy(Strategy):
     name = "nfp"
+    layout = LAYOUT_FEATURE
     requires_partition = False
 
     def __init__(self):
@@ -97,7 +99,9 @@ class NFPStrategy(Strategy):
         return model.parameter_bytes() - model.first_layer_parameter_bytes()
 
     # ------------------------------------------------------------------ #
-    def plan_batch(self, ctx: ExecutionContext, batches) -> NFPPlan:
+    def plan_batch(
+        self, ctx: ExecutionContext, batches, epoch: int = 0
+    ) -> NFPPlan:
         C = ctx.num_devices
         layer = ctx.model.first_layer
         d_hidden = layer.out_dim if not layer.is_attention else (

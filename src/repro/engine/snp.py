@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.base import (
+    LAYOUT_NODE,
     Strategy,
     StrategyReport,
     local_index_of,
@@ -75,6 +76,8 @@ class SNPPlan:
 
 class SNPStrategy(Strategy):
     name = "snp"
+    layout = LAYOUT_NODE
+    seed_split = "partition"
     requires_partition = True
 
     def __init__(self):
@@ -111,7 +114,9 @@ class SNPStrategy(Strategy):
         return self._parts[nodes]
 
     # ------------------------------------------------------------------ #
-    def plan_batch(self, ctx: ExecutionContext, batches) -> SNPPlan:
+    def plan_batch(
+        self, ctx: ExecutionContext, batches, epoch: int = 0
+    ) -> SNPPlan:
         C = ctx.num_devices
         parts = self._parts
         layer = ctx.model.first_layer

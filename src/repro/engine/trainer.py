@@ -79,7 +79,7 @@ class ParallelTrainer:
         ctx = self.ctx
         seeds = self.strategy.assign_seeds(ctx, global_batch)
         batches = sample_batches(ctx, seeds, epoch)
-        plan = self.strategy.plan_batch(ctx, batches)
+        plan = self.strategy.plan_batch(ctx, batches, epoch)
 
         # Cross-device gather dedup: stage the union of the strategy's
         # per-device row requests once; store.read serves slices of it.
@@ -98,20 +98,17 @@ class ParallelTrainer:
                     shared = ctx.store.begin_shared_gather(requests)
         try:
             h1 = self.strategy.execute_batch(ctx, plan, batches)
+            logits = self.strategy.upper_forward(ctx, plan, batches, h1)
 
             losses: List[Tensor] = []
             weight_total = float(len(global_batch))
             for d, mb in enumerate(batches):
-                if mb is None:
+                if mb is None or logits[d] is None:
                     continue
-                for layer, block in zip(list(ctx.model.layers)[1:], mb.blocks[1:]):
-                    ctx.charger.dense(d, layer.forward_flops(block))
-                if ctx.numerics:
-                    logits = ctx.model.upper_forward(mb, h1[d])
-                    labels = ctx.dataset.labels[mb.blocks[-1].dst_nodes]
-                    losses.append(
-                        F.cross_entropy(logits, labels, weight_total=weight_total)
-                    )
+                labels = ctx.dataset.labels[mb.blocks[-1].dst_nodes]
+                losses.append(
+                    F.cross_entropy(logits[d], labels, weight_total=weight_total)
+                )
 
             loss_value = float("nan")
             if ctx.numerics:

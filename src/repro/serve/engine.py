@@ -195,21 +195,22 @@ class ServeEngine:
         unique_nodes = np.unique(np.asarray(nodes, dtype=np.int64))
         seeds = self.strategy.assign_seeds(ctx, unique_nodes)
         batches = self._sample(seeds, batch_index)
-        plan = self.strategy.plan_batch(ctx, batches)
+        # The batch index doubles as the sampling epoch (as in _sample), so
+        # a layerwise strategy's regrouped upper blocks reproduce exactly
+        # the per-node-deterministic draws this batch sampled.
+        plan = self.strategy.plan_batch(ctx, batches, batch_index)
         predictions: Dict[int, int] = {}
         with no_grad():
             h1 = self.strategy.execute_batch(ctx, plan, batches)
+            if self.hot_cache is not None:
+                for mb in batches:
+                    if mb is not None:
+                        self.hot_cache.observe(mb.input_nodes)
+            logits = self.strategy.upper_forward(ctx, plan, batches, h1)
             for d, mb in enumerate(batches):
-                if mb is None:
+                if mb is None or logits[d] is None:
                     continue
-                if self.hot_cache is not None:
-                    self.hot_cache.observe(mb.input_nodes)
-                for layer, block in zip(
-                    list(ctx.model.layers)[1:], mb.blocks[1:]
-                ):
-                    ctx.charger.dense(d, layer.forward_flops(block))
-                logits = ctx.model.upper_forward(mb, h1[d])
-                preds = logits.data.argmax(axis=1)
+                preds = logits[d].data.argmax(axis=1)
                 for node, pred in zip(mb.blocks[-1].dst_nodes, preds):
                     predictions[int(node)] = int(pred)
         return predictions

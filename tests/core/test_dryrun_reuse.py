@@ -91,6 +91,40 @@ def test_reuse_off_resamples_every_chunk(task, monkeypatch):
     assert count["n"] > num_batches
 
 
+def test_layerwise_sweep_samples_exactly_once(task, monkeypatch):
+    """The whole beam-search candidate sweep — singles plus every distinct
+    per-layer composition — shares one SampleCache through the DryRun, so
+    the real sampler still runs exactly once per whole epoch batch (the
+    census); regrouped layerwise blocks are derived per-node-
+    deterministically and never re-sample either."""
+    from repro.core.costmodel import CostModel
+    from repro.core.planner import Planner
+
+    ds, cluster, model, parts = task
+    calls = []
+    real_sample = NeighborSampler.sample
+
+    def counting_sample(self, seeds, epoch=0):
+        calls.append(np.sort(np.asarray(seeds, dtype=np.int64)))
+        return real_sample(self, seeds, epoch=epoch)
+
+    monkeypatch.setattr(NeighborSampler, "sample", counting_sample)
+
+    dr = make_dryrun(task)
+    assert dr.sample_cache is not None
+    report = Planner(CostModel(cluster, ds.feature_dim)).search_layerwise(
+        dr.run, model.num_layers, beam_width=3
+    )
+
+    whole_batches = EpochIterator(ds.train_seeds, BATCH, 0).epoch_batches(0)
+    assert len(calls) == len(whole_batches)
+    for got, want in zip(calls, whole_batches):
+        assert np.array_equal(got, np.sort(want))
+    # the sweep actually evaluated compositions, not just the singles
+    assert any(name.startswith("layerwise:") for name in report.ranking)
+    assert set(report.ranking) >= {"gdp", "nfp", "snp", "dnp"}
+
+
 def test_timeline_and_plan_identical_with_and_without_cache(task):
     """The cache must not move a single simulated second or byte."""
     with_cache = make_dryrun(task).run_all()

@@ -30,7 +30,7 @@ FAST_POLICY = dict(
 )
 
 
-def _run(ds, backend, *, chaos=None, policy=None, epochs=2):
+def _run(ds, backend, *, chaos=None, policy=None, epochs=2, strategy="dnp"):
     model = GraphSAGE(ds.feature_dim, 8, ds.num_classes, 2, seed=1)
     cluster = multi_machine_cluster(
         2, 2, gpu_cache_bytes=ds.feature_bytes * 0.06
@@ -47,7 +47,7 @@ def _run(ds, backend, *, chaos=None, policy=None, epochs=2):
     )
     apt = APT(ds, model, cluster, config)
     apt.prepare()
-    report = apt.run_strategy("dnp", epochs)
+    report = apt.run_strategy(strategy, epochs)
     return report, model
 
 
@@ -124,6 +124,19 @@ class TestChaosEquivalence:
         r_proc, m_proc = _run(tiny_dataset, "process", chaos=chaos)
         assert _facts(r_serial) == _facts(r_proc)
         _assert_states_equal(m_serial, m_proc)
+
+    def test_hyb_kill_respawns_and_converges(self, tiny_dataset):
+        """The GDPxSNP hybrid survives chaos bit-identically too — it was
+        previously pinned only under the serial backend."""
+        r_serial, m_serial = _run(tiny_dataset, "serial", strategy="hyb")
+        chaos = HostFaultSchedule.parse("kill@1;corrupt@2")
+        r_proc, m_proc = _run(
+            tiny_dataset, "process", chaos=chaos, strategy="hyb"
+        )
+        assert _facts(r_serial) == _facts(r_proc)
+        _assert_states_equal(m_serial, m_proc)
+        kinds = _kinds(r_proc)
+        assert "chaos" in kinds and "task_retry" in kinds
 
     def test_budget_exhaustion_degrades_to_serial(self, tiny_dataset, baseline):
         r_serial, m_serial = baseline

@@ -16,7 +16,9 @@ from repro.engine.context import ExecutionContext
 from repro.models import GraphSAGE
 from repro.parallel.backend import ProcessPoolBackend, SerialBackend, make_backend
 
-STRATEGIES = ("gdp", "nfp", "snp", "dnp")
+#: every single strategy, the GDPxSNP hybrid, and a mixed per-layer
+#: composition — the backend contract holds for all of them
+STRATEGIES = ("gdp", "nfp", "snp", "dnp", "hyb", "layerwise:gdp,snp")
 
 
 def _run(
