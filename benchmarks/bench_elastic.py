@@ -1,0 +1,182 @@
+"""Elastic adaptivity — surviving (and exploiting) cluster membership changes.
+
+The scenario (DESIGN.md §5.16): training starts on two machines joined by
+a congested Ethernet (10% of nominal bandwidth), where the planner picks
+DNP — replicating features beats shipping them across the slow link.  At
+the fault epoch one machine is reclaimed (``host_leave``, the spot-instance
+story).  The elastic engine quiesces the backend, checkpoints, re-partitions
+for the surviving machine, and re-plans: with no cross-machine traffic
+left, GDP now wins, and the adaptive run hot-switches to it.
+
+The benchmark runs that elastic adaptive configuration against every fixed
+strategy under the identical node-loss schedule and asserts the adaptive
+run's simulated seconds beat them all: fixed DNP pays replication overhead
+forever, fixed GDP crawls through the congested pre-fault epochs, NFP/SNP
+lose on both sides.
+
+Writes ``BENCH_elastic.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/bench_elastic.py          # full run, update JSON
+    python benchmarks/bench_elastic.py --quick  # fewer epochs (CI mode)
+    python benchmarks/bench_elastic.py --quick --check  # CI gate
+
+``--check`` fails unless the elastic adaptive run beats every fixed
+strategy and actually switched strategies at the membership change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import common
+
+from repro.cluster.faults import FaultEvent, FaultSchedule
+from repro.config import APTConfig
+from repro.core import APT
+
+BASELINE_PATH = REPO_ROOT / "BENCH_elastic.json"
+
+DATASET = "ps"
+MACHINES, GPUS = 2, 8
+HIDDEN = 96
+ETHERNET_FACTOR = 0.1  # congested inter-machine link, part of the cluster
+LEAVE_MACHINE = 1
+
+
+def _cluster():
+    ds = common.dataset(DATASET)
+    cluster = common.cluster_for(ds, num_gpus=GPUS, num_machines=MACHINES)
+    net = dataclasses.replace(
+        cluster.network, bandwidth=cluster.network.bandwidth * ETHERNET_FACTOR
+    )
+    return cluster.with_network(net)
+
+
+def _apt(replan: bool):
+    ds = common.dataset(DATASET)
+    cluster = _cluster()
+    model = common.make_model("sage", ds, hidden=HIDDEN)
+    cfg = APTConfig(
+        fanouts=(10, 10, 10),
+        global_batch_size=cluster.num_devices * common.BATCH_PER_GPU,
+        seed=0,
+        replan=replan,
+    )
+    apt = APT(ds, model, cluster, cfg)
+    apt.prepare()
+    return apt
+
+
+def _schedule(fault_epoch: int) -> FaultSchedule:
+    return FaultSchedule(
+        [FaultEvent(epoch=fault_epoch, kind="host_leave", machine=LEAVE_MACHINE)]
+    )
+
+
+def run_all(quick: bool) -> dict:
+    epochs = 6 if quick else 12
+    # Lose the machine a third of the way in: the congested pre-fault
+    # phase separates adaptive from fixed GDP, the long post-fault tail
+    # separates it from fixed DNP.
+    fault_epoch = epochs // 3
+    results: dict = {
+        "quick": quick,
+        "epochs": epochs,
+        "fault_epoch": fault_epoch,
+        "scenario": (
+            f"{MACHINES}x{GPUS // MACHINES} GPUs, Ethernet at "
+            f"{ETHERNET_FACTOR:.0%}, machine {LEAVE_MACHINE} leaves at "
+            f"epoch {fault_epoch}"
+        ),
+    }
+
+    # Elastic adaptive: plan on the full cluster, hot-switch at the loss.
+    apt = _apt(replan=True)
+    apt.plan()
+    adaptive = apt.run(epochs, faults=_schedule(fault_epoch), numerics=False)
+    switch = next(
+        (e for e in adaptive.collector.events if e.kind == "elastic_replan"),
+        None,
+    )
+    results["adaptive"] = {
+        "seconds": adaptive.wall_seconds,
+        "strategy_by_epoch": list(adaptive.strategy_by_epoch),
+        "switched": bool(switch and switch.data["switched"]),
+    }
+    print(
+        f"  adaptive      {adaptive.wall_seconds * 1e3:9.3f}ms  "
+        + " ".join(adaptive.strategy_by_epoch)
+    )
+
+    # Every fixed strategy survives the identical schedule, never switches.
+    results["fixed"] = {}
+    for name in common.STRATEGIES:
+        rep = _apt(replan=False).run_strategy(
+            name, epochs, faults=_schedule(fault_epoch), numerics=False
+        )
+        assert set(rep.strategy_by_epoch) == {name}
+        results["fixed"][name] = {"seconds": rep.wall_seconds}
+        print(f"  fixed {name:8s}{rep.wall_seconds * 1e3:9.3f}ms")
+
+    best_fixed = min(
+        results["fixed"], key=lambda n: results["fixed"][n]["seconds"]
+    )
+    results["best_fixed"] = best_fixed
+    results["speedup_vs_best_fixed"] = (
+        results["fixed"][best_fixed]["seconds"] / results["adaptive"]["seconds"]
+    )
+    print(
+        f"  adaptive beats best fixed ({best_fixed}) by "
+        f"{results['speedup_vs_best_fixed']:.2f}x"
+    )
+    return results
+
+
+def check(results: dict) -> int:
+    failures = []
+    adaptive = results["adaptive"]["seconds"]
+    for name, entry in results["fixed"].items():
+        if adaptive >= entry["seconds"]:
+            failures.append(
+                f"elastic adaptive ({adaptive * 1e3:.3f}ms) does not beat "
+                f"fixed {name} ({entry['seconds'] * 1e3:.3f}ms)"
+            )
+    if not results["adaptive"]["switched"]:
+        failures.append("the adaptive run never hot-switched strategies")
+    for line in failures:
+        print(f"FAIL {line}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer epochs (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless adaptive beats all fixed")
+    parser.add_argument("--output", type=pathlib.Path, default=BASELINE_PATH,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    results = run_all(args.quick)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if args.check:
+        return check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

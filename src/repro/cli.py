@@ -205,6 +205,10 @@ def _build(args, quiet: bool = False) -> APT:
         config_kwargs["checkpoint_dir"] = args.checkpoint_dir
     if getattr(args, "checkpoint_every", None) is not None:
         config_kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "checkpoint_keep", None) is not None:
+        config_kwargs["checkpoint_keep"] = args.checkpoint_keep
+    if getattr(args, "no_elastic", False):
+        config_kwargs["elastic_policy"] = {"enabled": False}
     if getattr(args, "partition", None) is not None:
         config_kwargs["partition"] = args.partition
     elif dataset_dir is not None:
@@ -365,14 +369,19 @@ def cmd_run(args) -> int:
     faults, chaos = _load_schedule(args)
     if chaos is not None:
         apt.config.host_chaos = chaos
-    report = apt.run(
-        num_epochs=args.epochs,
-        strategy=strategy,
-        lr=args.lr,
-        faults=faults,
-        replan=True if args.replan else None,
-        resume=args.resume,
-    )
+    try:
+        report = apt.run(
+            num_epochs=args.epochs,
+            strategy=strategy,
+            lr=args.lr,
+            faults=faults,
+            replan=True if args.replan else None,
+            resume=args.resume,
+        )
+    except RuntimeError as exc:
+        # e.g. a membership change with elastic execution disabled, or
+        # one that falls below the min_devices floor
+        raise SystemExit(f"error: {exc}")
     if args.json:
         print(report.to_json(indent=2))
         return 0
@@ -392,6 +401,26 @@ def cmd_run(args) -> int:
             f"re-plan after epoch {rp.epoch}: drift {rp.drift.max_abs:.2f} "
             f"on {rp.drift.worst_term}; {verb} {rp.new_strategy}"
         )
+    if report.collector is not None:
+        for ev in report.collector.events:
+            if ev.kind in ("host_leave", "host_join"):
+                verb = "left" if ev.kind == "host_leave" else "joined"
+                print(
+                    f"machine {ev.data.get('machine')} {verb} at epoch "
+                    f"{ev.epoch}: {ev.data.get('devices_before')} -> "
+                    f"{ev.data.get('devices_after')} devices"
+                )
+            elif ev.kind == "repartition":
+                print(
+                    f"re-partitioned ({ev.data.get('mode')}) for "
+                    f"{ev.data.get('devices_after')} devices at epoch "
+                    f"{ev.epoch}"
+                )
+            elif ev.kind == "elastic_replan" and ev.data.get("switched"):
+                print(
+                    f"elastic re-plan at epoch {ev.epoch}: switched "
+                    f"{ev.data.get('old')} -> {ev.data.get('chosen')}"
+                )
     if faults is not None and not report.faults:
         print("fault schedule supplied but no fault fired within the run")
     return 0
@@ -686,6 +715,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--checkpoint-every", type=int, default=None,
                        metavar="N", help="checkpoint cadence in epochs "
                                          "(default 1)")
+    p_run.add_argument("--checkpoint-keep", type=int, default=None,
+                       metavar="N", help="checkpoints retained per "
+                                         "directory (default 3)")
+    p_run.add_argument("--no-elastic", action="store_true",
+                       help="fail on host_leave/host_join membership "
+                            "events instead of re-partitioning and "
+                            "continuing on the changed cluster")
     p_run.add_argument("--resume", metavar="DIR", default=None,
                        help="continue from the latest checkpoint in DIR; "
                             "the remaining epochs reproduce the "

@@ -20,8 +20,18 @@ between epochs).  Kinds:
     rate) by ``factor``.
 ``cache_shrink``
     Scale the per-GPU feature-cache capacity by ``factor``.
+``host_leave``
+    Remove machine ``machine`` from the cluster (a spot instance was
+    reclaimed).  Membership changes shrink the device set, so the run
+    loop must re-partition and may re-plan (DESIGN.md §5.16); ``factor``
+    is ignored.
+``host_join``
+    Add one machine (a clone of machine 0's spec).  ``machine`` is the
+    optional insertion index (default: append); ``factor`` scales the
+    joiner's GPU throughput (< 1 models a slower spot tier).
 ``recover``
-    Discard every earlier fault: the cluster returns to its base spec.
+    Discard every earlier fault: the cluster returns to its base spec —
+    including membership (left hosts return, joined hosts leave).
 
 Schedules are seeded: ``jitter`` perturbs each event's factor with a
 deterministic per-event draw, so two schedules with the same seed produce
@@ -40,7 +50,18 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.cluster.spec import ClusterSpec, LinkSpec
 from repro.utils.random import rng_from
 
-FAULT_KINDS = ("link_degrade", "straggler", "cache_shrink", "recover")
+FAULT_KINDS = (
+    "link_degrade",
+    "straggler",
+    "cache_shrink",
+    "host_leave",
+    "host_join",
+    "recover",
+)
+
+#: Kinds that change cluster *membership* (device count), forcing the run
+#: loop through the elastic transition (re-partition + optional re-plan).
+MEMBERSHIP_KINDS = ("host_leave", "host_join")
 
 
 @dataclass(frozen=True)
@@ -63,14 +84,16 @@ class FaultEvent:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
-        if self.kind != "recover" and not 0.0 < self.factor:
+        if self.kind not in ("recover", "host_leave") and not 0.0 < self.factor:
             raise ValueError(f"fault factor must be positive, got {self.factor}")
-        if self.kind == "straggler" and self.machine is None:
-            raise ValueError("straggler faults need a target machine index")
+        if self.kind in ("straggler", "host_leave") and self.machine is None:
+            raise ValueError(
+                f"{self.kind} faults need a target machine index"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"epoch": self.epoch, "kind": self.kind}
-        if self.kind != "recover":
+        if self.kind not in ("recover", "host_leave"):
             out["factor"] = self.factor
         if self.machine is not None:
             out["machine"] = self.machine
@@ -97,6 +120,24 @@ class FaultEvent:
             )
         if self.kind == "cache_shrink":
             return cluster.with_cache(cluster.gpu_cache_bytes * factor)
+        if self.kind == "host_leave":
+            if not 0 <= self.machine < cluster.num_machines:
+                raise ValueError(
+                    f"host_leave targets machine {self.machine} but the "
+                    f"cluster has {cluster.num_machines} machine(s)"
+                )
+            return cluster.without_machine(self.machine)
+        if self.kind == "host_join":
+            template = cluster.machines[0]
+            if factor != 1.0:
+                dev = template.device
+                scaled = dataclasses.replace(
+                    dev,
+                    compute_efficiency=dev.compute_efficiency * factor,
+                    sampling_edges_per_sec=dev.sampling_edges_per_sec * factor,
+                )
+                template = dataclasses.replace(template, device=scaled)
+            return cluster.with_joined_machine(machine=template, index=self.machine)
         raise AssertionError(f"unhandled fault kind {self.kind!r}")
 
 

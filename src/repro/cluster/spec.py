@@ -169,6 +169,57 @@ class ClusterSpec:
             gpu_cache_bytes=self.gpu_cache_bytes,
         )
 
+    # -- elastic membership transforms (DESIGN.md §5.16) ---------------- #
+    def without_machine(self, index: int) -> "ClusterSpec":
+        """Copy of the spec with machine ``index`` removed (a host left).
+
+        Device ids stay positional: the surviving machines' GPUs are
+        re-indexed densely (``machine_of``/``devices_of_machine`` shift
+        down), which is why a membership change forces a re-partition —
+        the old node->device assignment points at ids that no longer mean
+        the same hardware.
+        """
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine {index} out of range ({self.num_machines})")
+        if self.num_machines == 1:
+            raise ValueError(
+                "cannot remove the last machine: a cluster needs at least "
+                "one host (schedule a recover/host_join first)"
+            )
+        machines = self.machines[:index] + self.machines[index + 1:]
+        return ClusterSpec(
+            machines=machines,
+            network=self.network,
+            gpu_cache_bytes=self.gpu_cache_bytes,
+        )
+
+    def with_joined_machine(
+        self,
+        machine: Optional[MachineSpec] = None,
+        index: Optional[int] = None,
+    ) -> "ClusterSpec":
+        """Copy of the spec with one machine added (a host joined).
+
+        ``machine`` defaults to a clone of ``machines[0]`` — a spot
+        instance of the cluster's own tier; ``index`` is the insertion
+        position (default: append).  Devices re-index positionally, so the
+        join forces a re-partition just like a leave.
+        """
+        if machine is None:
+            machine = self.machines[0]
+        if index is None:
+            index = self.num_machines
+        if not 0 <= index <= self.num_machines:
+            raise IndexError(
+                f"join index {index} out of range (0..{self.num_machines})"
+            )
+        machines = self.machines[:index] + (machine,) + self.machines[index:]
+        return ClusterSpec(
+            machines=machines,
+            network=self.network,
+            gpu_cache_bytes=self.gpu_cache_bytes,
+        )
+
 
 def single_machine_cluster(
     num_gpus: int = 8,

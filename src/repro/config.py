@@ -31,6 +31,62 @@ from repro.graph.datasets import GraphDataset
 PLAN_STRATEGIES = ("gdp", "nfp", "snp", "dnp")
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+@dataclass
+class ElasticPolicy:
+    """How the run loop reacts to cluster-membership faults (§5.16).
+
+    A ``host_leave``/``host_join`` event changes the device count, which
+    invalidates the node->device partition.  When ``enabled``, the run
+    loop quiesces the backend, checkpoints, re-partitions for the new
+    device set, and (when ``replan`` is also set) re-runs the planner
+    against the new :class:`~repro.cluster.spec.ClusterSpec`, hot-switching
+    strategy if the ranking changed.  When disabled, a membership event
+    raises instead of silently training on a stale partition.
+    """
+
+    #: survive membership changes (env ``REPRO_ELASTIC``; default on)
+    enabled: bool = field(
+        default_factory=lambda: _env_flag("REPRO_ELASTIC", True)
+    )
+    #: re-run the planner after a membership change and hot-switch if the
+    #: ranking changed (env ``REPRO_ELASTIC_REPLAN``; default on).  Only
+    #: consulted when the run itself has ``replan`` candidates enabled.
+    replan: bool = field(
+        default_factory=lambda: _env_flag("REPRO_ELASTIC_REPLAN", True)
+    )
+    #: take (or reuse) an atomic epoch checkpoint before re-partitioning,
+    #: so the post-change tail is resumable/bit-reproducible
+    checkpoint_on_change: bool = True
+    #: refuse to shrink below this many devices
+    min_devices: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ElasticPolicy":
+        self.enabled = bool(self.enabled)
+        self.replan = bool(self.replan)
+        self.checkpoint_on_change = bool(self.checkpoint_on_change)
+        if int(self.min_devices) < 1:
+            raise ValueError(
+                f"min_devices must be >= 1, got {self.min_devices}"
+            )
+        self.min_devices = int(self.min_devices)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+
 @dataclass
 class APTConfig:
     """Validated configuration of one APT training task.
@@ -105,6 +161,12 @@ class APTConfig:
     checkpoint_dir: Optional[str] = None
     #: epochs between checkpoints (the last epoch is always saved)
     checkpoint_every: int = 1
+    #: checkpoints retained per directory (keep-last-N pruning)
+    checkpoint_keep: int = 3
+    #: elastic-membership behavior — an :class:`ElasticPolicy` or a dict
+    #: of its fields; ``None`` means the policy's env-overridable defaults
+    #: (elastic on, re-plan on).  See DESIGN.md §5.16.
+    elastic_policy: Optional[Any] = None
     # ---- online adaptivity ------------------------------------------- #
     #: attach a TelemetryCollector to every run (pure observation)
     telemetry: bool = True
@@ -268,6 +330,23 @@ class APTConfig:
             maximum=1_000_000,
             hint="epochs between checkpoints; set via --checkpoint-every",
         )
+        self.checkpoint_keep = self._int_field(
+            "checkpoint_keep",
+            self.checkpoint_keep,
+            minimum=1,
+            maximum=1_000_000,
+            hint="checkpoints retained per directory; set via "
+            "--checkpoint-keep",
+        )
+        if self.elastic_policy is not None:
+            if isinstance(self.elastic_policy, dict):
+                self.elastic_policy = ElasticPolicy(**self.elastic_policy)
+            elif not isinstance(self.elastic_policy, ElasticPolicy):
+                raise ValueError(
+                    f"elastic_policy must be an ElasticPolicy or a dict of "
+                    f"its fields, got {type(self.elastic_policy).__name__}"
+                )
+            self.elastic_policy.validate()
 
     def replace(self, **changes: Any) -> "APTConfig":
         """Validated copy with ``changes`` applied."""
@@ -286,6 +365,8 @@ class APTConfig:
             out["fault_policy"] = self.fault_policy.to_dict()
         if self.host_chaos is not None:
             out["host_chaos"] = self.host_chaos.to_dict()
+        if self.elastic_policy is not None:
+            out["elastic_policy"] = self.elastic_policy.to_dict()
         return out
 
 #: Serve-side cache policies (see repro.serve.cache).

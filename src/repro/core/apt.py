@@ -31,13 +31,14 @@ carry over across a switch, and the engine's semantic-equivalence property
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cluster.faults import FaultSchedule
+from repro.cluster.faults import MEMBERSHIP_KINDS, FaultSchedule
 from repro.cluster.spec import ClusterSpec
-from repro.config import APTConfig
+from repro.config import APTConfig, ElasticPolicy
 from repro.core.adapter import adapt_strategy
 from repro.core.apt_result import APTRunResult
 from repro.core.checkpoint import (
@@ -133,6 +134,9 @@ class APT:
         self._initial_state = model.state_dict()
         self.parts: Optional[np.ndarray] = None
         self.node_machine: Optional[np.ndarray] = None
+        #: device count ``self.parts`` was computed for; a mismatch with
+        #: the epoch's effective cluster triggers the elastic transition
+        self._partitioned_devices: Optional[int] = None
         self.dryrun: Optional[DryRun] = None
         self.dryrun_stats: Dict[str, DryRunStats] = {}
         self.plan_report: Optional[PlanReport] = None
@@ -204,29 +208,48 @@ class APT:
         machine yields the feature placement every strategy shares (the
         paper partitions features across machines without overlap).
         """
+        self._partition_for(self.cluster)
+        self.dryrun = self._make_dryrun(self.cluster)
+
+    def _partition_for(self, cluster: ClusterSpec) -> None:
+        """(Re)compute the node->device partition for ``cluster``.
+
+        For the named modes this is a pure function of ``(graph,
+        num_devices, seed)`` — the elastic transition relies on it:
+        re-partitioning after a membership change yields exactly the
+        partition a fresh run on the post-change cluster computes.
+        """
         partition = self.config.partition
         if isinstance(partition, np.ndarray):
             self.parts = np.asarray(partition, dtype=np.int64)
+            if self.parts.size and int(self.parts.max()) >= cluster.num_devices:
+                raise ValueError(
+                    f"explicit partition assigns device "
+                    f"{int(self.parts.max())} but the cluster has "
+                    f"{cluster.num_devices} device(s); explicit partitions "
+                    f"cannot follow elastic membership changes — use a "
+                    f"named partition mode"
+                )
         elif partition == "metis":
             self.parts = metis_like_partition(
-                self.dataset.graph, self.cluster.num_devices, seed=self.seed
+                self.dataset.graph, cluster.num_devices, seed=self.seed
             )
         elif partition == "streaming":
             self.parts = streaming_partition(
-                self.dataset.graph, self.cluster.num_devices, seed=self.seed
+                self.dataset.graph, cluster.num_devices, seed=self.seed
             )
         elif partition == "random":
             self.parts = random_partition(
-                self.dataset.num_nodes, self.cluster.num_devices, seed=self.seed
+                self.dataset.num_nodes, cluster.num_devices, seed=self.seed
             )
         else:
             raise ValueError(f"unknown partition mode {partition!r}")
         machine_of_device = np.array(
-            [self.cluster.machine_of(d) for d in range(self.cluster.num_devices)],
+            [cluster.machine_of(d) for d in range(cluster.num_devices)],
             dtype=np.int64,
         )
         self.node_machine = machine_of_device[self.parts]
-        self.dryrun = self._make_dryrun(self.cluster)
+        self._partitioned_devices = cluster.num_devices
 
     def _disk_promote_bytes(self) -> Optional[float]:
         mb = self.config.disk_promote_mb
@@ -515,11 +538,14 @@ class APT:
     ) -> RunReport:
         """The shared epoch loop: faults in, telemetry out, drift-replans."""
         checkpoint: Optional[Checkpoint] = None
+        resume_warnings: List[Dict[str, str]] = []
         if resume is not None:
-            checkpoint = CheckpointManager(resume).load()
-            CheckpointManager(resume).verify_config(
-                checkpoint, self.config.to_dict()
+            resume_mgr = CheckpointManager(
+                resume, keep=self.config.checkpoint_keep
             )
+            checkpoint = resume_mgr.load()
+            resume_warnings = list(resume_mgr.warnings)
+            resume_mgr.verify_config(checkpoint, self.config.to_dict())
             if checkpoint.epochs_completed >= num_epochs:
                 raise ValueError(
                     f"checkpoint at {checkpoint.path!r} already covers "
@@ -553,6 +579,12 @@ class APT:
                 restore=state,
             )
             if collector is not None:
+                for warning in resume_warnings:
+                    # A newer checkpoint was corrupt; we fell back to an
+                    # older valid one instead of crashing.
+                    collector.emit(
+                        "checkpoint_corrupt", epoch=start_epoch, **warning
+                    )
                 collector.emit(
                     "resume", epoch=start_epoch, path=checkpoint.path
                 )
@@ -568,7 +600,9 @@ class APT:
         manager: Optional[CheckpointManager] = None
         checkpoint_dir = self.config.checkpoint_dir or resume
         if checkpoint_dir is not None:
-            manager = CheckpointManager(checkpoint_dir)
+            manager = CheckpointManager(
+                checkpoint_dir, keep=self.config.checkpoint_keep
+            )
         run_meta = {
             "strategy": strategy_name,
             "lr": float(lr),
@@ -653,6 +687,35 @@ class APT:
                     report.faults.append({"epoch": epoch, "fault": record})
                     if collector is not None:
                         collector.emit("fault", epoch=epoch, fault=record)
+            if cluster_e.num_devices != self._partitioned_devices:
+                # Membership changed (host_leave/host_join/recover): the
+                # node->device partition is stale.  Quiesce, checkpoint,
+                # re-partition, and possibly re-plan before the trainer
+                # rebuild below picks up the new device set.
+                current_strategy, estimate, cooldown = self._elastic_transition(
+                    cluster_e=cluster_e,
+                    epoch=epoch,
+                    events=[
+                        e
+                        for e in (faults.events_at(epoch) if faults else [])
+                        if e.kind in MEMBERSHIP_KINDS
+                    ],
+                    replan=replan,
+                    collector=collector,
+                    optimizer=optimizer,
+                    detector=detector,
+                    trainer=trainer,
+                    current_cluster=current_cluster,
+                    current_strategy=current_strategy,
+                    estimate=estimate,
+                    cooldown=cooldown,
+                    epochs=epochs,
+                    breakdown=breakdown,
+                    report=report,
+                    backend=backend,
+                    manager=manager,
+                    run_meta=run_meta,
+                )
             if trainer is None or cluster_e != current_cluster:
                 # (Re)build the engine on the currently effective hardware;
                 # model and optimizer state carry over untouched.
@@ -784,6 +847,143 @@ class APT:
                 backend=backend,
             )
         return estimate, current_strategy, trainer, cooldown
+
+    def _elastic_transition(
+        self,
+        *,
+        cluster_e: ClusterSpec,
+        epoch: int,
+        events: list,
+        replan: bool,
+        collector: Optional[TelemetryCollector],
+        optimizer,
+        detector: DriftDetector,
+        trainer: Optional[ParallelTrainer],
+        current_cluster: Optional[ClusterSpec],
+        current_strategy: str,
+        estimate: Optional[CostEstimate],
+        cooldown: int,
+        epochs: list,
+        breakdown: Dict[str, float],
+        report: RunReport,
+        backend,
+        manager: Optional[CheckpointManager],
+        run_meta: Optional[Dict[str, object]],
+    ):
+        """Survive a cluster-membership change (DESIGN.md §5.16).
+
+        Order matters: (1) quiesce the backend so no in-flight task split
+        for the old device set lands later, (2) take (or reuse) an atomic
+        checkpoint at this epoch boundary, (3) re-partition for the new
+        device set, (4) re-plan and hot-switch if the ranking changed.
+        The caller's cluster-change path then rebuilds the trainer with
+        fresh ledgers — exactly what a fresh run on the post-change
+        cluster does when resumed from the same checkpoint, which is why
+        the tail is bit-identical to that oracle.
+        """
+        policy = self.config.elastic_policy or ElasticPolicy()
+        before = self._partitioned_devices
+        after = cluster_e.num_devices
+        if not policy.enabled:
+            raise RuntimeError(
+                f"cluster membership changed at epoch {epoch} "
+                f"({before} -> {after} devices) but elastic execution is "
+                f"disabled; set elastic_policy.enabled (REPRO_ELASTIC=1) "
+                f"to survive host_leave/host_join events"
+            )
+        if after < policy.min_devices:
+            raise RuntimeError(
+                f"membership change at epoch {epoch} leaves {after} "
+                f"device(s), below elastic_policy.min_devices="
+                f"{policy.min_devices}"
+            )
+        for event in events:
+            if collector is not None:
+                collector.emit(
+                    event.kind,
+                    epoch=epoch,
+                    machine=event.machine,
+                    devices_before=before,
+                    devices_after=after,
+                )
+        # (1) quiesce: settle in-flight slots (release or quarantine, never
+        # lose), drop the prefetched schedule — its seed chunks were split
+        # for the old device set.
+        backend.quiesce()
+        # (2) checkpoint at this epoch boundary, unless the regular cadence
+        # just wrote one covering exactly `epoch` epochs.
+        if (
+            trainer is not None
+            and manager is not None
+            and policy.checkpoint_on_change
+        ):
+            covered = -1
+            latest = manager.latest()
+            if latest is not None:
+                try:
+                    covered = int(os.path.basename(latest)[len("epoch-"):])
+                except ValueError:
+                    covered = -1
+            if covered != epoch:
+                path = manager.save(
+                    epochs_completed=epoch,
+                    config_dict=self.config.to_dict(),
+                    run_args=run_meta or {},
+                    state=self._checkpoint_state(
+                        optimizer=optimizer,
+                        collector=collector,
+                        detector=detector,
+                        estimate=estimate,
+                        epochs=epochs,
+                        breakdown=breakdown,
+                        current_strategy=current_strategy,
+                        cooldown=cooldown,
+                        report=report,
+                        cluster=current_cluster,
+                        trainer=trainer,
+                    ),
+                )
+                if collector is not None:
+                    collector.emit("checkpoint", epoch=epoch, path=path)
+        # (3) re-partition for the surviving device set.  The shm export
+        # needs no rebuild: it carries the graph and features only, and
+        # per-device seed chunks ride in each task payload.
+        self._partition_for(cluster_e)
+        fresh = self._make_dryrun(cluster_e)
+        if self.dryrun is not None:
+            # The access census depends only on the sampler, not the
+            # cluster — carry it instead of re-counting.
+            fresh._access_freq = self.dryrun.access_freq
+        self.dryrun = fresh
+        if collector is not None:
+            collector.emit(
+                "repartition",
+                epoch=epoch,
+                devices_before=before,
+                devices_after=after,
+                mode=(
+                    "explicit"
+                    if isinstance(self.config.partition, np.ndarray)
+                    else str(self.config.partition)
+                ),
+            )
+        # (4) re-plan against the new cluster; hot-switch when the ranking
+        # changed.  Gated on the run's own replan flag so fixed-strategy
+        # runs stay on their strategy (they still survive the change).
+        if replan and policy.replan:
+            new_plan = self._replan(cluster_e, self.config.strategies)
+            if collector is not None:
+                collector.emit(
+                    "elastic_replan",
+                    epoch=epoch,
+                    old=current_strategy,
+                    chosen=new_plan.chosen,
+                    switched=new_plan.chosen != current_strategy,
+                )
+            current_strategy = new_plan.chosen
+            estimate = new_plan.estimates[new_plan.chosen]
+            cooldown = self.config.replan_cooldown
+        return current_strategy, estimate, cooldown
 
     def _checkpoint_state(
         self,

@@ -50,6 +50,7 @@ __all__ = [
     "config_digest",
     "recorder_state",
     "restore_recorder",
+    "state_digest",
 ]
 
 CHECKPOINT_VERSION = 1
@@ -72,10 +73,27 @@ _HOST_ONLY_FIELDS = frozenset(
         "host_chaos",
         "checkpoint_dir",
         "checkpoint_every",
+        "checkpoint_keep",
         "telemetry",
         "sample_cache_mb",
     }
 )
+
+#: Failure modes of one on-disk checkpoint that the default-path ``load``
+#: may *skip past* (falling back to an older checkpoint): truncated or
+#: unreadable files, a bad pickle, a digest/version/manifest mismatch.
+_RECOVERABLE_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    pickle.UnpicklingError,
+)
+
+
+def state_digest(raw: bytes) -> str:
+    """Digest of the pickled state bytes (corruption detection)."""
+    return hashlib.blake2b(raw, digest_size=16).hexdigest()
 
 
 def config_digest(config_dict: Dict[str, Any]) -> str:
@@ -179,6 +197,10 @@ class CheckpointManager:
         if int(keep) < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.keep = int(keep)
+        #: corrupt checkpoints the default-path :meth:`load` skipped —
+        #: ``{"path": ..., "error": ...}`` entries, newest first.  The run
+        #: loop surfaces these as ``checkpoint_corrupt`` telemetry.
+        self.warnings: List[Dict[str, str]] = []
         os.makedirs(self.directory, exist_ok=True)
 
     # ------------------------------------------------------------------ #
@@ -221,17 +243,19 @@ class CheckpointManager:
         if os.path.isdir(tmp):
             shutil.rmtree(tmp)
         os.makedirs(tmp)
+        raw = pickle.dumps(state, protocol=4)
         manifest = {
             "version": CHECKPOINT_VERSION,
             "epochs_completed": int(epochs_completed),
             "config": config_dict,
             "config_digest": config_digest(config_dict),
+            "state_digest": state_digest(raw),
             "run_args": dict(run_args),
         }
         with open(os.path.join(tmp, _MANIFEST), "w") as fh:
             json.dump(manifest, fh, indent=2, default=str)
         with open(os.path.join(tmp, _STATE), "wb") as fh:
-            pickle.dump(state, fh, protocol=4)
+            fh.write(raw)
         if os.path.isdir(final):
             # Re-saving the same epoch (e.g. a resumed run re-running it):
             # drop the stale copy; the replace below is still atomic.
@@ -254,13 +278,36 @@ class CheckpointManager:
 
     # ------------------------------------------------------------------ #
     def load(self, path: Optional[str] = None) -> Checkpoint:
-        """Load ``path`` (default: the latest complete checkpoint)."""
-        if path is None:
-            path = self.latest()
-            if path is None:
-                raise FileNotFoundError(
-                    f"no checkpoint found under {self.directory!r}"
+        """Load ``path`` (default: the newest *valid* checkpoint).
+
+        An explicit ``path`` is loaded strictly (corruption raises).  On
+        the default path, a checkpoint that fails to load — truncated
+        files, a ``state_digest`` mismatch, a bad manifest — is skipped
+        with a :attr:`warnings` entry and the walk falls back to the next
+        older one; the newest failure is re-raised only when *no*
+        checkpoint in the directory is valid.
+        """
+        if path is not None:
+            return self._load_one(path)
+        found = self.checkpoints()
+        if not found:
+            raise FileNotFoundError(
+                f"no checkpoint found under {self.directory!r}"
+            )
+        first_error: Optional[BaseException] = None
+        for candidate in reversed(found):
+            try:
+                return self._load_one(candidate)
+            except _RECOVERABLE_ERRORS as exc:
+                self.warnings.append(
+                    {"path": candidate, "error": str(exc)}
                 )
+                if first_error is None:
+                    first_error = exc
+        raise first_error
+
+    def _load_one(self, path: str) -> Checkpoint:
+        """Strictly load one checkpoint directory; raises on corruption."""
         with open(os.path.join(path, _MANIFEST)) as fh:
             manifest = json.load(fh)
         version = int(manifest.get("version", -1))
@@ -270,7 +317,14 @@ class CheckpointManager:
                 f"reads version {CHECKPOINT_VERSION}"
             )
         with open(os.path.join(path, _STATE), "rb") as fh:
-            state = pickle.load(fh)
+            raw = fh.read()
+        saved = manifest.get("state_digest")
+        if saved is not None and state_digest(raw) != saved:
+            raise ValueError(
+                f"checkpoint {path!r} failed its state-digest check "
+                f"(state.pkl is corrupt or was modified after the save)"
+            )
+        state = pickle.loads(raw)
         return Checkpoint(path=path, manifest=manifest, state=state)
 
     def verify_config(self, checkpoint: Checkpoint,

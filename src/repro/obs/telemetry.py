@@ -44,6 +44,12 @@ EVENT_KINDS = (
     "serve_batch",    # ServeEngine: one inference batch answered
     "serve_replan",   # ServeEngine: traffic drift crossed the threshold
     "serve_cache",    # ServeEngine: the hotness cache was re-keyed
+    # -- elastic membership (see DESIGN.md §5.16) ----------------------- #
+    "host_leave",     # APT: a machine left the cluster (spot reclaim)
+    "host_join",      # APT: a machine joined the cluster
+    "repartition",    # APT: graph re-partitioned for a new device set
+    "elastic_replan", # APT: planner re-ran after a membership change
+    "checkpoint_corrupt",  # CheckpointManager: bad checkpoint skipped
 )
 
 

@@ -107,6 +107,18 @@ class ExecutionBackend:
         or ``None`` (caller reads through the feature store)."""
         return None
 
+    def quiesce(self) -> None:
+        """Settle all in-flight work and drop any prefetched schedule.
+
+        The elastic transition (DESIGN.md §5.16) calls this before
+        re-partitioning: slots drain through the supervisor (released
+        when safely settled, quarantined when a worker may still write
+        them) and the epoch schedule is discarded, because its seed
+        chunks were split for the *old* device set.  The pool itself
+        stays up — the shm export is cluster-independent.  No-op on the
+        serial backend.
+        """
+
     # -- lifecycle ------------------------------------------------------ #
     def stats(self) -> Dict[str, float]:
         """Lifetime counters (also streamed into telemetry per epoch)."""
@@ -317,6 +329,16 @@ class ProcessPoolBackend(ExecutionBackend):
                 worker_utilization=utilization,
                 **{k: v for k, v in deltas.items() if k != "worker_busy_seconds"},
             )
+
+    def quiesce(self) -> None:
+        """Elastic barrier: settle in-flight slots, drop the schedule."""
+        if self._degraded:
+            return
+        self._drain(wasted=True)
+        self._schedule = []
+        self._next = 0
+        self._gather.clear()
+        self._count("quiesce")
 
     # ------------------------------------------------------------------ #
     def _submit(self, entry: Tuple[bytes, Dict]) -> None:

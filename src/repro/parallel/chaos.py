@@ -218,6 +218,12 @@ def split_injections(source: Union[str, os.PathLike]):
     Returns ``(FaultSchedule | None, HostFaultSchedule | None)`` — either
     section may be absent.  The two schedules share the payload's
     ``seed``/``jitter``.
+
+    The epoch-keyed ``events`` section also carries the elastic membership
+    kinds (``host_leave``/``host_join`` — a machine leaves or joins the
+    cluster at an epoch boundary, see DESIGN.md §5.16); the task-keyed
+    ``host_events`` section stays about *process* faults inside a fixed
+    membership (kill/hang/corrupt/leak).
     """
     from repro.cluster.faults import FaultSchedule
 

@@ -312,6 +312,9 @@ class WorkerSupervisor:
         self._pool = None
         self._pids: set = set()
         self._reported_dead: set = set()
+        #: pids of the most recently observed worker deaths — used to name
+        #: the offending workers in the exception messages
+        self.last_dead: List[int] = []
         self.failures = 0
         self.respawns = 0
         self._closed = False
@@ -364,6 +367,7 @@ class WorkerSupervisor:
         fresh = vanished - self._reported_dead
         if fresh:
             self._reported_dead |= fresh
+            self.last_dead = sorted(fresh)
             self.respawns += len(fresh)
             self.count("worker_deaths", float(len(fresh)))
             self.emit(
@@ -374,6 +378,19 @@ class WorkerSupervisor:
             )
         self._pids = current
         return bool(fresh)
+
+    def _budget_note(self) -> str:
+        """``failures X / budget Y`` fragment for exception messages."""
+        return (
+            f"failures {self.failures} / budget "
+            f"{self.policy.failure_budget}"
+        )
+
+    def _offender_note(self) -> str:
+        """Names the worker(s) most recently seen dying, if any."""
+        if self.last_dead:
+            return "worker " + ", ".join(f"pid {p}" for p in self.last_dead)
+        return "no worker death observed (timeout/corruption path)"
 
     # ------------------------------------------------------------------ #
     # submission
@@ -429,7 +446,11 @@ class WorkerSupervisor:
                 # A worker died; the in-flight task *may* have been on it.
                 # Fail fast and resubmit — a duplicate completion lands in
                 # a quarantined slot and is never read.
-                raise WorkerCrash("a pool worker died while the task was in flight")
+                dead = ", ".join(f"pid {p}" for p in self.last_dead) or "unknown"
+                raise WorkerCrash(
+                    f"pool worker(s) {dead} died while the task was in "
+                    f"flight ({self._budget_note()})"
+                )
             now = time.monotonic()
             if now >= deadline:
                 stale = (
@@ -440,7 +461,7 @@ class WorkerSupervisor:
                 raise WorkerTimeout(
                     f"task missed its {self.policy.task_deadline_s:.3f}s "
                     f"deadline (workers with stale in-task heartbeats: "
-                    f"{stale or 'none'})"
+                    f"{stale or 'none'}; {self._budget_note()})"
                 )
             flight.handle.wait(min(self.policy.poll_interval_s, deadline - now))
 
@@ -493,12 +514,13 @@ class WorkerSupervisor:
         if flight.attempts >= self.policy.max_retries:
             raise FailureBudgetExceeded(
                 f"task failed {flight.attempts + 1} times "
-                f"(max_retries={self.policy.max_retries}); last: {exc}"
+                f"(max_retries={self.policy.max_retries}; "
+                f"{self._budget_note()}); last: {exc}"
             ) from exc
         if self.failures > self.policy.failure_budget:
             raise FailureBudgetExceeded(
-                f"lifetime failure budget exhausted "
-                f"({self.failures} > {self.policy.failure_budget}); last: {exc}"
+                f"lifetime failure budget exhausted ({self._budget_note()}; "
+                f"last offender: {self._offender_note()}); last: {exc}"
             ) from exc
         time.sleep(self.policy.backoff_at(flight.attempts))
         # The abandoned slot may still be written by a hung/zombie worker:

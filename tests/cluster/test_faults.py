@@ -3,7 +3,12 @@
 import pytest
 
 from repro.cluster import multi_machine_cluster
-from repro.cluster.faults import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.cluster.faults import (
+    FAULT_KINDS,
+    MEMBERSHIP_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
 
 
 @pytest.fixture
@@ -125,8 +130,103 @@ class TestFaultSchedule:
 
     def test_kinds_constant(self):
         assert set(FAULT_KINDS) == {
-            "link_degrade", "straggler", "cache_shrink", "recover"
+            "link_degrade", "straggler", "cache_shrink",
+            "host_leave", "host_join", "recover",
         }
+        assert set(MEMBERSHIP_KINDS) == {"host_leave", "host_join"}
+
+
+class TestMembershipEvents:
+    def test_host_leave_requires_machine(self):
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=0, kind="host_leave")
+
+    def test_host_leave_removes_the_machine(self, base):
+        shrunk = FaultEvent(epoch=0, kind="host_leave", machine=1).apply(
+            base, 1.0
+        )
+        assert shrunk.num_machines == 1
+        assert shrunk.num_devices == base.num_devices - base.machines[1].num_gpus
+        assert shrunk == base.without_machine(1)
+
+    def test_host_leave_out_of_range_raises(self, base):
+        with pytest.raises(ValueError):
+            FaultEvent(epoch=0, kind="host_leave", machine=5).apply(base, 1.0)
+
+    def test_host_join_appends_a_clone(self, base):
+        grown = FaultEvent(epoch=0, kind="host_join").apply(base, 1.0)
+        assert grown.num_machines == base.num_machines + 1
+        assert grown.machines[-1] == base.machines[0]
+
+    def test_host_join_factor_scales_the_joiner(self, base):
+        grown = FaultEvent(epoch=0, kind="host_join", factor=0.5).apply(
+            base, 0.5
+        )
+        joiner = grown.machines[-1].device
+        d0 = base.machines[0].device
+        assert joiner.compute_efficiency == pytest.approx(
+            d0.compute_efficiency * 0.5
+        )
+        assert joiner.sampling_edges_per_sec == pytest.approx(
+            d0.sampling_edges_per_sec * 0.5
+        )
+
+    def test_host_join_insertion_index(self, base):
+        grown = FaultEvent(epoch=0, kind="host_join", machine=0).apply(
+            base, 1.0
+        )
+        assert grown.num_machines == base.num_machines + 1
+        assert grown.machines[0] == base.machines[0]
+
+    def test_leave_to_dict_omits_factor_and_roundtrips(self):
+        e = FaultEvent(epoch=3, kind="host_leave", machine=1)
+        d = e.to_dict()
+        assert "factor" not in d
+        assert FaultEvent(**d) == e
+        j = FaultEvent(epoch=3, kind="host_join", factor=0.5)
+        assert FaultEvent(**j.to_dict()) == j
+
+    def test_cluster_at_shrinks_then_recovers(self, base):
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=1, kind="host_leave", machine=1),
+                FaultEvent(epoch=3, kind="recover"),
+            ]
+        )
+        assert sched.cluster_at(base, 0) == base
+        assert sched.cluster_at(base, 1).num_machines == 1
+        assert sched.cluster_at(base, 2).num_machines == 1
+        # recover restores membership, not just performance
+        assert sched.cluster_at(base, 3) == base
+
+    def test_membership_composes_with_degradation(self, base):
+        # A link degrade before the leave survives it (cumulative apply).
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=0, kind="link_degrade", factor=0.5),
+                FaultEvent(epoch=1, kind="host_leave", machine=0),
+            ]
+        )
+        e1 = sched.cluster_at(base, 1)
+        assert e1.num_machines == 1
+        assert e1.network.bandwidth == pytest.approx(
+            base.network.bandwidth * 0.5
+        )
+
+    def test_inject_grammar_carries_membership_events(self, tmp_path):
+        sched = FaultSchedule(
+            [
+                FaultEvent(epoch=2, kind="host_leave", machine=1),
+                FaultEvent(epoch=4, kind="host_join", factor=0.5),
+            ]
+        )
+        path = tmp_path / "inject.json"
+        path.write_text(sched.to_json())
+        from repro.parallel.chaos import split_injections
+
+        faults, chaos = split_injections(path)
+        assert chaos is None
+        assert faults.to_dict() == sched.to_dict()
 
 
 class TestCrossProcessDeterminism:

@@ -315,3 +315,105 @@ class TestKillAndResume:
         sb = apt_res.model.state_dict()
         for k in sa:
             np.testing.assert_array_equal(sa[k], sb[k])
+
+
+# ---------------------------------------------------------------------- #
+# corruption detection and keep-last-N (DESIGN.md §5.16)
+# ---------------------------------------------------------------------- #
+def _corrupt(path):
+    """Flip the state payload of checkpoint dir ``path`` to garbage."""
+    with open(os.path.join(path, "state.pkl"), "wb") as fh:
+        fh.write(b"\x00not a pickle\x00")
+
+
+class TestCorruptionFallback:
+    def _save(self, mgr, n):
+        return mgr.save(
+            epochs_completed=n,
+            config_dict={"seed": 0},
+            run_args={"strategy": "dnp"},
+            state={"epoch": n},
+        )
+
+    def test_state_digest_recorded_in_manifest(self, tmp_path):
+        import json
+
+        from repro.core.checkpoint import state_digest
+
+        mgr = CheckpointManager(str(tmp_path))
+        path = self._save(mgr, 1)
+        manifest = json.load(open(os.path.join(path, "manifest.json")))
+        raw = open(os.path.join(path, "state.pkl"), "rb").read()
+        assert manifest["state_digest"] == state_digest(raw)
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        self._save(mgr, 1)
+        newest = self._save(mgr, 2)
+        _corrupt(newest)
+
+        fresh = CheckpointManager(str(tmp_path))
+        ck = fresh.load()
+        assert ck.epochs_completed == 1
+        assert len(fresh.warnings) == 1
+        assert fresh.warnings[0]["path"] == newest
+        assert fresh.warnings[0]["error"]
+
+    def test_corrupt_only_checkpoint_still_raises(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        only = self._save(mgr, 1)
+        _corrupt(only)
+        fresh = CheckpointManager(str(tmp_path))
+        with pytest.raises(ValueError, match="digest"):
+            fresh.load()
+        assert len(fresh.warnings) == 1
+
+    def test_explicit_path_load_stays_strict(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        self._save(mgr, 1)
+        newest = self._save(mgr, 2)
+        _corrupt(newest)
+        with pytest.raises(ValueError, match="digest"):
+            mgr.load(newest)
+
+    def test_resume_survives_corrupt_latest(self, tmp_path):
+        """APT resume falls back to the previous valid checkpoint, emits a
+        ``checkpoint_corrupt`` warning event, and still reproduces the
+        uninterrupted run bit-for-bit."""
+        full = _make_apt().run_strategy("dnp", 5)
+
+        ckdir = str(tmp_path / "ck")
+        _make_apt(checkpoint_dir=ckdir, checkpoint_every=1).run_strategy(
+            "dnp", 3
+        )
+        _corrupt(CheckpointManager(ckdir).latest())  # epoch-000003
+
+        apt = _make_apt()
+        resumed = apt.run_strategy("dnp", 5, resume=ckdir)
+        assert _run_facts(full) == _run_facts(resumed)
+
+        corrupt = [
+            e for e in resumed.collector.events if e.kind == "checkpoint_corrupt"
+        ]
+        assert len(corrupt) == 1
+        assert corrupt[0].data["path"].endswith("epoch-000003")
+
+    def test_checkpoint_keep_config_prunes(self, tmp_path):
+        ckdir = str(tmp_path / "ck")
+        _make_apt(
+            checkpoint_dir=ckdir, checkpoint_every=1, checkpoint_keep=2
+        ).run_strategy("dnp", 5)
+        names = [
+            os.path.basename(p) for p in CheckpointManager(ckdir).checkpoints()
+        ]
+        assert names == ["epoch-000004", "epoch-000005"]
+
+    def test_checkpoint_keep_is_host_only(self, tmp_path):
+        ckdir = str(tmp_path / "ck")
+        _make_apt(checkpoint_dir=ckdir, checkpoint_keep=5).run_strategy(
+            "dnp", 2
+        )
+        # keep-last-N may change across a resume without tripping the
+        # result-determining config check.
+        apt = _make_apt(checkpoint_keep=1)
+        apt.run_strategy("dnp", 3, resume=ckdir)

@@ -226,3 +226,104 @@ class TestSplitInjections:
         ))
         faults, chaos = split_injections(host_only)
         assert faults is None and chaos is not None
+
+
+# ---------------------------------------------------------------------- #
+# failure diagnostics name the offender and the budget (DESIGN.md §5.16)
+# ---------------------------------------------------------------------- #
+def _bare_supervisor(*, failures=0, last_dead=(), **policy_kw):
+    """A WorkerSupervisor shell with no pool — message-formatting only."""
+    from repro.parallel.supervisor import WorkerSupervisor
+
+    sup = WorkerSupervisor.__new__(WorkerSupervisor)
+    sup.policy = FaultPolicy(**policy_kw)
+    sup.failures = failures
+    sup.last_dead = list(last_dead)
+    sup.emit = lambda kind, **data: None
+    sup.count = lambda name, value=1.0: None
+    return sup
+
+
+class TestFailureDiagnostics:
+    def test_budget_note_counts(self):
+        sup = _bare_supervisor(failures=3, failure_budget=8)
+        assert sup._budget_note() == "failures 3 / budget 8"
+
+    def test_offender_note_names_pids(self):
+        sup = _bare_supervisor(last_dead=[41, 42])
+        assert sup._offender_note() == "worker pid 41, pid 42"
+        quiet = _bare_supervisor()
+        assert "no worker death observed" in quiet._offender_note()
+
+    def _flight(self, attempts):
+        from repro.parallel.supervisor import Flight
+
+        return Flight(payload={}, handle=None, slot=None, attempts=attempts)
+
+    def test_retry_exhaustion_message(self):
+        sup = _bare_supervisor(failures=1, max_retries=2, failure_budget=9)
+        with pytest.raises(FailureBudgetExceeded) as err:
+            sup._retry(
+                self._flight(attempts=2),
+                WorkerTimeout("task missed its deadline"),
+                fresh_slot=lambda: None,
+                lose_slot=lambda slot: None,
+            )
+        msg = str(err.value)
+        assert "max_retries=2" in msg
+        assert "failures 2 / budget 9" in msg
+        assert "task missed its deadline" in msg
+
+    def test_lifetime_budget_message_names_offender(self):
+        sup = _bare_supervisor(
+            failures=4, last_dead=[4242], max_retries=10, failure_budget=4
+        )
+        with pytest.raises(FailureBudgetExceeded) as err:
+            sup._retry(
+                self._flight(attempts=0),
+                WorkerCrash("pool worker(s) pid 4242 died"),
+                fresh_slot=lambda: None,
+                lose_slot=lambda slot: None,
+            )
+        msg = str(err.value)
+        assert "lifetime failure budget exhausted" in msg
+        assert "failures 5 / budget 4" in msg
+        assert "worker pid 4242" in msg
+
+    def test_timeout_and_crash_messages_carry_budget(self, monkeypatch):
+        # Drive _wait with a never-ready handle so it times out, and with
+        # a dead-worker poll so it crashes; both messages must carry the
+        # budget note (and the crash one, the dead pids).
+        import time as _time
+
+        sup = _bare_supervisor(failures=1, failure_budget=6,
+                               task_deadline_s=0.05, poll_interval_s=0.01)
+        sup.heartbeats = None
+
+        class NeverReady:
+            def ready(self):
+                return False
+
+            def wait(self, timeout):
+                _time.sleep(min(timeout, 0.01))
+
+        flight = self._flight(attempts=0)
+        flight.handle = NeverReady()
+        flight.submitted_at = _time.monotonic()
+        monkeypatch.setattr(sup, "_poll_workers", lambda: False)
+        with pytest.raises(WorkerTimeout) as err:
+            sup._wait(flight)
+        assert "failures 1 / budget 6" in str(err.value)
+
+        def dying_poll():
+            sup.last_dead = [77]
+            return True
+
+        flight2 = self._flight(attempts=0)
+        flight2.handle = NeverReady()
+        flight2.submitted_at = _time.monotonic()
+        monkeypatch.setattr(sup, "_poll_workers", dying_poll)
+        with pytest.raises(WorkerCrash) as err:
+            sup._wait(flight2)
+        msg = str(err.value)
+        assert "pid 77" in msg and "failures 1 / budget 6" in msg
