@@ -58,7 +58,11 @@ import json
 import pathlib
 from typing import Optional
 
-from repro.cluster import multi_machine_cluster, single_machine_cluster
+from repro.cluster import (
+    multi_machine_cluster,
+    parse_cluster_spec,
+    single_machine_cluster,
+)
 from repro.config import APTConfig, PAPER_CACHE_GB, scaled_gpu_cache_bytes
 from repro.core import APT
 from repro.graph import load_dataset, open_streaming_dataset, write_streaming_dataset
@@ -91,6 +95,11 @@ def _add_task_args(p: argparse.ArgumentParser) -> None:
                    help="per-layer fanouts, input layer first")
     p.add_argument("--machines", type=int, default=1)
     p.add_argument("--gpus", type=int, default=8, help="total GPUs")
+    p.add_argument("--cluster", metavar="SPEC", default=None,
+                   help="heterogeneous cluster spec overriding --machines/"
+                        "--gpus: comma-separated '<count>x<gpus>:<class>' "
+                        "groups, e.g. '1x4:a100,2x4:t4' (classes: t4, v100, "
+                        "a100, cpu; DESIGN.md §5.17)")
     p.add_argument("--cache-gb", type=float, default=PAPER_CACHE_GB,
                    help="per-GPU cache (paper-GB, rescaled to the analog)")
     p.add_argument("--batch-per-gpu", type=int, default=128)
@@ -173,7 +182,12 @@ def _build(args, quiet: bool = False) -> APT:
     else:
         ds = load_dataset(args.dataset, n=args.nodes)
     cache = scaled_gpu_cache_bytes(ds, args.cache_gb) if args.cache_gb > 0 else 0.0
-    if args.machines == 1:
+    if getattr(args, "cluster", None) is not None:
+        try:
+            cluster = parse_cluster_spec(args.cluster, gpu_cache_bytes=cache)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --cluster spec: {exc}")
+    elif args.machines == 1:
         cluster = single_machine_cluster(args.gpus, gpu_cache_bytes=cache)
     else:
         cluster = multi_machine_cluster(
@@ -292,8 +306,21 @@ def cmd_plan(args) -> int:
             "\ncost-model estimates (beam-searched per-layer compositions "
             "+ single strategies, seconds per epoch):"
         )
+    elif args.objective == "cost":
+        report = apt.plan(
+            strategies=candidates,
+            objective="cost",
+            budget_seconds=args.budget_seconds,
+            budget_dollars=args.budget_dollars,
+        )
+        header = (
+            "\ncost-model estimates (two-objective: epoch seconds and "
+            "dollars per epoch, cheapest first):"
+        )
     else:
-        report = apt.plan(strategies=candidates)
+        report = apt.plan(
+            strategies=candidates, budget_dollars=args.budget_dollars
+        )
         header = "\ncost-model estimates (strategy-specific seconds per epoch):"
     if args.json:
         print(report.to_json(indent=2))
@@ -301,6 +328,18 @@ def cmd_plan(args) -> int:
     print(header)
     print(report.summary())
     plan = report.plan
+    if plan.objective == "cost" and plan.pareto:
+        print("\n(time, $) Pareto frontier, fastest first:")
+        for name in plan.pareto:
+            e = plan.estimates[name]
+            note = ""
+            meta = plan.subsets.get(name)
+            if meta is not None:
+                note = (
+                    f"  [drops machine {meta['dropped_machine']}: "
+                    f"{meta['devices']} device(s) left]"
+                )
+            print(f"  {name}: {e.total:.4f}s  ${e.dollars:.3e}/epoch{note}")
     if plan.layer_assignments:
         print("\nper-layer assignments:")
         for name in plan.ranking:
@@ -351,6 +390,32 @@ def _disk_tier_summary(ctx) -> Optional[dict]:
         "promotions": store.disk_stats["promotions"],
         "refreshes": store.disk_stats["refreshes"],
         "resident_rows": store.disk_resident_count(),
+    }
+
+
+def _device_utilization(ctx) -> dict:
+    """Per-device busy seconds and the max/min imbalance ratio of a run.
+
+    Busy time sums the Timeline's four phase ledgers per device; the
+    utilization fraction divides by the barrier wall clock.  A ratio near
+    1 means speed-proportional balance (DESIGN.md §5.17).
+    """
+    from repro.cluster.timeline import PHASES
+
+    timeline = ctx.timeline
+    wall = timeline.wall_seconds
+    busy = [
+        sum(timeline.device_phase_seconds(d, p) for p in PHASES)
+        for d in range(timeline.num_devices)
+    ]
+    max_busy, min_busy = max(busy), min(busy)
+    return {
+        "wall_seconds": wall,
+        "busy_seconds": busy,
+        "utilization": [b / wall if wall > 0 else 0.0 for b in busy],
+        "max_busy": max_busy,
+        "min_busy": min_busy,
+        "imbalance_ratio": max_busy / min_busy if min_busy > 0 else 0.0,
     }
 
 
@@ -405,8 +470,13 @@ def cmd_run(args) -> int:
         for ev in report.collector.events:
             if ev.kind in ("host_leave", "host_join"):
                 verb = "left" if ev.kind == "host_leave" else "joined"
+                machine = ev.data.get("machine")
+                who = f"machine {machine}" if machine is not None else "a machine"
+                cls = ev.data.get("device_class")
+                if cls is not None:
+                    who += f" ({cls})"
                 print(
-                    f"machine {ev.data.get('machine')} {verb} at epoch "
+                    f"{who} {verb} at epoch "
                     f"{ev.epoch}: {ev.data.get('devices_before')} -> "
                     f"{ev.data.get('devices_after')} devices"
                 )
@@ -433,6 +503,7 @@ def cmd_trace(args) -> int:
         name = apt.plan().chosen
     results, ctx = _traced_run(apt, name, args.epochs, args.lr, args.out)
     disk = _disk_tier_summary(ctx)
+    devices = _device_utilization(ctx)
     layerwise = None
     if name.startswith("layerwise:"):
         layerwise = {
@@ -459,6 +530,7 @@ def cmd_trace(args) -> int:
                 for e in results
             ],
         }
+        payload["devices"] = devices
         if disk is not None:
             payload["disk"] = disk
         if layerwise is not None:
@@ -467,6 +539,14 @@ def cmd_trace(args) -> int:
         return 0
     print(f"ran {len(results)} epoch(s) with {name}; "
           f"chrome trace written to {args.out}")
+    print("  per-device utilization "
+          f"(wall {devices['wall_seconds'] * 1e3:.3f} ms):")
+    for d, (busy, util) in enumerate(
+        zip(devices["busy_seconds"], devices["utilization"])
+    ):
+        print(f"    device {d}: busy {busy * 1e3:.3f} ms ({util:.1%})")
+    print(f"  max/min busy imbalance ratio: "
+          f"{devices['imbalance_ratio']:.3f}")
     if layerwise is not None:
         print("  per-layer strategies:", " -> ".join(layerwise["layer_assignment"]))
         print(f"  re-layout traffic: "
@@ -677,10 +757,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan = sub.add_parser("plan", help="dry-run strategies and rank them")
     _add_task_args(p_plan)
     _add_common_flags(p_plan)
-    p_plan.add_argument("--objective", choices=("epoch", "latency"),
+    p_plan.add_argument("--objective", choices=("epoch", "latency", "cost"),
                         default="epoch",
-                        help="rank by epoch seconds (training) or predicted "
-                             "p99 per-request latency (serving)")
+                        help="rank by epoch seconds (training), predicted "
+                             "p99 per-request latency (serving), or dollars "
+                             "per epoch (cost; sweeps device subsets and "
+                             "reports the (time, $) Pareto frontier)")
+    p_plan.add_argument("--budget-seconds", type=float, default=None,
+                        metavar="S",
+                        help="with --objective cost: pick the cheapest "
+                             "candidate whose epoch time fits S seconds")
+    p_plan.add_argument("--budget-dollars", type=float, default=None,
+                        metavar="D",
+                        help="with --objective epoch: pick the fastest "
+                             "candidate costing at most D dollars per epoch")
     p_plan.add_argument("--policy", default="32:2", metavar="B:MS",
                         help="serving batch policy '<max_batch>:<max_wait_ms>'"
                              " scored by --objective latency")

@@ -10,11 +10,14 @@ bandwidth/throughput *ratios* that this model preserves.
 """
 
 from repro.cluster.spec import (
+    DEVICE_CLASSES,
     ClusterSpec,
     DeviceSpec,
     LinkSpec,
     MachineSpec,
+    device_class,
     multi_machine_cluster,
+    parse_cluster_spec,
     single_machine_cluster,
 )
 from repro.cluster.timeline import PHASES, Timeline
@@ -28,6 +31,9 @@ __all__ = [
     "ClusterSpec",
     "single_machine_cluster",
     "multi_machine_cluster",
+    "parse_cluster_spec",
+    "device_class",
+    "DEVICE_CLASSES",
     "Timeline",
     "PHASES",
     "Communicator",

@@ -26,9 +26,14 @@ between epochs).  Kinds:
     loop must re-partition and may re-plan (DESIGN.md §5.16); ``factor``
     is ignored.
 ``host_join``
-    Add one machine (a clone of machine 0's spec).  ``machine`` is the
-    optional insertion index (default: append); ``factor`` scales the
-    joiner's GPU throughput (< 1 models a slower spot tier).
+    Add one machine.  ``device_class`` names the joiner's device tier
+    (``t4``/``v100``/``a100``/``cpu``, see
+    :data:`~repro.cluster.spec.DEVICE_CLASSES`); without it the joiner
+    clones machine 0's spec.  ``machine`` is the optional insertion index
+    (default: append); ``factor`` additionally scales the joiner's GPU
+    throughput (< 1 models a slower spot tier).  A joiner of a different
+    class makes the cluster heterogeneous, so the elastic re-partition
+    cuts speed-proportional parts (DESIGN.md §5.17).
 ``recover``
     Discard every earlier fault: the cluster returns to its base spec —
     including membership (left hosts return, joined hosts leave).
@@ -47,7 +52,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.cluster.spec import ClusterSpec, LinkSpec
+from repro.cluster.spec import ClusterSpec, LinkSpec, device_class
 from repro.utils.random import rng_from
 
 FAULT_KINDS = (
@@ -76,6 +81,9 @@ class FaultEvent:
     kind: str
     factor: float = 1.0
     machine: Optional[int] = None
+    #: named device tier of a ``host_join`` joiner (``None`` = clone
+    #: machine 0); validated against the device-class registry
+    device_class: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.epoch < 0:
@@ -90,6 +98,13 @@ class FaultEvent:
             raise ValueError(
                 f"{self.kind} faults need a target machine index"
             )
+        if self.device_class is not None:
+            if self.kind != "host_join":
+                raise ValueError(
+                    f"device_class only applies to host_join events, "
+                    f"not {self.kind!r}"
+                )
+            device_class(self.device_class)  # raises on unknown names
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"epoch": self.epoch, "kind": self.kind}
@@ -97,6 +112,8 @@ class FaultEvent:
             out["factor"] = self.factor
         if self.machine is not None:
             out["machine"] = self.machine
+        if self.device_class is not None:
+            out["device_class"] = self.device_class
         return out
 
     # ------------------------------------------------------------------ #
@@ -129,6 +146,12 @@ class FaultEvent:
             return cluster.without_machine(self.machine)
         if self.kind == "host_join":
             template = cluster.machines[0]
+            if self.device_class is not None:
+                # The joiner brings its own device tier (keeping the
+                # cluster's GPU-per-machine shape and machine-level links).
+                template = dataclasses.replace(
+                    template, device=device_class(self.device_class)
+                )
             if factor != 1.0:
                 dev = template.device
                 scaled = dataclasses.replace(

@@ -12,8 +12,8 @@ x16, machines linked by 100 Gbps Ethernet.  Public datasheet numbers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.utils.validation import check_positive
 
@@ -31,6 +31,9 @@ class DeviceSpec:
     #: GPU-based neighbor-sampling throughput (edges/s), cf. gSampler-style
     #: on-GPU sampling the paper's implementation uses.
     sampling_edges_per_sec: float = 2.5e8
+    #: On-demand price of one device, in dollars per hour.  Feeds the
+    #: planner's second objective (``CostEstimate.dollars``).
+    dollars_per_hour: float = 0.526
 
     def dense_seconds(self, flops: float) -> float:
         """Simulated time for a dense kernel of ``flops`` floating ops."""
@@ -39,6 +42,70 @@ class DeviceSpec:
     def memory_bound_seconds(self, bytes_touched: float) -> float:
         """Simulated time for a memory-bound kernel (SpMM, gather)."""
         return bytes_touched / self.mem_bandwidth
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained GNN throughput — the partitioner's speed weight."""
+        return self.peak_flops * self.compute_efficiency
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DeviceSpec":
+        return cls(**d)
+
+
+#: Named device classes for the ``--cluster`` grammar and ``host_join``.
+#: Prices follow on-demand AWS list prices (per GPU, instance price split
+#: across its GPUs); throughputs follow public datasheets with the same
+#: GNN-efficiency derating as the T4 baseline.
+DEVICE_CLASSES: Dict[str, DeviceSpec] = {
+    # The paper's platform: g4dn.metal T4s.
+    "t4": DeviceSpec(),
+    # p3 V100: ~2x the T4's sustained GNN throughput.
+    "v100": DeviceSpec(
+        name="V100",
+        peak_flops=15.7e12,
+        compute_efficiency=0.24,
+        mem_bandwidth=900e9,
+        memory_bytes=16e9,
+        sampling_edges_per_sec=5.0e8,
+        dollars_per_hour=3.06,
+    ),
+    # p4d A100: ~4x the T4's sustained GNN throughput.
+    "a100": DeviceSpec(
+        name="A100",
+        peak_flops=19.5e12,
+        compute_efficiency=0.37,
+        mem_bandwidth=1555e9,
+        memory_bytes=40e9,
+        sampling_edges_per_sec=1.0e9,
+        dollars_per_hour=4.10,
+    ),
+    # CPU-only worker modeled as a very slow "device": cheap, but it
+    # samples and trains at a fraction of any GPU tier.
+    "cpu": DeviceSpec(
+        name="CPU",
+        peak_flops=1.0e12,
+        compute_efficiency=0.10,
+        mem_bandwidth=80e9,
+        memory_bytes=64e9,
+        sampling_edges_per_sec=2.5e7,
+        dollars_per_hour=0.17,
+    ),
+}
+
+
+def device_class(name: str) -> DeviceSpec:
+    """Look up a named device class (case-insensitive)."""
+    try:
+        return DEVICE_CLASSES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device class {name!r} "
+            f"(known: {', '.join(sorted(DEVICE_CLASSES))})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -77,10 +144,36 @@ class MachineSpec:
         """The link used for intra-machine GPU-to-GPU transfers."""
         return self.nvlink if self.nvlink is not None else self.pcie
 
+    def to_dict(self) -> dict:
+        return {
+            "num_gpus": self.num_gpus,
+            "device": self.device.to_dict(),
+            "pcie": asdict(self.pcie),
+            "nvlink": None if self.nvlink is None else asdict(self.nvlink),
+            "disk": asdict(self.disk),
+            "cpu_sampling_edges_per_sec": self.cpu_sampling_edges_per_sec,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineSpec":
+        return cls(
+            num_gpus=d["num_gpus"],
+            device=DeviceSpec.from_dict(d["device"]),
+            pcie=LinkSpec(**d["pcie"]),
+            nvlink=None if d.get("nvlink") is None else LinkSpec(**d["nvlink"]),
+            disk=LinkSpec(**d["disk"]),
+            cpu_sampling_edges_per_sec=d["cpu_sampling_edges_per_sec"],
+        )
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A cluster of identical machines plus the interconnect between them."""
+    """A cluster of machines plus the interconnect between them.
+
+    Machines may carry different device classes (mixed fast/slow GPU
+    tiers, CPU-only workers); ``device_weights`` exposes the resulting
+    per-device speed profile to the partitioner and the planner.
+    """
 
     machines: Tuple[MachineSpec, ...]
     network: LinkSpec = field(default_factory=lambda: LinkSpec(bandwidth=12.5e9, latency=3e-5))
@@ -129,6 +222,52 @@ class ClusterSpec:
         return LinkSpec(
             bandwidth=self.network.bandwidth / max(m.num_gpus, 1),
             latency=self.network.latency,
+        )
+
+    # -- heterogeneity (DESIGN.md §5.17) -------------------------------- #
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when at least two devices differ in spec or links."""
+        first = self.machines[0]
+        return any(
+            m.device != first.device
+            or m.pcie != first.pcie
+            or m.nvlink != first.nvlink
+            or m.disk != first.disk
+            for m in self.machines[1:]
+        )
+
+    def device_weights(self) -> List[float]:
+        """Per-device partition weights, normalized to sum to 1.
+
+        Proportional to each device's sustained compute throughput
+        (``effective_flops``): a device that trains twice as fast should
+        own twice the nodes so every device finishes a batch together.
+        """
+        flops = [self.device_spec(d).effective_flops
+                 for d in range(self.num_devices)]
+        total = sum(flops)
+        return [f / total for f in flops]
+
+    def dollars_per_hour(self) -> float:
+        """Aggregate on-demand price of the cluster's devices ($/hour)."""
+        return sum(
+            m.num_gpus * m.device.dollars_per_hour for m in self.machines
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "machines": [m.to_dict() for m in self.machines],
+            "network": asdict(self.network),
+            "gpu_cache_bytes": self.gpu_cache_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusterSpec":
+        return cls(
+            machines=tuple(MachineSpec.from_dict(m) for m in d["machines"]),
+            network=LinkSpec(**d["network"]),
+            gpu_cache_bytes=d["gpu_cache_bytes"],
         )
 
     def with_cache(self, gpu_cache_bytes: float) -> "ClusterSpec":
@@ -252,6 +391,53 @@ def multi_machine_cluster(
     machine = MachineSpec(num_gpus=gpus_per_machine, device=device or DeviceSpec())
     return ClusterSpec(
         machines=tuple(machine for _ in range(num_machines)),
+        network=network or LinkSpec(bandwidth=12.5e9, latency=3e-5),
+        gpu_cache_bytes=gpu_cache_bytes,
+    )
+
+
+def parse_cluster_spec(
+    spec: str,
+    gpu_cache_bytes: float = 0.0,
+    *,
+    network: Optional[LinkSpec] = None,
+) -> ClusterSpec:
+    """Build a (possibly mixed) cluster from a compact spec string.
+
+    Grammar: comma-separated machine groups, each
+    ``<machines>x<gpus>:<class>`` — e.g. ``"1x4:a100,2x4:t4"`` is one
+    4xA100 machine plus two 4xT4 machines.  ``<machines>x`` defaults to 1
+    and ``:<class>`` defaults to ``t4``, so ``"2x8"`` and ``"8:v100"``
+    are both valid.  Classes come from :data:`DEVICE_CLASSES`.
+    """
+    machines: List[MachineSpec] = []
+    for group in spec.split(","):
+        group = group.strip()
+        if not group:
+            raise ValueError(f"empty machine group in cluster spec {spec!r}")
+        if ":" in group:
+            shape, cls_name = group.split(":", 1)
+        else:
+            shape, cls_name = group, "t4"
+        if "x" in shape:
+            count_s, gpus_s = shape.split("x", 1)
+        else:
+            count_s, gpus_s = "1", shape
+        try:
+            count, gpus = int(count_s), int(gpus_s)
+        except ValueError:
+            raise ValueError(
+                f"bad machine group {group!r} in cluster spec {spec!r} "
+                "(expected <machines>x<gpus>:<class>)"
+            ) from None
+        check_positive("machines", count)
+        check_positive("gpus", gpus)
+        device = device_class(cls_name)
+        machines.extend(
+            MachineSpec(num_gpus=gpus, device=device) for _ in range(count)
+        )
+    return ClusterSpec(
+        machines=tuple(machines),
         network=network or LinkSpec(bandwidth=12.5e9, latency=3e-5),
         gpu_cache_bytes=gpu_cache_bytes,
     )

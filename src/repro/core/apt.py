@@ -141,6 +141,8 @@ class APT:
         self.dryrun_stats: Dict[str, DryRunStats] = {}
         self.plan_report: Optional[PlanReport] = None
         self.serve_plan_report: Optional[PlanReport] = None
+        #: telemetry from the most recent :meth:`plan` (pareto_select)
+        self.plan_collector: Optional[TelemetryCollector] = None
         #: one sampled-epoch cache shared by every dry-run, census, and
         #: training context of this task (same graph, fanouts, and seed —
         #: the planner's 4 strategy dry-runs re-visit identical epochs)
@@ -211,36 +213,58 @@ class APT:
         self._partition_for(self.cluster)
         self.dryrun = self._make_dryrun(self.cluster)
 
-    def _partition_for(self, cluster: ClusterSpec) -> None:
-        """(Re)compute the node->device partition for ``cluster``.
+    @staticmethod
+    def _partition_weights(cluster: ClusterSpec) -> Optional[List[float]]:
+        """Per-device speed weights, or ``None`` on a homogeneous cluster.
+
+        ``None`` selects the partitioners' historical equal-share paths, so
+        homogeneous digests are bit-for-bit unchanged; a mixed fleet (or a
+        ``host_join`` that brought a different device class) cuts parts
+        proportional to sustained device throughput.
+        """
+        if cluster.num_devices > 1 and cluster.is_heterogeneous:
+            return cluster.device_weights()
+        return None
+
+    def _compute_partition(
+        self, cluster: ClusterSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pure partition computation for ``cluster`` (no state mutation).
 
         For the named modes this is a pure function of ``(graph,
-        num_devices, seed)`` — the elastic transition relies on it:
-        re-partitioning after a membership change yields exactly the
-        partition a fresh run on the post-change cluster computes.
+        num_devices, device weights, seed)`` — the elastic transition
+        relies on it: re-partitioning after a membership change yields
+        exactly the partition a fresh run on the post-change cluster
+        computes.  The planner's device-subset sweep relies on the purity
+        too: candidate subsets are partitioned without touching the
+        task's active partition.
         """
         partition = self.config.partition
+        weights = self._partition_weights(cluster)
         if isinstance(partition, np.ndarray):
-            self.parts = np.asarray(partition, dtype=np.int64)
-            if self.parts.size and int(self.parts.max()) >= cluster.num_devices:
+            parts = np.asarray(partition, dtype=np.int64)
+            if parts.size and int(parts.max()) >= cluster.num_devices:
                 raise ValueError(
                     f"explicit partition assigns device "
-                    f"{int(self.parts.max())} but the cluster has "
+                    f"{int(parts.max())} but the cluster has "
                     f"{cluster.num_devices} device(s); explicit partitions "
                     f"cannot follow elastic membership changes — use a "
                     f"named partition mode"
                 )
         elif partition == "metis":
-            self.parts = metis_like_partition(
-                self.dataset.graph, cluster.num_devices, seed=self.seed
+            parts = metis_like_partition(
+                self.dataset.graph, cluster.num_devices, seed=self.seed,
+                weights=weights,
             )
         elif partition == "streaming":
-            self.parts = streaming_partition(
-                self.dataset.graph, cluster.num_devices, seed=self.seed
+            parts = streaming_partition(
+                self.dataset.graph, cluster.num_devices, seed=self.seed,
+                weights=weights,
             )
         elif partition == "random":
-            self.parts = random_partition(
-                self.dataset.num_nodes, cluster.num_devices, seed=self.seed
+            parts = random_partition(
+                self.dataset.num_nodes, cluster.num_devices, seed=self.seed,
+                weights=weights,
             )
         else:
             raise ValueError(f"unknown partition mode {partition!r}")
@@ -248,7 +272,11 @@ class APT:
             [cluster.machine_of(d) for d in range(cluster.num_devices)],
             dtype=np.int64,
         )
-        self.node_machine = machine_of_device[self.parts]
+        return parts, machine_of_device[parts]
+
+    def _partition_for(self, cluster: ClusterSpec) -> None:
+        """(Re)compute the node->device partition for ``cluster``."""
+        self.parts, self.node_machine = self._compute_partition(cluster)
         self._partitioned_devices = cluster.num_devices
 
     def _disk_promote_bytes(self) -> Optional[float]:
@@ -293,16 +321,120 @@ class APT:
             include_compute_skew=self.compute_skew,
         )
 
-    def plan(self, strategies: Optional[Sequence[str]] = None) -> RunReport:
-        """Dry-run the candidate strategies and select the cheapest."""
+    def plan(
+        self,
+        strategies: Optional[Sequence[str]] = None,
+        *,
+        objective: str = "epoch",
+        budget_seconds: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+        device_subsets: Optional[bool] = None,
+    ) -> RunReport:
+        """Dry-run the candidate strategies and select the best.
+
+        ``objective="epoch"`` (default) picks the fastest, optionally the
+        fastest under ``budget_dollars``; ``objective="cost"`` picks the
+        cheapest whose epoch time fits ``budget_seconds``, sweeping
+        strategies x candidate device subsets (each subset cluster gets
+        its own speed-proportional partition, dry-run, and $-rate — a
+        ``dnp@drop0`` candidate means "run dnp without machine 0").
+        ``device_subsets`` defaults to on for the cost objective on
+        multi-machine clusters; the full (time, $) Pareto frontier lands
+        in ``PlanReport.pareto`` either way (DESIGN.md §5.17).
+        """
         self.config.validate()
         self._require_prepared()
         strategies = tuple(strategies if strategies is not None else self.config.strategies)
         self.dryrun_stats = {s: self.dryrun.run(s) for s in strategies}
+        if device_subsets is None:
+            device_subsets = (
+                objective == "cost" and self.cluster.num_machines > 1
+            )
+        extra: Dict[str, CostEstimate] = {}
+        subset_meta: Dict[str, dict] = {}
+        if device_subsets and self.cluster.num_machines > 1:
+            extra, subset_meta = self._subset_candidates(strategies)
         self.plan_report = Planner(self._cost_model(self.cluster)).select(
-            self.dryrun_stats
+            self.dryrun_stats,
+            objective=objective,
+            budget_seconds=budget_seconds,
+            budget_dollars=budget_dollars,
+            extra_estimates=extra,
         )
-        return RunReport(plan=self.plan_report, config=self.config.to_dict())
+        self.plan_report.subsets = subset_meta
+        report = RunReport(plan=self.plan_report, config=self.config.to_dict())
+        if self.config.telemetry and objective != "latency":
+            collector = TelemetryCollector()
+            chosen = self.plan_report.estimates[self.plan_report.chosen]
+            collector.emit(
+                "pareto_select",
+                chosen=self.plan_report.chosen,
+                objective=objective,
+                total=float(chosen.total),
+                dollars=float(chosen.dollars),
+                frontier_size=len(self.plan_report.pareto),
+                dominated=(
+                    len(self.plan_report.estimates)
+                    - len(self.plan_report.pareto)
+                ),
+            )
+            self.plan_collector = collector
+            report.collector = collector
+            report.telemetry = collector.summary()
+        return report
+
+    def _subset_candidates(
+        self, strategies: Tuple[str, ...]
+    ) -> Tuple[Dict[str, CostEstimate], Dict[str, dict]]:
+        """Cost estimates for dropping each machine from the cluster.
+
+        Each deduplicated candidate subset gets its own speed-proportional
+        partition and dry-run (sharing the task's SampleCache — sampling
+        is partition-independent, so batches are never re-sampled) and is
+        priced by a cost model profiled on that subset.  Candidate names
+        are ``<strategy>@drop<machine>``.
+        """
+        extra: Dict[str, CostEstimate] = {}
+        meta: Dict[str, dict] = {}
+        seen = set()
+        for m in range(self.cluster.num_machines):
+            sub = self.cluster.without_machine(m)
+            if sub in seen:
+                continue
+            seen.add(sub)
+            parts, node_machine = self._compute_partition(sub)
+            dryrun = DryRun(
+                self.dataset,
+                sub,
+                self.model,
+                self.fanouts,
+                parts=parts,
+                node_machine=node_machine,
+                global_batch_size=self.global_batch_size,
+                sampler_seed=self.seed,
+                shuffle_seed=self.seed,
+                sample_cache=self.sample_cache,
+                reuse_samples=self.sample_cache is not None,
+                disk_promote_bytes=self._disk_promote_bytes(),
+            )
+            if self.dryrun is not None:
+                dryrun._access_freq = self.dryrun.access_freq
+            cost_model = self._cost_model(sub)
+            for s in strategies:
+                try:
+                    stats = dryrun.run(s)
+                except (KeyError, ValueError):
+                    continue  # strategy infeasible on this subset shape
+                name = f"{s}@drop{m}"
+                extra[name] = cost_model.estimate(stats)
+                meta[name] = {
+                    "strategy": s,
+                    "dropped_machine": m,
+                    "machines": sub.num_machines,
+                    "devices": sub.num_devices,
+                    "dollars_per_hour": sub.dollars_per_hour(),
+                }
+        return extra, meta
 
     def plan_layerwise(
         self, *, beam_width: int = 3, include_singles: bool = True
@@ -500,6 +632,14 @@ class APT:
             if self.plan_report is None:
                 self.plan()
             strategy = self.plan_report.chosen
+            if "@drop" in strategy:
+                base, dropped = strategy.split("@drop", 1)
+                raise ValueError(
+                    f"the plan chose device-subset candidate {strategy!r}; "
+                    f"executing it means training without machine {dropped} "
+                    f"— rebuild APT with cluster.without_machine({dropped}) "
+                    f"and run strategy {base!r}, or pass strategy= explicitly"
+                )
         if replan is None:
             replan = self.config.replan
         return self.run_strategy(
@@ -899,12 +1039,18 @@ class APT:
             )
         for event in events:
             if collector is not None:
+                extra = (
+                    {"device_class": event.device_class}
+                    if event.device_class is not None
+                    else {}
+                )
                 collector.emit(
                     event.kind,
                     epoch=epoch,
                     machine=event.machine,
                     devices_before=before,
                     devices_after=after,
+                    **extra,
                 )
         # (1) quiesce: settle in-flight slots (release or quarantine, never
         # lose), drop the prefetched schedule — its seed chunks were split

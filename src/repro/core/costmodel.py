@@ -81,6 +81,11 @@ class CostEstimate:
     #: hidden-byte matrix); the byte count is kept for reports and the
     #: trace output (DESIGN.md §5.15).
     relayout_bytes: float = 0.0
+    #: the second planner objective (DESIGN.md §5.17): the comparable
+    #: epoch seconds billed at the cluster's aggregate $/hour.  Candidates
+    #: over *different device subsets* make this more than a rescaled
+    #: ``total`` — a cheaper subset can win dollars while losing time.
+    dollars: float = 0.0
 
     @property
     def total(self) -> float:
@@ -94,6 +99,7 @@ class CostEstimate:
             "t_shuffle": self.t_shuffle,
             "t_skew": self.t_skew,
             "total": self.total,
+            "dollars": self.dollars,
         }
         if self.relayout_bytes:
             out["relayout_bytes"] = self.relayout_bytes
@@ -173,27 +179,44 @@ class CostModel:
                 return bw
             return bw * (1.0 + rng.uniform(-bandwidth_noise, bandwidth_noise))
 
-        m0 = cluster.machines[0]
-        d0 = m0.device
+        def machine_profile(m) -> Dict[str, float]:
+            return {
+                "hbm": measured(m.device.mem_bandwidth),
+                "peer": measured(m.gpu_peer_link().bandwidth),
+                "pcie": measured(m.pcie.bandwidth),
+                "net_per_gpu": measured(
+                    cluster.network.bandwidth / max(m.num_gpus, 1)
+                ),
+                "msg_latency": measured(m.gpu_peer_link().latency)
+                if m.gpu_peer_link().latency > 0
+                else 0.0,
+                "pcie_latency": measured(m.pcie.latency) if m.pcie.latency > 0 else 0.0,
+                "net_latency": measured(cluster.network.latency)
+                if cluster.network.latency > 0
+                else 0.0,
+                "disk": measured(m.disk.bandwidth),
+                "disk_latency": measured(m.disk.latency) if m.disk.latency > 0 else 0.0,
+            }
+
         #: profiled operator bandwidths (bytes/s) and per-message latencies,
-        #: one trial each
-        self.profile: Dict[str, float] = {
-            "hbm": measured(d0.mem_bandwidth),
-            "peer": measured(m0.gpu_peer_link().bandwidth),
-            "pcie": measured(m0.pcie.bandwidth),
-            "net_per_gpu": measured(
-                cluster.network.bandwidth / max(m0.num_gpus, 1)
-            ),
-            "msg_latency": measured(m0.gpu_peer_link().latency)
-            if m0.gpu_peer_link().latency > 0
-            else 0.0,
-            "pcie_latency": measured(m0.pcie.latency) if m0.pcie.latency > 0 else 0.0,
-            "net_latency": measured(cluster.network.latency)
-            if cluster.network.latency > 0
-            else 0.0,
-            "disk": measured(m0.disk.bandwidth),
-            "disk_latency": measured(m0.disk.latency) if m0.disk.latency > 0 else 0.0,
-        }
+        #: one trial each (machine 0 — the historical whole-cluster profile)
+        self.profile: Dict[str, float] = machine_profile(cluster.machines[0])
+        #: on a mixed fleet every machine class gets its own trials; on a
+        #: homogeneous cluster every device shares ``self.profile``, keeping
+        #: the historical arithmetic (and its noise draws) bit-for-bit.
+        self._heterogeneous = cluster.is_heterogeneous
+        if self._heterogeneous:
+            per_machine = [self.profile] + [
+                machine_profile(m) for m in cluster.machines[1:]
+            ]
+            self._device_profiles = [
+                per_machine[cluster.machine_of(d)]
+                for d in range(cluster.num_devices)
+            ]
+        else:
+            self._device_profiles = [
+                self.profile for _ in range(cluster.num_devices)
+            ]
 
     # ------------------------------------------------------------------ #
     def load_latency_seconds(self, stats: DryRunStats) -> float:
@@ -205,21 +228,22 @@ class CostModel:
         plain memory reads and carry none); slowest device governs, like the
         bandwidth term.
         """
-        tier_latency = {
-            Tier.PEER_GPU: self.profile["msg_latency"],
-            Tier.LOCAL_CPU: self.profile["pcie_latency"],
-            Tier.REMOTE_CPU: self.profile["net_latency"],
-        }
         reads = getattr(stats.recorder, "disk_ranged_reads", None)
         per_device = []
         for d, rows in enumerate(stats.recorder.load_rows):
+            prof = self._device_profiles[d]
+            tier_latency = {
+                Tier.PEER_GPU: prof["msg_latency"],
+                Tier.LOCAL_CPU: prof["pcie_latency"],
+                Tier.REMOTE_CPU: prof["net_latency"],
+            }
             lat = stats.num_batches * sum(
                 lat for t, lat in tier_latency.items() if rows.get(t, 0.0) > 0
             )
             if reads is not None:
                 # Disk pays one setup latency per coalesced ranged read, not
                 # per batch — scattered misses are what make disk slow.
-                lat += float(reads[d]) * self.profile["disk_latency"]
+                lat += float(reads[d]) * prof["disk_latency"]
             per_device.append(lat)
         return float(max(per_device)) if per_device else 0.0
 
@@ -227,27 +251,28 @@ class CostModel:
         """T_load: the slowest device's per-tier load volume at profiled
         bandwidths, plus the per-batch message latencies."""
         row_bytes = self.feature_dim * 8.0 * stats.dim_fraction
-        tier_bw = {
-            Tier.GPU_CACHE: self.profile["hbm"],
-            Tier.PEER_GPU: self.profile["peer"],
-            Tier.LOCAL_CPU: self.profile["pcie"],
-            Tier.REMOTE_CPU: self.profile["net_per_gpu"],
-            Tier.DISK: self.profile["disk"],
-        }
-        tier_latency = {
-            Tier.PEER_GPU: self.profile["msg_latency"],
-            Tier.LOCAL_CPU: self.profile["pcie_latency"],
-            Tier.REMOTE_CPU: self.profile["net_latency"],
-        }
         reads = getattr(stats.recorder, "disk_ranged_reads", None)
         per_device = []
         for d, rows in enumerate(stats.recorder.load_rows):
+            prof = self._device_profiles[d]
+            tier_bw = {
+                Tier.GPU_CACHE: prof["hbm"],
+                Tier.PEER_GPU: prof["peer"],
+                Tier.LOCAL_CPU: prof["pcie"],
+                Tier.REMOTE_CPU: prof["net_per_gpu"],
+                Tier.DISK: prof["disk"],
+            }
+            tier_latency = {
+                Tier.PEER_GPU: prof["msg_latency"],
+                Tier.LOCAL_CPU: prof["pcie_latency"],
+                Tier.REMOTE_CPU: prof["net_latency"],
+            }
             secs = sum(rows.get(t, 0.0) * row_bytes / tier_bw[t] for t in Tier)
             secs += stats.num_batches * sum(
                 lat for t, lat in tier_latency.items() if rows.get(t, 0.0) > 0
             )
             if reads is not None:
-                secs += float(reads[d]) * self.profile["disk_latency"]
+                secs += float(reads[d]) * prof["disk_latency"]
             per_device.append(secs)
         return float(max(per_device)) if per_device else 0.0
 
@@ -261,6 +286,7 @@ class CostModel:
         same = machines[:, None] == machines[None, :]
         per_device = np.zeros(C)
         for i in range(C):
+            prof = self._device_profiles[i]
             mask = np.ones(C, dtype=bool)
             mask[i] = False
             send_intra = B[i, mask & same[i]].sum()
@@ -268,9 +294,9 @@ class CostModel:
             recv_intra = B[mask & same[i], i].sum()
             recv_inter = B[mask & ~same[i], i].sum()
             per_device[i] = (
-                max(send_intra, recv_intra) / self.profile["peer"]
-                + max(send_inter, recv_inter) / self.profile["net_per_gpu"]
-                + stats.recorder.shuffle_messages[i] * self.profile["msg_latency"]
+                max(send_intra, recv_intra) / prof["peer"]
+                + max(send_inter, recv_inter) / prof["net_per_gpu"]
+                + stats.recorder.shuffle_messages[i] * prof["msg_latency"]
             )
         return float(per_device.max()) if C else 0.0
 
@@ -285,13 +311,40 @@ class CostModel:
         flops = stats.recorder.layer1_flops
         if flops.size == 0:
             return 0.0
-        spec = self.cluster.device_spec(0)
-        excess = float(flops.max() - flops.mean())
-        return spec.dense_seconds(excess * TRAIN_FLOP_FACTOR)
+        if not self._heterogeneous:
+            spec = self.cluster.device_spec(0)
+            excess = float(flops.max() - flops.mean())
+            return spec.dense_seconds(excess * TRAIN_FLOP_FACTOR)
+        # Mixed fleet: convert each device's FLOPs at *its own* throughput
+        # first — the straggler is whoever takes longest, not whoever
+        # computes most (a slow device with few FLOPs can still govern).
+        # Upper-layer compute follows the seed assignment, so it joins the
+        # skew here: an equal seed split (gdp) leaves the slow tier holding
+        # an equal share of *all* layers, not just layer 1.
+        upper = getattr(stats.recorder, "upper_flops", None)
+        if upper is not None and upper.size == flops.size:
+            flops = flops + upper
+        secs = np.array([
+            self.cluster.device_spec(d).dense_seconds(
+                float(flops[d]) * TRAIN_FLOP_FACTOR
+            )
+            for d in range(flops.size)
+        ])
+        # Baseline is the perfectly balanced assignment (total FLOPs at the
+        # fleet's aggregate throughput) — strategy-independent, unlike the
+        # per-strategy mean, so skews stay comparable across candidates.
+        # On a homogeneous cluster this equals the mean, so the branch
+        # above keeps its historical arithmetic.
+        aggregate = sum(
+            self.cluster.device_spec(d).effective_flops
+            for d in range(flops.size)
+        )
+        ideal = float(flops.sum()) * TRAIN_FLOP_FACTOR / aggregate
+        return float(secs.max() - ideal)
 
     def estimate(self, stats: DryRunStats) -> CostEstimate:
         """Full strategy-specific cost estimate for one dry-run."""
-        return CostEstimate(
+        est = CostEstimate(
             strategy=stats.strategy,
             t_build=stats.t_build,
             t_load=self.load_seconds(stats),
@@ -303,6 +356,8 @@ class CostModel:
             ),
             relayout_bytes=stats.recorder.total_relayout_bytes(),
         )
+        est.dollars = est.total * self.cluster.dollars_per_hour() / 3600.0
+        return est
 
     def estimate_all(
         self, stats_by_strategy: Dict[str, DryRunStats]

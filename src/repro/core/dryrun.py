@@ -165,6 +165,18 @@ class DryRun:
             seeds = strategy.assign_seeds(ctx, global_batch)
             batches = sample_batches(ctx, seeds, epoch)
             strategy.plan_batch(ctx, batches, epoch)  # records volumes, charges T_build
+            # Upper layers run data-parallel on the seed owner under every
+            # strategy, so the per-device share follows the seed assignment
+            # — the input the mixed-fleet skew estimate needs.
+            for d, mb in enumerate(batches):
+                if mb is None:
+                    continue
+                for layer, block in zip(
+                    list(self.model.layers)[1:], mb.blocks[1:]
+                ):
+                    ctx.recorder.record_upper_flops(
+                        d, layer.forward_flops(block)
+                    )
             ctx.timeline.end_batch()
         ctx.recorder.access_frequency = self.access_freq
         return DryRunStats(

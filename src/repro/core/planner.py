@@ -15,7 +15,7 @@ type the objective produced (each exposes ``.total`` and ``.as_dict()``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.costmodel import CostModel
 from repro.core.dryrun import DryRunStats
@@ -28,7 +28,28 @@ from repro.engine.layerwise import (
 )
 
 #: Planner objectives and the estimate type each ranks by.
-OBJECTIVES = ("epoch", "latency")
+OBJECTIVES = ("epoch", "latency", "cost")
+
+
+def pareto_frontier(estimates: Dict[str, object]) -> List[str]:
+    """Non-dominated candidates in the (time, dollars) plane.
+
+    A candidate is dominated when another is at least as fast *and* at
+    least as cheap (strictly better on one axis).  Returns names sorted by
+    ascending ``total`` — walking the frontier trades time for dollars.
+    """
+    items = sorted(
+        estimates.items(),
+        key=lambda kv: (kv[1].total, getattr(kv[1], "dollars", 0.0)),
+    )
+    frontier: List[str] = []
+    best_dollars = float("inf")
+    for name, est in items:
+        dollars = getattr(est, "dollars", 0.0)
+        if dollars < best_dollars:
+            frontier.append(name)
+            best_dollars = dollars
+    return frontier
 
 
 @dataclass
@@ -43,6 +64,15 @@ class PlanReport:
     layer_assignments: Dict[str, List[str]] = field(default_factory=dict)
     #: total re-layout bytes each candidate's dry-run recorded
     relayout_bytes: Dict[str, float] = field(default_factory=dict)
+    #: candidate names on the (time, dollars) Pareto frontier, fastest
+    #: first (DESIGN.md §5.17); empty for the latency objective
+    pareto: List[str] = field(default_factory=list)
+    #: budgets the selection honored (``None`` = unconstrained)
+    budget_seconds: Optional[float] = None
+    budget_dollars: Optional[float] = None
+    #: device-subset metadata per candidate name: which machine was
+    #: dropped and the resulting cluster shape / $-rate (subset sweep only)
+    subsets: Dict[str, dict] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable table of per-strategy estimates."""
@@ -59,6 +89,30 @@ class PlanReport:
                     f"{name:<{width}}{e.t_fixed:>12.6f}{e.t_per_seed:>12.8f}"
                     f"{e.p50:>12.6f}{e.p99:>12.6f}{star}"
                 )
+            return "\n".join(lines)
+        if self.objective == "cost":
+            lines = [
+                f"{'candidate':<{width}}{'t_build':>12}{'t_load':>12}"
+                f"{'t_shuffle':>12}{'total':>12}{'$/epoch':>12}"
+            ]
+            pareto = set(self.pareto)
+            for name in self.ranking:
+                e = self.estimates[name]
+                mark = " *" if name == self.chosen else ""
+                if name in pareto:
+                    mark += " pareto"
+                lines.append(
+                    f"{name:<{width}}{e.t_build:>12.4f}{e.t_load:>12.4f}"
+                    f"{e.t_shuffle:>12.4f}{e.total:>12.4f}"
+                    f"{e.dollars:>12.3e}{mark}"
+                )
+            budgets = []
+            if self.budget_seconds is not None:
+                budgets.append(f"time budget {self.budget_seconds:.4f}s")
+            if self.budget_dollars is not None:
+                budgets.append(f"dollar budget ${self.budget_dollars:.3e}")
+            if budgets:
+                lines.append("constraints: " + ", ".join(budgets))
             return "\n".join(lines)
         lines = [
             f"{'strategy':<{width}}{'t_build':>12}{'t_load':>12}{'t_shuffle':>12}"
@@ -88,14 +142,26 @@ class Planner:
         batch_size: int = 32,
         seeds_per_epoch: int = 0,
         max_wait_s: float = 0.0,
+        budget_seconds: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+        extra_estimates: Optional[Dict[str, object]] = None,
     ) -> PlanReport:
         """Rank the candidates under ``objective`` and pick the best.
 
         The latency objective additionally needs the serving batch shape
         (``batch_size``, ``max_wait_s``) and the seed count the dry-run
         epoch covered (``seeds_per_epoch``, for per-seed scaling).
+
+        The ``"cost"`` objective ranks by estimated dollars per epoch and
+        chooses the cheapest candidate whose epoch time fits
+        ``budget_seconds`` (unconstrained when ``None``); ``"epoch"`` with
+        ``budget_dollars`` symmetrically picks the fastest candidate under
+        the dollar cap.  Infeasible budgets fall back to the unconstrained
+        winner.  ``extra_estimates`` injects pre-computed estimates from
+        *other* cost models — the device-subset sweep prices each candidate
+        cluster with its own model and merges them here.
         """
-        if not stats_by_strategy:
+        if not stats_by_strategy and not extra_estimates:
             raise ValueError("no dry-run statistics to plan over")
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -108,9 +174,33 @@ class Planner:
                 seeds_per_epoch=seeds_per_epoch,
                 max_wait_s=max_wait_s,
             )
-        else:
+        elif stats_by_strategy:
             estimates = self.cost_model.estimate_all(stats_by_strategy)
-        ranking = sorted(estimates, key=lambda n: estimates[n].total)
+        else:
+            estimates = {}
+        if extra_estimates:
+            estimates = {**estimates, **extra_estimates}
+        if objective == "cost":
+            ranking = sorted(
+                estimates,
+                key=lambda n: (estimates[n].dollars, estimates[n].total),
+            )
+        else:
+            ranking = sorted(estimates, key=lambda n: estimates[n].total)
+        pareto = pareto_frontier(estimates) if objective != "latency" else []
+        chosen = ranking[0]
+        if objective == "cost" and budget_seconds is not None:
+            feasible = [
+                n for n in ranking if estimates[n].total <= budget_seconds
+            ]
+            if feasible:
+                chosen = feasible[0]
+        elif objective == "epoch" and budget_dollars is not None:
+            feasible = [
+                n for n in ranking if estimates[n].dollars <= budget_dollars
+            ]
+            if feasible:
+                chosen = feasible[0]
         layer_assignments: Dict[str, List[str]] = {}
         relayout: Dict[str, float] = {}
         for name, stats in stats_by_strategy.items():
@@ -123,11 +213,14 @@ class Planner:
                     relayout[name] = nbytes
         return PlanReport(
             estimates=estimates,
-            chosen=ranking[0],
+            chosen=chosen,
             ranking=ranking,
             objective=objective,
             layer_assignments=layer_assignments,
             relayout_bytes=relayout,
+            pareto=pareto,
+            budget_seconds=budget_seconds,
+            budget_dollars=budget_dollars,
         )
 
     # ------------------------------------------------------------------ #

@@ -238,6 +238,18 @@ class RunReport(ReportBase):
                     name: est.as_dict() for name, est in self.plan.estimates.items()
                 },
             }
+            if self.plan.objective != "epoch":
+                out["plan"]["objective"] = self.plan.objective
+            if self.plan.pareto:
+                out["plan"]["pareto"] = list(self.plan.pareto)
+            if self.plan.budget_seconds is not None:
+                out["plan"]["budget_seconds"] = self.plan.budget_seconds
+            if self.plan.budget_dollars is not None:
+                out["plan"]["budget_dollars"] = self.plan.budget_dollars
+            if self.plan.subsets:
+                out["plan"]["subsets"] = {
+                    name: dict(meta) for name, meta in self.plan.subsets.items()
+                }
             if self.plan.layer_assignments:
                 out["plan"]["layer_assignments"] = {
                     name: list(layers)

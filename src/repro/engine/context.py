@@ -63,6 +63,12 @@ class VolumeRecorder:
         #: popularity.  This record feeds the planner's optional
         #: compute-skew extension (ablated in the benchmarks).
         self.layer1_flops = np.zeros(self.num_devices)
+        #: upper-layer (>= 2) forward FLOPs per seed-owning device.  Equal
+        #: seed splits make this uniform, so it cancels out of homogeneous
+        #: rankings — but on a mixed fleet a slow device with an equal seed
+        #: share governs the barrier, and the skew estimate needs the full
+        #: per-device compute, not just layer 1 (DESIGN.md §5.17).
+        self.upper_flops = np.zeros(self.num_devices)
         #: hidden-embedding bytes moved by layerwise re-layout stages
         #: (``[holder, new_owner]``; a subset of ``hidden_bytes`` kept
         #: separately for reporting — DESIGN.md §5.15)
@@ -102,6 +108,9 @@ class VolumeRecorder:
 
     def record_layer1_flops(self, device: int, flops: float) -> None:
         self.layer1_flops[device] += flops
+
+    def record_upper_flops(self, device: int, flops: float) -> None:
+        self.upper_flops[device] += flops
 
     def record_message_pattern(self, pattern: np.ndarray, calls: int = 1) -> None:
         """Count the messages a pairwise exchange with this non-zero

@@ -22,7 +22,7 @@ paper Fig. 11 exercises.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -31,11 +31,44 @@ from repro.utils.random import rng_from
 from repro.utils.validation import check_positive
 
 
-def random_partition(num_nodes: int, num_parts: int, seed: int = 0) -> np.ndarray:
-    """Uniform random node-to-part assignment (paper Fig. 11 baseline)."""
+def _normalize_weights(
+    weights: Optional[Sequence[float]], num_parts: int
+) -> Optional[np.ndarray]:
+    """Validate and normalize per-part weights to targets summing to 1.
+
+    ``None`` means equal-sized parts and selects the historical (bitwise
+    unchanged) code paths.
+    """
+    if weights is None:
+        return None
+    targets = np.asarray(weights, dtype=np.float64)
+    if targets.shape != (num_parts,):
+        raise ValueError(
+            f"weights must have one entry per part "
+            f"({targets.shape} != ({num_parts},))"
+        )
+    if not np.all(targets > 0):
+        raise ValueError("partition weights must be strictly positive")
+    return targets / targets.sum()
+
+
+def random_partition(
+    num_nodes: int,
+    num_parts: int,
+    seed: int = 0,
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Random node-to-part assignment (paper Fig. 11 baseline).
+
+    With ``weights``, parts are drawn proportionally instead of uniformly.
+    """
     check_positive("num_parts", num_parts)
     rng = rng_from(seed, 0xBAD)
-    return rng.integers(0, num_parts, size=num_nodes).astype(np.int64)
+    targets = _normalize_weights(weights, num_parts)
+    if targets is None:
+        return rng.integers(0, num_parts, size=num_nodes).astype(np.int64)
+    return rng.choice(num_parts, size=num_nodes, p=targets).astype(np.int64)
 
 
 def hash_partition(num_nodes: int, num_parts: int) -> np.ndarray:
@@ -148,12 +181,28 @@ def _coarsen(level: _Level, fine_to_coarse: np.ndarray) -> _Level:
 
 
 def _initial_partition(
-    level: _Level, num_parts: int, rng: np.random.Generator
+    level: _Level,
+    num_parts: int,
+    rng: np.random.Generator,
+    targets: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Greedy balanced region growing on the coarsest graph."""
+    """Greedy balanced region growing on the coarsest graph.
+
+    ``targets`` (normalized per-part weight fractions) makes capacities and
+    the fill order proportional to device speed; ``None`` keeps the
+    historical equal-share behavior bit-for-bit.
+    """
     n = level.num_nodes
     total_w = level.node_weights.sum()
-    cap = total_w / num_parts * 1.05
+    if targets is None:
+        # Scalar share broadcast per part: identical values to the old
+        # scalar cap, so the unweighted path is bitwise unchanged.
+        cap = np.full(num_parts, total_w / num_parts * 1.05)
+        fill = lambda: loads  # noqa: E731 — ordering key for part growth
+    else:
+        goal = total_w * targets
+        cap = goal * 1.05
+        fill = lambda: loads / goal  # noqa: E731
     parts = np.full(n, -1, dtype=np.int64)
     loads = np.zeros(num_parts)
     degree_order = np.argsort(-np.diff(level.indptr))
@@ -168,12 +217,12 @@ def _initial_partition(
                     level.indices[level.indptr[s] : level.indptr[s + 1]].tolist()
                 )
                 break
-    # Round-robin BFS growth.
+    # Round-robin BFS growth, least-filled part first.
     active = True
     while active:
         active = False
-        for p in np.argsort(loads):
-            if loads[p] >= cap:
+        for p in np.argsort(fill()):
+            if loads[p] >= cap[p]:
                 continue
             frontier = frontier_sets[p]
             grabbed = False
@@ -189,9 +238,9 @@ def _initial_partition(
                     break
             if grabbed:
                 active = True
-    # Any disconnected leftovers go to the lightest parts.
+    # Any disconnected leftovers go to the least-filled parts.
     for v in np.nonzero(parts == -1)[0]:
-        p = int(np.argmin(loads))
+        p = int(np.argmin(fill()))
         parts[v] = p
         loads[p] += level.node_weights[v]
     return parts
@@ -203,20 +252,29 @@ def _refine(
     num_parts: int,
     passes: int,
     balance_tol: float,
+    targets: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Boundary refinement: greedily move nodes to their best-connected part.
 
     A node moves when its heaviest-adjacency part differs from its current
-    part and the move keeps both parts within the balance tolerance.  This
-    is the lightweight FM-style refinement used at each uncoarsening level.
+    part and the move keeps both parts within the balance tolerance — a
+    tolerance measured relative to each part's *target* share when
+    ``targets`` is given (weighted capacities), and to the even share
+    otherwise.  This is the lightweight FM-style refinement used at each
+    uncoarsening level.
     """
     n = level.num_nodes
     indptr, indices, ew = level.indptr, level.indices, level.edge_weights
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
     loads = np.bincount(parts, weights=level.node_weights, minlength=num_parts)
     total_w = level.node_weights.sum()
-    cap = total_w / num_parts * (1.0 + balance_tol)
-    floor = total_w / num_parts * (1.0 - balance_tol)
+    if targets is None:
+        cap = np.full(num_parts, total_w / num_parts * (1.0 + balance_tol))
+        floor = np.full(num_parts, total_w / num_parts * (1.0 - balance_tol))
+    else:
+        goal = total_w * targets
+        cap = goal * (1.0 + balance_tol)
+        floor = goal * (1.0 - balance_tol)
     for _ in range(passes):
         # Adjacency weight of every node to every part, in one bincount.
         key = src * np.int64(num_parts) + parts[indices]
@@ -235,7 +293,7 @@ def _refine(
         for v in cand:
             b, c = int(best[v]), int(parts[v])
             wv = level.node_weights[v]
-            if loads[b] + wv > cap or loads[c] - wv < floor:
+            if loads[b] + wv > cap[b] or loads[c] - wv < floor[c]:
                 continue
             parts[v] = b
             loads[b] += wv
@@ -255,6 +313,7 @@ def metis_like_partition(
     max_levels: int = 12,
     refine_passes: int = 4,
     balance_tol: float = 0.08,
+    weights: Optional[Sequence[float]] = None,
 ) -> np.ndarray:
     """Multilevel k-way edge-cut partitioning (METIS stand-in).
 
@@ -267,13 +326,19 @@ def metis_like_partition(
     coarsen_until:
         Stop coarsening when the graph has at most this many nodes.
     balance_tol:
-        Allowed relative deviation of part weights from perfect balance.
+        Allowed relative deviation of part weights from their target share.
+    weights:
+        Optional per-part capacity weights (e.g. device speeds): part
+        ``p`` targets ``weights[p] / sum(weights)`` of the node weight, so
+        a 2x-faster device owns ~2x the nodes.  ``None`` keeps the
+        historical equal-sized behavior unchanged.
 
     Returns
     -------
     ``(num_nodes,)`` int64 part assignment.
     """
     check_positive("num_parts", num_parts)
+    targets = _normalize_weights(weights, num_parts)
     if num_parts == 1:
         return np.zeros(graph.num_nodes, dtype=np.int64)
     rng = rng_from(seed, 0x4E715)
@@ -293,15 +358,18 @@ def metis_like_partition(
             break  # matching stalled; stop coarsening
         levels.append(coarse)
 
-    parts = _initial_partition(levels[-1], num_parts, rng)
-    parts = _refine(levels[-1], parts, num_parts, refine_passes, balance_tol)
+    parts = _initial_partition(levels[-1], num_parts, rng, targets)
+    parts = _refine(
+        levels[-1], parts, num_parts, refine_passes, balance_tol, targets
+    )
 
     # Uncoarsen: project and refine at each finer level.
     for level_idx in range(len(levels) - 1, 0, -1):
         mapping = levels[level_idx].fine_to_coarse
         parts = parts[mapping]
         parts = _refine(
-            levels[level_idx - 1], parts, num_parts, refine_passes, balance_tol
+            levels[level_idx - 1], parts, num_parts, refine_passes,
+            balance_tol, targets,
         )
     return parts.astype(np.int64)
 
@@ -390,6 +458,7 @@ def streaming_partition(
     balance_tol: float = 0.08,
     slack: float = 1.3,
     fine_refine: Optional[bool] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> np.ndarray:
     """Coarsen-once streaming variant of :func:`metis_like_partition`.
 
@@ -410,6 +479,7 @@ def streaming_partition(
     """
     check_positive("num_parts", num_parts)
     check_positive("chunk_nodes", chunk_nodes)
+    targets = _normalize_weights(weights, num_parts)
     n = graph.num_nodes
     if num_parts == 1:
         return np.zeros(n, dtype=np.int64)
@@ -450,8 +520,10 @@ def streaming_partition(
         node_weights=np.bincount(labels, minlength=C).astype(np.float64),
         fine_to_coarse=None,
     )
-    cparts = _initial_partition(coarse, num_parts, rng)
-    cparts = _refine(coarse, cparts, num_parts, refine_passes, balance_tol)
+    cparts = _initial_partition(coarse, num_parts, rng, targets)
+    cparts = _refine(
+        coarse, cparts, num_parts, refine_passes, balance_tol, targets
+    )
     parts = cparts[labels].astype(np.int64)
 
     if fine_refine is None:
@@ -464,5 +536,7 @@ def streaming_partition(
             node_weights=np.ones(n, dtype=np.float64),
             fine_to_coarse=None,
         )
-        parts = _refine(fine, parts, num_parts, refine_passes, balance_tol)
+        parts = _refine(
+            fine, parts, num_parts, refine_passes, balance_tol, targets
+        )
     return parts.astype(np.int64)

@@ -50,6 +50,9 @@ EVENT_KINDS = (
     "repartition",    # APT: graph re-partitioned for a new device set
     "elastic_replan", # APT: planner re-ran after a membership change
     "checkpoint_corrupt",  # CheckpointManager: bad checkpoint skipped
+    # -- heterogeneity (see DESIGN.md §5.17) ---------------------------- #
+    "device_imbalance",  # ParallelTrainer: per-epoch max/min busy ratio
+    "pareto_select",     # APT.plan: chosen (time, $) point + dominated count
 )
 
 

@@ -1,0 +1,148 @@
+"""Device classes, the ``--cluster`` grammar, and cluster serialization
+(DESIGN.md §5.17)."""
+
+import pytest
+
+from repro.cluster import (
+    DEVICE_CLASSES,
+    ClusterSpec,
+    device_class,
+    multi_machine_cluster,
+    parse_cluster_spec,
+    single_machine_cluster,
+)
+from repro.cluster.faults import FaultEvent, FaultSchedule
+
+
+class TestRegistry:
+    def test_known_classes(self):
+        assert set(DEVICE_CLASSES) >= {"t4", "v100", "a100", "cpu"}
+
+    def test_lookup_case_insensitive(self):
+        assert device_class("A100") == DEVICE_CLASSES["a100"]
+
+    def test_unknown_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="t4"):
+            device_class("h100")
+
+    def test_t4_is_the_paper_default(self):
+        cluster = single_machine_cluster(4)
+        assert cluster.machines[0].device == device_class("t4")
+
+    def test_tiers_ordered_by_throughput(self):
+        flops = {k: v.effective_flops for k, v in DEVICE_CLASSES.items()}
+        assert flops["cpu"] < flops["t4"] < flops["v100"] < flops["a100"]
+
+
+class TestGrammar:
+    def test_mixed_spec(self):
+        cluster = parse_cluster_spec("1x4:a100,2x4:t4")
+        assert cluster.num_machines == 3
+        assert cluster.num_devices == 12
+        assert cluster.machines[0].device.name == "A100"
+        assert cluster.machines[1].device.name == "T4"
+        assert cluster.is_heterogeneous
+
+    def test_defaults(self):
+        # count defaults to 1, class defaults to t4
+        assert parse_cluster_spec("8:v100").machines[0].num_gpus == 8
+        c = parse_cluster_spec("2x8")
+        assert c.num_machines == 2
+        assert c.machines[0].device.name == "T4"
+        assert not c.is_heterogeneous
+
+    def test_cache_bytes_forwarded(self):
+        assert parse_cluster_spec("1x2:t4", gpu_cache_bytes=123.0).gpu_cache_bytes == 123.0
+
+    @pytest.mark.parametrize("bad", ["", "ax4", "0x4:t4", "1x4:h100", "4,,4"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_cluster_spec(bad)
+
+
+class TestHeterogeneity:
+    def test_homogeneous_clusters(self):
+        assert not multi_machine_cluster(4, 4).is_heterogeneous
+        assert not single_machine_cluster(8).is_heterogeneous
+
+    def test_device_weights_proportional_to_speed(self):
+        cluster = parse_cluster_spec("1x2:a100,1x2:t4")
+        w = cluster.device_weights()
+        assert len(w) == 4
+        assert abs(sum(w) - 1.0) < 1e-12
+        ratio = (
+            device_class("a100").effective_flops
+            / device_class("t4").effective_flops
+        )
+        assert w[0] / w[2] == pytest.approx(ratio)
+
+    def test_homogeneous_weights_uniform(self):
+        w = multi_machine_cluster(2, 2).device_weights()
+        assert w == pytest.approx([0.25] * 4)
+
+    def test_dollars_per_hour_sums_devices(self):
+        cluster = parse_cluster_spec("1x2:a100,1x4:t4")
+        expected = (
+            2 * device_class("a100").dollars_per_hour
+            + 4 * device_class("t4").dollars_per_hour
+        )
+        assert cluster.dollars_per_hour() == pytest.approx(expected)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        cluster = parse_cluster_spec("1x2:a100,2x2:t4", gpu_cache_bytes=64.0)
+        again = ClusterSpec.from_dict(cluster.to_dict())
+        assert again == cluster
+
+    def test_round_trip_through_json(self):
+        import json
+
+        cluster = parse_cluster_spec("1x1:cpu,1x4:v100")
+        payload = json.loads(json.dumps(cluster.to_dict()))
+        assert ClusterSpec.from_dict(payload) == cluster
+
+
+class TestHostJoinDeviceClass:
+    def test_join_brings_its_own_tier(self):
+        base = multi_machine_cluster(2, 2)
+        sched = FaultSchedule(
+            [FaultEvent(epoch=1, kind="host_join", device_class="a100")]
+        )
+        after = sched.cluster_at(base, 1)
+        assert after.num_machines == 3
+        assert after.machines[2].device.name == "A100"
+        assert after.is_heterogeneous
+        # before the event the base cluster is untouched
+        assert not sched.cluster_at(base, 0).is_heterogeneous
+
+    def test_unknown_class_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="device class"):
+            FaultEvent(epoch=0, kind="host_join", device_class="h100")
+
+    def test_class_only_applies_to_host_join(self):
+        with pytest.raises(ValueError, match="host_join"):
+            FaultEvent(epoch=0, kind="straggler", machine=0, device_class="t4")
+
+    def test_schedule_round_trip(self):
+        sched = FaultSchedule(
+            [FaultEvent(epoch=2, kind="host_join", device_class="v100")]
+        )
+        again = FaultSchedule.from_dict(sched.to_dict())
+        assert again.events == sched.events
+        assert again.events[0].device_class == "v100"
+
+    def test_factor_scales_the_named_class(self):
+        base = multi_machine_cluster(1, 2)
+        sched = FaultSchedule(
+            [
+                FaultEvent(
+                    epoch=0, kind="host_join", device_class="v100", factor=0.5
+                )
+            ]
+        )
+        joined = sched.cluster_at(base, 0).machines[1].device
+        v100 = device_class("v100")
+        assert joined.compute_efficiency == pytest.approx(
+            v100.compute_efficiency * 0.5
+        )

@@ -68,4 +68,6 @@ class TestCostEstimate:
         e = CostEstimate("gdp", 1.0, 2.0, 3.0, 0.5)
         d = e.as_dict()
         assert d["total"] == 6.5
-        assert set(d) == {"t_build", "t_load", "t_shuffle", "t_skew", "total"}
+        assert set(d) == {
+            "t_build", "t_load", "t_shuffle", "t_skew", "total", "dollars",
+        }

@@ -1,0 +1,139 @@
+"""Speed-proportional (weighted) partitioning (DESIGN.md §5.17).
+
+The contract: ``weights`` re-targets each part's capacity proportionally
+to its device's speed, without giving up the partitioners' locality — at
+equal weights the cut must stay close to the unweighted cut, and passing
+``weights=None`` must be bit-identical to not passing weights at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    community_graph,
+    edge_cut_fraction,
+    metis_like_partition,
+    power_law_graph,
+    random_partition,
+    rmat_graph,
+    streaming_partition,
+)
+
+WEIGHTS = [4.0, 1.0, 1.0, 1.0]
+TARGETS = np.asarray(WEIGHTS) / np.sum(WEIGHTS)
+
+
+def _fractions(parts: np.ndarray, num_parts: int) -> np.ndarray:
+    return np.bincount(parts, minlength=num_parts) / parts.size
+
+
+def _assert_proportional(parts, targets, rel_tol=0.25):
+    frac = _fractions(parts, len(targets))
+    np.testing.assert_allclose(frac, targets, rtol=rel_tol)
+
+
+@pytest.fixture(scope="module")
+def pl_graph():
+    return power_law_graph(4000, 8.0, 2.1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def rm_graph():
+    return rmat_graph(4096, 32_000, seed=3)
+
+
+class TestProportionalSizes:
+    def test_metis_power_law(self, pl_graph):
+        parts = metis_like_partition(pl_graph, 4, seed=0, weights=WEIGHTS)
+        _assert_proportional(parts, TARGETS)
+
+    def test_metis_rmat(self, rm_graph):
+        parts = metis_like_partition(rm_graph, 4, seed=0, weights=WEIGHTS)
+        _assert_proportional(parts, TARGETS)
+
+    def test_streaming_power_law(self, pl_graph):
+        parts = streaming_partition(pl_graph, 4, seed=0, weights=WEIGHTS)
+        _assert_proportional(parts, TARGETS)
+
+    def test_streaming_rmat(self, rm_graph):
+        parts = streaming_partition(rm_graph, 4, seed=0, weights=WEIGHTS)
+        _assert_proportional(parts, TARGETS)
+
+    def test_random_weighted(self):
+        parts = random_partition(20_000, 4, seed=0, weights=WEIGHTS)
+        _assert_proportional(parts, TARGETS, rel_tol=0.1)
+
+    def test_skewed_two_tier(self, pl_graph):
+        # A 2-fast/2-slow shape: the fast pair should own ~2x the nodes.
+        parts = metis_like_partition(
+            pl_graph, 4, seed=0, weights=[2.0, 2.0, 1.0, 1.0]
+        )
+        frac = _fractions(parts, 4)
+        assert frac[0] + frac[1] > 1.5 * (frac[2] + frac[3])
+
+
+class TestCutQuality:
+    def test_equal_weights_cut_close_to_unweighted(self):
+        g = community_graph(4000, 10.0, 8, 0.9, seed=1)
+        plain = metis_like_partition(g, 4, seed=0)
+        weighted = metis_like_partition(g, 4, seed=0, weights=[1.0] * 4)
+        assert edge_cut_fraction(g, weighted) <= 1.5 * edge_cut_fraction(g, plain)
+
+    def test_weighted_cut_still_beats_random(self):
+        g = community_graph(4000, 10.0, 8, 0.9, seed=1)
+        weighted = metis_like_partition(g, 4, seed=0, weights=WEIGHTS)
+        rand = random_partition(g.num_nodes, 4, seed=0, weights=WEIGHTS)
+        assert edge_cut_fraction(g, weighted) < 0.8 * edge_cut_fraction(g, rand)
+
+
+class TestStreamingMatchesInMemory:
+    def test_same_size_ranking(self):
+        # Both partitioners must order part sizes the way the weights do.
+        g = community_graph(2000, 8.0, 4, 0.9, seed=2)
+        weights = [3.0, 2.0, 1.5, 1.0]
+        mem = _fractions(metis_like_partition(g, 4, seed=0, weights=weights), 4)
+        stream = _fractions(streaming_partition(g, 4, seed=0, weights=weights), 4)
+        expected = np.argsort(weights)
+        np.testing.assert_array_equal(np.argsort(mem), expected)
+        np.testing.assert_array_equal(np.argsort(stream), expected)
+
+
+class TestWeightsNoneBitIdentity:
+    def test_metis(self, pl_graph):
+        np.testing.assert_array_equal(
+            metis_like_partition(pl_graph, 4, seed=0),
+            metis_like_partition(pl_graph, 4, seed=0, weights=None),
+        )
+
+    def test_streaming(self, pl_graph):
+        np.testing.assert_array_equal(
+            streaming_partition(pl_graph, 4, seed=0),
+            streaming_partition(pl_graph, 4, seed=0, weights=None),
+        )
+
+    def test_random(self):
+        np.testing.assert_array_equal(
+            random_partition(1000, 4, seed=0),
+            random_partition(1000, 4, seed=0, weights=None),
+        )
+
+
+class TestValidation:
+    def test_wrong_length(self, pl_graph):
+        with pytest.raises(ValueError, match="weights"):
+            metis_like_partition(pl_graph, 4, seed=0, weights=[1.0, 2.0])
+
+    def test_nonpositive(self, pl_graph):
+        with pytest.raises(ValueError, match="positive"):
+            metis_like_partition(
+                pl_graph, 4, seed=0, weights=[1.0, 0.0, 1.0, 1.0]
+            )
+
+    def test_streaming_wrong_length(self, pl_graph):
+        with pytest.raises(ValueError, match="weights"):
+            streaming_partition(pl_graph, 4, seed=0, weights=[1.0] * 5)
+
+    def test_deterministic(self, pl_graph):
+        a = metis_like_partition(pl_graph, 4, seed=5, weights=WEIGHTS)
+        b = metis_like_partition(pl_graph, 4, seed=5, weights=WEIGHTS)
+        np.testing.assert_array_equal(a, b)

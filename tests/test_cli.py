@@ -149,3 +149,79 @@ class TestGenAndDatasetDir:
             main(["run", "--dataset-dir", str(tmp_path / "nope"),
                   "--epochs", "1"])
         assert "bad dataset dir" in str(exc.value)
+
+
+class TestHeterogeneousCli:
+    """The §5.17 surface: --cluster, --objective cost, trace utilization."""
+
+    BASE = ["--dataset", "ps", "--nodes", "2500", "--layers", "2",
+            "--fanout", "4", "4", "--batch-per-gpu", "64"]
+    HET = ["--cluster", "1x2:a100,1x2:t4"]
+
+    def test_cluster_spec_parsed(self):
+        args = build_parser().parse_args(["plan", "--cluster", "1x4:a100"])
+        assert args.cluster == "1x4:a100"
+
+    def test_bad_cluster_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["plan", "--cluster", "1x4:h100"] + self.BASE)
+        assert "bad --cluster spec" in str(exc.value)
+
+    def test_plan_cost_objective(self, capsys):
+        assert main(
+            ["plan", "--objective", "cost"] + self.BASE + self.HET
+        ) == 0
+        out = capsys.readouterr().out
+        assert "$/epoch" in out
+        assert "Pareto frontier" in out
+        assert "@drop" in out  # the device-subset sweep ran
+
+    def test_plan_cost_budget_seconds(self, capsys):
+        assert main(
+            ["plan", "--objective", "cost", "--budget-seconds", "10"]
+            + self.BASE + self.HET
+        ) == 0
+        assert "time budget" in capsys.readouterr().out
+
+    def test_plan_cost_json_payload(self, capsys):
+        import json
+
+        assert main(
+            ["plan", "--objective", "cost", "--json"] + self.BASE + self.HET
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plan = payload["plan"]
+        assert plan["objective"] == "cost"
+        assert plan["pareto"]
+        assert plan["subsets"]
+        assert all("dollars" in e for e in plan["estimates"].values())
+
+    def test_run_on_heterogeneous_cluster(self, capsys):
+        assert main(
+            ["run", "--strategy", "snp", "--epochs", "1"]
+            + self.BASE + self.HET
+        ) == 0
+        assert "loss=" in capsys.readouterr().out
+
+    def test_trace_reports_device_utilization(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["trace", "--strategy", "snp", "--out", str(trace)]
+            + self.BASE + self.HET
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-device utilization" in out
+        assert "imbalance ratio" in out
+
+    def test_trace_json_device_block(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.json"
+        assert main(
+            ["trace", "--strategy", "snp", "--out", str(trace), "--json"]
+            + self.BASE + self.HET
+        ) == 0
+        devices = json.loads(capsys.readouterr().out)["devices"]
+        assert len(devices["busy_seconds"]) == 4
+        assert devices["imbalance_ratio"] >= 1.0
+        assert max(devices["utilization"]) <= 1.0 + 1e-9
